@@ -1,0 +1,236 @@
+(* Command-line driver: run individual Hyder II experiments.
+
+   Examples:
+     hyder-cli cluster --servers 6 --pipeline premeld --duration 0.5
+     hyder-cli local --zone-cap 256 --records 100000
+     hyder-cli log --clients 6 --threads 20 --seconds 2
+     hyder-cli tango --records 100000 --txns 50000
+*)
+
+open Cmdliner
+module Cluster = Hyder_cluster.Cluster
+module Ycsb = Hyder_workload.Ycsb
+module Pipeline = Hyder_core.Pipeline
+module Premeld = Hyder_core.Premeld
+
+let pipeline_conv =
+  let parse = function
+    | "plain" -> Ok Pipeline.plain
+    | "premeld" | "pre" -> Ok Pipeline.with_premeld
+    | "group" | "grp" -> Ok Pipeline.with_group_meld
+    | "both" | "opt" -> Ok Pipeline.with_both
+    | s -> Error (`Msg (Printf.sprintf "unknown pipeline %S" s))
+  in
+  let print fmt (c : Pipeline.config) =
+    Format.fprintf fmt "%s"
+      (match (c.Pipeline.premeld, c.Pipeline.group_size) with
+      | None, 1 -> "plain"
+      | Some _, 1 -> "premeld"
+      | None, _ -> "group"
+      | Some _, _ -> "both")
+  in
+  Arg.conv (parse, print)
+
+let isolation_conv =
+  let open Hyder_codec.Intention in
+  let parse = function
+    | "sr" | "serializable" -> Ok Serializable
+    | "si" | "snapshot" -> Ok Snapshot_isolation
+    | "rc" | "read-committed" -> Ok Read_committed
+    | s -> Error (`Msg (Printf.sprintf "unknown isolation %S" s))
+  in
+  Arg.conv (parse, fun fmt i -> Format.fprintf fmt "%s" (isolation_to_string i))
+
+let dist_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "uniform" ] -> Ok Ycsb.Uniform
+    | [ "zipfian" ] -> Ok (Ycsb.Zipfian 0.99)
+    | [ "zipfian"; t ] -> Ok (Ycsb.Zipfian (float_of_string t))
+    | [ "hotspot"; x ] -> Ok (Ycsb.Hotspot (float_of_string x))
+    | [ "latest" ] -> Ok Ycsb.Latest
+    | _ -> Error (`Msg (Printf.sprintf "unknown distribution %S" s))
+  in
+  Arg.conv (parse, fun fmt _ -> Format.fprintf fmt "<dist>")
+
+(* shared workload flags *)
+let records =
+  Arg.(value & opt int 200_000 & info [ "records" ] ~doc:"Database size in items.")
+
+let payload =
+  Arg.(value & opt int 128 & info [ "payload" ] ~doc:"Payload bytes per item.")
+
+let ops = Arg.(value & opt int 10 & info [ "ops" ] ~doc:"Operations per transaction.")
+
+let updates =
+  Arg.(
+    value & opt float 0.2
+    & info [ "updates" ] ~doc:"Fraction of a transaction's ops that write.")
+
+let isolation =
+  Arg.(
+    value
+    & opt isolation_conv Hyder_codec.Intention.Serializable
+    & info [ "isolation" ] ~doc:"sr | si | rc")
+
+let dist =
+  Arg.(
+    value & opt dist_conv Ycsb.Uniform
+    & info [ "dist" ] ~doc:"uniform | zipfian[:theta] | hotspot:x | latest")
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+
+let workload_term =
+  let make records payload ops updates isolation dist =
+    {
+      Ycsb.default with
+      Ycsb.record_count = records;
+      payload_size = payload;
+      ops_per_txn = ops;
+      update_fraction = updates;
+      isolation;
+      distribution = dist;
+    }
+  in
+  Term.(const make $ records $ payload $ ops $ updates $ isolation $ dist)
+
+(* --- cluster ------------------------------------------------------------ *)
+
+let cluster_cmd =
+  let run servers pipeline write_threads read_threads inflight duration warmup
+      workload seed =
+    let cfg =
+      {
+        Cluster.default_config with
+        Cluster.servers;
+        pipeline;
+        write_threads;
+        read_threads;
+        inflight_per_thread = inflight;
+        duration;
+        warmup;
+        workload;
+        seed = Int64.of_int seed;
+      }
+    in
+    let r = Cluster.run cfg in
+    Format.printf "%a@." Cluster.pp_result r
+  in
+  let servers =
+    Arg.(value & opt int 6 & info [ "servers" ] ~doc:"Transaction servers.")
+  in
+  let pipeline =
+    Arg.(
+      value & opt pipeline_conv Pipeline.plain
+      & info [ "pipeline" ] ~doc:"plain | premeld | group | both")
+  in
+  let write_threads =
+    Arg.(value & opt int 20 & info [ "write-threads" ] ~doc:"Update threads/server.")
+  in
+  let read_threads =
+    Arg.(value & opt int 0 & info [ "read-threads" ] ~doc:"Read-only executors/server.")
+  in
+  let inflight =
+    Arg.(value & opt int 80 & info [ "inflight" ] ~doc:"In-flight txns per thread.")
+  in
+  let duration =
+    Arg.(value & opt float 0.4 & info [ "duration" ] ~doc:"Measured simulated seconds.")
+  in
+  let warmup =
+    Arg.(value & opt float 0.15 & info [ "warmup" ] ~doc:"Warmup simulated seconds.")
+  in
+  Cmd.v
+    (Cmd.info "cluster" ~doc:"Run a distributed Hyder II experiment")
+    Term.(
+      const run $ servers $ pipeline $ write_threads $ read_threads $ inflight
+      $ duration $ warmup $ workload_term $ seed)
+
+(* --- local ([8] setup) ---------------------------------------------------- *)
+
+let local_cmd =
+  let run zone_cap txns workload seed =
+    let r =
+      Hyder_baselines.Inmem_hyder.run ~txns ~zone_cap
+        ~seed:(Int64.of_int seed) ~workload ()
+    in
+    Format.printf
+      "in-memory meld: %.1f us/txn -> %.0f tps meld-bound; %.1f nodes/txn; \
+       abort %.2f%%@."
+      r.Hyder_baselines.Inmem_hyder.meld_us
+      r.Hyder_baselines.Inmem_hyder.meld_bound_tps
+      r.Hyder_baselines.Inmem_hyder.fm_nodes_per_txn
+      (100.0 *. r.Hyder_baselines.Inmem_hyder.abort_rate)
+  in
+  let zone_cap =
+    Arg.(value & opt int 256 & info [ "zone-cap" ] ~doc:"Max conflict zone.")
+  in
+  let txns = Arg.(value & opt int 20_000 & info [ "txns" ] ~doc:"Transactions.") in
+  Cmd.v
+    (Cmd.info "local" ~doc:"Single-node in-memory meld experiment ([8] setup)")
+    Term.(const run $ zone_cap $ txns $ workload_term $ seed)
+
+(* --- log ------------------------------------------------------------------ *)
+
+let log_cmd =
+  let run clients threads seconds block =
+    let module Engine = Hyder_sim.Engine in
+    let module Corfu = Hyder_log.Corfu in
+    let eng = Engine.create () in
+    let corfu = Corfu.create eng in
+    let payload = String.make (min block 4000) 'x' in
+    let rec loop () =
+      if Engine.now eng < seconds then
+        Corfu.append corfu payload (fun _ -> loop ())
+    in
+    for _ = 1 to clients * threads do
+      loop ()
+    done;
+    Engine.run ~until:seconds eng;
+    let lat = Corfu.append_latencies corfu in
+    Format.printf
+      "%d clients x %d threads: %.0f appends/s; latency p50=%.2fms p95=%.2fms \
+       p99=%.2fms@."
+      clients threads
+      (float_of_int (Corfu.appends_completed corfu) /. seconds)
+      (1000.0 *. Hyder_util.Stats.Sample.percentile lat 50.0)
+      (1000.0 *. Hyder_util.Stats.Sample.percentile lat 95.0)
+      (1000.0 *. Hyder_util.Stats.Sample.percentile lat 99.0)
+  in
+  let clients = Arg.(value & opt int 6 & info [ "clients" ] ~doc:"Log clients.") in
+  let threads = Arg.(value & opt int 20 & info [ "threads" ] ~doc:"Threads per client.") in
+  let seconds = Arg.(value & opt float 2.0 & info [ "seconds" ] ~doc:"Simulated seconds.") in
+  let block = Arg.(value & opt int 8192 & info [ "block" ] ~doc:"Block size.") in
+  Cmd.v
+    (Cmd.info "log" ~doc:"CORFU log service benchmark (Figure 9 style)")
+    Term.(const run $ clients $ threads $ seconds $ block)
+
+(* --- tango ---------------------------------------------------------------- *)
+
+let tango_cmd =
+  let run records txns ops updates seed =
+    let module Tango = Hyder_baselines.Tango in
+    let writes_per_txn =
+      max 1 (int_of_float (Float.round (updates *. float_of_int ops)))
+    in
+    let apply_us, abort_rate =
+      Tango.run_workload ~seed:(Int64.of_int seed) ~records ~txns
+        ~window:2_000 ~reads_per_txn:(ops - writes_per_txn) ~writes_per_txn ()
+    in
+    Format.printf
+      "tango: apply %.2f us/txn -> %.0f tps apply-bound; abort rate %.2f%%@."
+      apply_us (1e6 /. apply_us)
+      (100.0 *. abort_rate)
+  in
+  let txns = Arg.(value & opt int 100_000 & info [ "txns" ] ~doc:"Transactions.") in
+  Cmd.v
+    (Cmd.info "tango" ~doc:"Tango baseline (hash index over a shared log)")
+    Term.(const run $ records $ txns $ ops $ updates $ seed)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "hyder-cli" ~version:"1.0.0"
+             ~doc:"Hyder II experiment driver")
+          [ cluster_cmd; local_cmd; log_cmd; tango_cmd ]))

@@ -1,0 +1,1 @@
+examples/analytics_snapshot.ml: Array Hyder_core Hyder_tree Hyder_util List Option Payload Printf String Tree

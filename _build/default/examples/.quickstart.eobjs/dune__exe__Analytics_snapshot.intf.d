@@ -1,0 +1,1 @@
+examples/analytics_snapshot.mli:

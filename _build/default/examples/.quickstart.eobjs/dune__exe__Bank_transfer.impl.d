@@ -1,0 +1,1 @@
+examples/bank_transfer.ml: Array Hyder_codec Hyder_core Hyder_tree Hyder_util List Payload Printf Tree

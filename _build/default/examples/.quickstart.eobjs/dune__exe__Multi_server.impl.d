@@ -1,0 +1,1 @@
+examples/multi_server.ml: Array Fun Hashtbl Hyder_core Hyder_log Hyder_tree Hyder_util List Payload Printf Tree

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Hyder_codec Hyder_core Hyder_tree List Payload Printf Tree

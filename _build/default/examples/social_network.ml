@@ -1,0 +1,123 @@
+(* The paper's motivating workload (Section 1): a friend-status relation.
+
+   A social network's friend/status data cannot be partitioned well: if the
+   relation is partitioned by user, a user's status must be visible to all
+   friends, so a status change touches many partitions.  Hyder scales out
+   WITHOUT partitioning: every server can run any transaction, and the
+   shared log orders them.
+
+   Key layout (one key space, no partitions):
+     user u's status            -> key  u
+     friendship edge (u, v)     -> key  EDGE_BASE + u * MAX_USERS + v
+
+   Transactions:
+     post_status u      : write u's status                  (1 write)
+     read_timeline u    : read the statuses of u's friends  (serializable)
+     befriend u v       : insert both edges transactionally
+
+   Run with: dune exec examples/social_network.exe
+*)
+
+open Hyder_tree
+module Local = Hyder_core.Local
+module Executor = Hyder_core.Executor
+module Pipeline = Hyder_core.Pipeline
+module Rng = Hyder_util.Rng
+
+let max_users = 1000
+let edge_base = 1_000_000
+let edge_key u v = edge_base + (u * max_users) + v
+
+let () =
+  let users = 200 in
+  let rng = Rng.create 2024L in
+
+  (* Genesis: every user has an empty status; no friendships yet. *)
+  let genesis =
+    Tree.of_sorted_array
+      (Array.init users (fun u -> (u, Payload.value "(no status)")))
+  in
+  let db = Local.create ~config:Pipeline.with_premeld ~genesis () in
+
+  (* Build a random friendship graph, two edges per transaction so the
+     relation stays symmetric even under concurrency. *)
+  let friends = Array.make users [] in
+  let edges = ref 0 in
+  for _ = 1 to 600 do
+    let u = Rng.int rng users and v = Rng.int rng users in
+    if u <> v && not (List.mem v friends.(u)) then begin
+      let _, ds =
+        Local.txn db (fun t ->
+            Executor.write t (edge_key u v) "friend";
+            Executor.write t (edge_key v u) "friend")
+      in
+      if List.for_all (fun d -> d.Pipeline.committed) ds then begin
+        friends.(u) <- v :: friends.(u);
+        friends.(v) <- u :: friends.(v);
+        edges := !edges + 1
+      end
+    end
+  done;
+  Printf.printf "befriended: %d symmetric edges\n" !edges;
+
+  (* Users post statuses while timelines are read concurrently.  Timeline
+     reads are serializable: if a friend's status changes under a reader,
+     the reader aborts rather than observing a torn timeline. *)
+  let posts = ref 0 and timelines = ref 0 and aborted_timelines = ref 0 in
+  for round = 1 to 500 do
+    let u = Rng.int rng users in
+    (* A reader starts on the current snapshot... *)
+    let _, pos, snapshot = Local.lcs db in
+    let reader =
+      Executor.begin_txn ~snapshot_pos:pos ~snapshot ~server:0
+        ~txn_seq:(10_000 + round)
+        ~isolation:Hyder_codec.Intention.Serializable ()
+    in
+    let timeline =
+      List.filter_map
+        (fun f ->
+          match Executor.read reader f with
+          | Some (Payload.Value s) -> Some (f, s)
+          | _ -> None)
+        friends.(u)
+    in
+    ignore timeline;
+    (* ...while a friend posts concurrently. *)
+    let poster = Rng.int rng users in
+    let _, _ =
+      Local.txn db (fun t ->
+          Executor.write t poster (Printf.sprintf "status #%d" round))
+    in
+    incr posts;
+    (* The reader also bumps a read-marker so its readset is validated. *)
+    Executor.write reader (edge_key u u) "timeline-read";
+    (match Executor.finish reader with
+    | Some draft ->
+        let ds = Local.submit_draft db draft in
+        incr timelines;
+        if List.exists (fun d -> not d.Pipeline.committed) ds then begin
+          incr aborted_timelines
+          (* a friend posted mid-read: rerun on a fresh snapshot *)
+        end
+    | None -> incr timelines)
+  done;
+  ignore (Local.flush db);
+  Printf.printf "posted %d statuses; %d timeline reads, %d re-run due to \
+                 concurrent posts by friends\n"
+    !posts !timelines !aborted_timelines;
+
+  (* Verify the friendship relation stayed symmetric. *)
+  let _, _, lcs = Local.lcs db in
+  let asymmetric = ref 0 in
+  for u = 0 to users - 1 do
+    List.iter
+      (fun v ->
+        let uv = Tree.mem lcs (edge_key u v)
+        and vu = Tree.mem lcs (edge_key v u) in
+        if uv <> vu then incr asymmetric)
+      friends.(u)
+  done;
+  Printf.printf "asymmetric edges in the committed state: %d\n" !asymmetric;
+  let c = Local.counters db in
+  Printf.printf "total: %d committed, %d aborted transactions\n"
+    c.Hyder_core.Counters.committed c.Hyder_core.Counters.aborted

@@ -1,0 +1,1 @@
+lib/baselines/cow_btree.ml: Array Hyder_tree Key List Printf String

@@ -1,0 +1,1 @@
+lib/baselines/cow_btree.mli: Hyder_tree Key

@@ -1,0 +1,1 @@
+lib/baselines/inmem_hyder.ml: Hyder_core Hyder_util Hyder_workload Int64 List Option

@@ -1,0 +1,1 @@
+lib/baselines/inmem_hyder.mli: Hyder_workload

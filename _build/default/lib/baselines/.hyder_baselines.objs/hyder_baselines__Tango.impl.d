@@ -1,0 +1,1 @@
+lib/baselines/tango.ml: Array Hashtbl Hyder_tree Hyder_util Key List Queue Unix

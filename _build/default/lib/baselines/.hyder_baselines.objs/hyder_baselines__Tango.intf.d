@@ -1,0 +1,1 @@
+lib/baselines/tango.mli: Hyder_tree Key

@@ -1,0 +1,67 @@
+module Local = Hyder_core.Local
+module Executor = Hyder_core.Executor
+module Pipeline = Hyder_core.Pipeline
+module State_store = Hyder_core.State_store
+module Counters = Hyder_core.Counters
+module Ycsb = Hyder_workload.Ycsb
+module Rng = Hyder_util.Rng
+
+type result = {
+  meld_us : float;
+  meld_bound_tps : float;
+  fm_nodes_per_txn : float;
+  abort_rate : float;
+}
+
+let run ?(txns = 20_000) ?(zone_cap = 256) ?(seed = 77L) ~workload () =
+  let wl = Ycsb.create ~seed workload in
+  let h = Local.create ~genesis:(Ycsb.genesis wl) () in
+  let states = Pipeline.states (Local.pipeline h) in
+  let rng = Rng.create (Int64.add seed 1L) in
+  let committed = ref 0 and aborted = ref 0 in
+  let fm = (Local.counters h).Counters.final_meld in
+  let t_warm = txns / 10 in
+  let fm_seconds0 = ref 0.0 and fm_nodes0 = ref 0 and fm_count0 = ref 0 in
+  for i = 1 to txns do
+    if i = t_warm then begin
+      fm_seconds0 := fm.Counters.seconds;
+      fm_nodes0 := fm.Counters.nodes_visited;
+      fm_count0 := fm.Counters.intentions
+    end;
+    (* Snapshot uniformly up to zone_cap intentions behind, as [8]'s
+       generator did. *)
+    let lcs_seq, _, _ = Local.lcs h in
+    let lag = Rng.int rng (zone_cap + 1) in
+    let snap_seq = max (-1) (lcs_seq - lag) in
+    let snapshot = Option.get (State_store.by_seq states snap_seq) in
+    (* Local's synthetic positions advance by 2 per intention, starting
+       at 2; genesis is -1. *)
+    let snap_pos = if snap_seq < 0 then -1 else 2 * (snap_seq + 1) in
+    let e =
+      Executor.begin_txn ~snapshot_pos:snap_pos ~snapshot ~server:0
+        ~txn_seq:i ~isolation:workload.Ycsb.isolation ()
+    in
+    Ycsb.apply (Ycsb.next_write_txn wl) e;
+    match Executor.finish e with
+    | None -> ()
+    | Some draft ->
+        List.iter
+          (fun (d : Pipeline.decision) ->
+            if d.Pipeline.committed then incr committed else incr aborted)
+          (Local.submit_draft h draft);
+        Pipeline.prune (Local.pipeline h) ~keep:(zone_cap + 16)
+  done;
+  let melds = fm.Counters.intentions - !fm_count0 in
+  let meld_us =
+    (fm.Counters.seconds -. !fm_seconds0) /. float_of_int (max 1 melds) *. 1e6
+  in
+  {
+    meld_us;
+    meld_bound_tps = (if meld_us <= 0.0 then 0.0 else 1e6 /. meld_us);
+    fm_nodes_per_txn =
+      float_of_int (fm.Counters.nodes_visited - !fm_nodes0)
+      /. float_of_int (max 1 melds);
+    abort_rate =
+      (let d = !committed + !aborted in
+       if d = 0 then 0.0 else float_of_int !aborted /. float_of_int d);
+  }

@@ -1,0 +1,23 @@
+(** The original in-memory Hyder of Bernstein et al. [8] (Section 6.4.2).
+
+    [8] evaluated meld on a single server with an in-memory log and a
+    workload generator that capped the conflict zone at 256 intentions.
+    This baseline reproduces that setup on our meld: transactions execute
+    against snapshots at most [zone_cap] intentions old and are melded by a
+    plain (unoptimized) pipeline; throughput is meld-bound, so the reported
+    rate is the reciprocal of the measured final-meld time. *)
+
+type result = {
+  meld_us : float;  (** mean final-meld microseconds per intention *)
+  meld_bound_tps : float;  (** 1e6 / meld_us *)
+  fm_nodes_per_txn : float;
+  abort_rate : float;
+}
+
+val run :
+  ?txns:int ->
+  ?zone_cap:int ->
+  ?seed:int64 ->
+  workload:Hyder_workload.Ycsb.config ->
+  unit ->
+  result

@@ -1,0 +1,138 @@
+open Hyder_tree
+module Wire = Hyder_util.Wire
+
+type record = { mutable value : string; mutable version : int }
+
+type t = {
+  table : (Key.t, record) Hashtbl.t;
+  mutable next_version : int;
+  mutable applied : int;
+  mutable committed : int;
+}
+
+let create ~genesis =
+  let table = Hashtbl.create (2 * Array.length genesis) in
+  Array.iter
+    (fun (k, v) -> Hashtbl.replace table k { value = v; version = 0 })
+    genesis;
+  { table; next_version = 1; applied = 0; committed = 0 }
+
+type entry = {
+  reads : (Key.t * int) list;  (** key, version observed *)
+  writes : (Key.t * string) list;
+}
+
+module Txn = struct
+  type store = t
+
+  type t = {
+    store : store;
+    mutable reads : (Key.t * int) list;
+    mutable writes : (Key.t * string) list;
+  }
+
+  let begin_ store = { store; reads = []; writes = [] }
+
+  let read t k =
+    match List.assoc_opt k t.writes with
+    | Some v -> Some v
+    | None -> (
+        match Hashtbl.find_opt t.store.table k with
+        | Some r ->
+            t.reads <- (k, r.version) :: t.reads;
+            Some r.value
+        | None ->
+            t.reads <- (k, -1) :: t.reads;
+            None)
+
+  let write t k v = t.writes <- (k, v) :: t.writes
+
+  let finish t = { reads = List.rev t.reads; writes = List.rev t.writes }
+end
+
+let apply t entry =
+  t.applied <- t.applied + 1;
+  let current_version k =
+    match Hashtbl.find_opt t.table k with Some r -> r.version | None -> -1
+  in
+  let valid =
+    List.for_all (fun (k, v) -> current_version k = v) entry.reads
+  in
+  if valid then begin
+    let version = t.next_version in
+    t.next_version <- version + 1;
+    List.iter
+      (fun (k, value) ->
+        match Hashtbl.find_opt t.table k with
+        | Some r ->
+            r.value <- value;
+            r.version <- version
+        | None -> Hashtbl.replace t.table k { value; version })
+      entry.writes;
+    t.committed <- t.committed + 1
+  end;
+  valid
+
+let encoded_size entry =
+  let w = Wire.Writer.create () in
+  Wire.Writer.varint w (List.length entry.reads);
+  List.iter
+    (fun (k, v) ->
+      Wire.Writer.varint w k;
+      Wire.Writer.varint w (v + 1))
+    entry.reads;
+  Wire.Writer.varint w (List.length entry.writes);
+  List.iter
+    (fun (k, value) ->
+      Wire.Writer.varint w k;
+      Wire.Writer.bytes w value)
+    entry.writes;
+  Wire.Writer.length w
+
+let size t = Hashtbl.length t.table
+
+let lookup t k =
+  match Hashtbl.find_opt t.table k with Some r -> Some r.value | None -> None
+
+let applied t = t.applied
+let committed t = t.committed
+
+(* Windowed workload driver: entries are created against the current store
+   and applied [window] entries later, modeling a bounded in-flight
+   population the way the cluster's admission control does. *)
+let run_workload ?(seed = 11L) ~records ~txns ~window ~reads_per_txn
+    ~writes_per_txn () =
+  let rng = Hyder_util.Rng.create seed in
+  let store =
+    create
+      ~genesis:(Array.init records (fun k -> (k, "v" ^ string_of_int k)))
+  in
+  let pending = Queue.create () in
+  let apply_seconds = ref 0.0 in
+  let submitted = ref 0 in
+  let apply_one () =
+    let entry = Queue.pop pending in
+    let t0 = Unix.gettimeofday () in
+    ignore (apply store entry);
+    apply_seconds := !apply_seconds +. (Unix.gettimeofday () -. t0)
+  in
+  while !submitted < txns do
+    let txn = Txn.begin_ store in
+    for _ = 1 to reads_per_txn do
+      ignore (Txn.read txn (Hyder_util.Rng.int rng records))
+    done;
+    for _ = 1 to writes_per_txn do
+      Txn.write txn (Hyder_util.Rng.int rng records) "updated"
+    done;
+    Queue.push (Txn.finish txn) pending;
+    incr submitted;
+    if Queue.length pending > window then apply_one ()
+  done;
+  while not (Queue.is_empty pending) do
+    apply_one ()
+  done;
+  let apply_us = !apply_seconds /. float_of_int txns *. 1e6 in
+  let abort_rate =
+    float_of_int (applied store - committed store) /. float_of_int (applied store)
+  in
+  (apply_us, abort_rate)

@@ -1,0 +1,57 @@
+open Hyder_tree
+
+(** Tango-style baseline (Balakrishnan et al., SOSP 2013; Section 6.4.2).
+
+    Tango builds distributed data structures over the same CORFU log that
+    Hyder II uses, but with a {e hash} access method and per-key version
+    validation instead of tree meld.  Its log roll-forward ("apply") is the
+    sequential bottleneck analogous to final meld: each server deterministic-
+    ally replays log entries, validating recorded read versions and
+    installing writes.  Because the index is a hash table there is no tree
+    maintenance and no range support — the paper's stated trade-off.
+
+    The benchmark measures the real cost of [apply] per transaction, which
+    bounds Tango's throughput the same way meld bounds Hyder II's. *)
+
+type t
+
+val create : genesis:(Key.t * string) array -> t
+
+type entry
+(** A transaction's log record: read versions and written values. *)
+
+(** Optimistic transaction executing against the current committed state. *)
+module Txn : sig
+  type store := t
+  type t
+
+  val begin_ : store -> t
+  val read : t -> Key.t -> string option
+  val write : t -> Key.t -> string -> unit
+  val finish : t -> entry
+end
+
+val apply : t -> entry -> bool
+(** Roll one entry forward: commit (and install writes) iff every read
+    version is still current — deterministic across replicas. *)
+
+val encoded_size : entry -> int
+(** Wire size of the entry, for log-bandwidth accounting. *)
+
+val run_workload :
+  ?seed:int64 ->
+  records:int ->
+  txns:int ->
+  window:int ->
+  reads_per_txn:int ->
+  writes_per_txn:int ->
+  unit ->
+  float * float
+(** Drive a YCSB-like stream with a bounded in-flight window (entries are
+    created against the live store and applied [window] entries later).
+    Returns (mean apply microseconds per txn, abort rate). *)
+
+val size : t -> int
+val lookup : t -> Key.t -> string option
+val applied : t -> int
+val committed : t -> int

@@ -1,0 +1,1 @@
+lib/cluster/cluster.ml: Admission Array Format Fun Gc Hashtbl Hyder_codec Hyder_core Hyder_log Hyder_sim Hyder_util Hyder_workload Int Int64 List Option Printf String Sys Unix

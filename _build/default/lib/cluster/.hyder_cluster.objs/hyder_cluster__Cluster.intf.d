@@ -1,0 +1,1 @@
+lib/cluster/cluster.mli: Admission Format Hyder_core Hyder_log Hyder_workload

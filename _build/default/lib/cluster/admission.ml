@@ -1,0 +1,65 @@
+type config = {
+  min_window : int;
+  max_window : int;
+  target_abort_rate : float;
+  sample : int;
+  increase : int;
+  decrease : float;
+}
+
+let default_config =
+  {
+    min_window = 8;
+    max_window = 160;
+    target_abort_rate = 0.10;
+    sample = 64;
+    increase = 4;
+    decrease = 0.6;
+  }
+
+type t = {
+  config : config;
+  mutable window : int;
+  mutable seen : int;
+  mutable aborted : int;
+  mutable ups : int;
+  mutable downs : int;
+}
+
+let create ?(config = default_config) () =
+  if
+    config.min_window <= 0
+    || config.max_window < config.min_window
+    || config.sample <= 0
+  then invalid_arg "Admission.create";
+  {
+    config;
+    window = (config.min_window + config.max_window) / 2;
+    seen = 0;
+    aborted = 0;
+    ups = 0;
+    downs = 0;
+  }
+
+let window t = t.window
+
+let observe t ~committed =
+  t.seen <- t.seen + 1;
+  if not committed then t.aborted <- t.aborted + 1;
+  if t.seen >= t.config.sample then begin
+    let rate = float_of_int t.aborted /. float_of_int t.seen in
+    if rate > t.config.target_abort_rate then begin
+      t.window <-
+        max t.config.min_window
+          (int_of_float (float_of_int t.window *. t.config.decrease));
+      t.downs <- t.downs + 1
+    end
+    else begin
+      t.window <- min t.config.max_window (t.window + t.config.increase);
+      t.ups <- t.ups + 1
+    end;
+    t.seen <- 0;
+    t.aborted <- 0
+  end
+
+let adjustments t = (t.ups, t.downs)

@@ -1,0 +1,36 @@
+(** Adaptive admission control.
+
+    The paper uses a fixed, empirically chosen in-flight cap per executor
+    thread and notes that "ideally, the threshold ... should be dynamically
+    determined by admission control logic, which is future work"
+    (Section 5.2).  This module implements that future work: an AIMD
+    controller that grows the window while the system is healthy and cuts
+    it when the observed abort rate — the symptom of conflict-zone blow-up
+    and meld overload — exceeds a target.
+
+    One controller instance governs one server's executor threads. *)
+
+type config = {
+  min_window : int;
+  max_window : int;
+  target_abort_rate : float;  (** cut the window when recent aborts exceed this *)
+  sample : int;  (** decisions per adjustment period *)
+  increase : int;  (** additive increase per healthy period *)
+  decrease : float;  (** multiplicative decrease on an unhealthy period *)
+}
+
+val default_config : config
+(** window in [8, 160], target 10% aborts, adjust every 64 decisions. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val window : t -> int
+(** Current per-thread in-flight allowance. *)
+
+val observe : t -> committed:bool -> unit
+(** Feed one transaction outcome; adjusts the window at period boundaries. *)
+
+val adjustments : t -> int * int
+(** (increases, decreases) so far — for tests and reporting. *)

@@ -1,0 +1,1 @@
+lib/codec/codec.ml: Array Buffer Bytes Hashtbl Hyder_tree Hyder_util Int32 Int64 Intention Key List Node Payload Printf String Vn

@@ -1,0 +1,1 @@
+lib/codec/codec.mli: Hyder_tree Intention Key Node Vn

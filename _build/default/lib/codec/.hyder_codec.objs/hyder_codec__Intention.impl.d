@@ -1,0 +1,1 @@
+lib/codec/intention.ml: Hyder_tree Node Vn

@@ -1,0 +1,1 @@
+lib/codec/intention.mli: Hyder_tree Node Vn

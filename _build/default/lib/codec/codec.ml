@@ -1,0 +1,313 @@
+open Hyder_tree
+open Node
+module Wire = Hyder_util.Wire
+module Crc32 = Hyder_util.Crc32
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+(* Zigzag mapping so small negative values (genesis positions, sentinel
+   snapshots) stay one byte. *)
+let zigzag v = Int64.logxor (Int64.shift_left v 1) (Int64.shift_right v 63)
+
+let unzigzag v =
+  Int64.logxor
+    (Int64.shift_right_logical v 1)
+    (Int64.neg (Int64.logand v 1L))
+
+let w_zint w v = Wire.Writer.varint64 w (zigzag (Int64.of_int v))
+let r_zint r = Int64.to_int (unzigzag (Wire.Reader.varint64 r))
+
+let w_vn w = function
+  | Vn.Logged { pos; idx } ->
+      Wire.Writer.u8 w 0;
+      w_zint w pos;
+      Wire.Writer.varint w idx
+  | Vn.Ephemeral { thread; seq } ->
+      Wire.Writer.u8 w 1;
+      Wire.Writer.varint w thread;
+      Wire.Writer.varint w seq
+
+let r_vn r =
+  match Wire.Reader.u8 r with
+  | 0 ->
+      let pos = r_zint r in
+      let idx = Wire.Reader.varint r in
+      Vn.logged ~pos ~idx
+  | 1 ->
+      let thread = Wire.Reader.varint r in
+      let seq = Wire.Reader.varint r in
+      Vn.ephemeral ~thread ~seq
+  | tag -> corrupt "bad VN tag %d" tag
+
+let isolation_to_int = function
+  | Intention.Serializable -> 0
+  | Intention.Snapshot_isolation -> 1
+  | Intention.Read_committed -> 2
+
+let isolation_of_int = function
+  | 0 -> Intention.Serializable
+  | 1 -> Intention.Snapshot_isolation
+  | 2 -> Intention.Read_committed
+  | i -> corrupt "bad isolation %d" i
+
+(* Child descriptor tags. *)
+let tag_empty = 0
+let tag_inside = 1
+let tag_ref = 2
+
+let encode (d : Intention.draft) =
+  let w = Wire.Writer.create ~capacity:8192 () in
+  w_zint w d.snapshot;
+  Wire.Writer.varint w d.server;
+  Wire.Writer.varint w d.txn_seq;
+  Wire.Writer.u8 w (isolation_to_int d.isolation);
+  (* Count inside nodes first so the decoder can size its index table. *)
+  let rec count = function
+    | Empty -> 0
+    | Node n ->
+        if n.owner <> Intention.draft_owner then 0
+        else 1 + count n.left + count n.right
+  in
+  Wire.Writer.varint w (count d.root);
+  let next_idx = ref 0 in
+  let w_child = function
+    | Empty -> Wire.Writer.u8 w tag_empty
+    | Node c ->
+        if c.owner = Intention.draft_owner then corrupt "child before parent"
+        else begin
+          Wire.Writer.u8 w tag_ref;
+          w_vn w c.vn;
+          w_zint w c.key
+        end
+  in
+  (* Post-order: children first; an inside child's index is the value the
+     recursion returns. *)
+  let rec go t =
+    match t with
+    | Empty -> None
+    | Node n ->
+        if n.owner <> Intention.draft_owner then None
+        else begin
+          let li = go n.left in
+          let ri = go n.right in
+          w_zint w n.key;
+          (* An unaltered node's payload equals its source version's, so it
+             is not shipped: the decoder recovers it through ssv.  This is
+             what keeps serializable-isolation intentions metadata-sized
+             despite carrying the whole readset (Section 6.4.4). *)
+          let elide_payload = (not n.altered) && n.ssv <> None in
+          let flags =
+            (if n.altered then 1 else 0)
+            lor (if n.depends_on_content then 2 else 0)
+            lor (if n.depends_on_structure then 4 else 0)
+            lor (match n.ssv with Some _ -> 8 | None -> 0)
+            lor (match n.scv with Some _ -> 16 | None -> 0)
+            lor (if Payload.is_tombstone n.payload then 32 else 0)
+            lor (if elide_payload then 64 else 0)
+          in
+          Wire.Writer.u8 w flags;
+          (match n.payload with
+          | Payload.Tombstone -> ()
+          | Payload.Value _ when elide_payload -> ()
+          | Payload.Value s -> Wire.Writer.bytes w s);
+          (match n.ssv with Some v -> w_vn w v | None -> ());
+          (match n.scv with Some v -> w_vn w v | None -> ());
+          (match li with
+          | Some i ->
+              Wire.Writer.u8 w tag_inside;
+              Wire.Writer.varint w i
+          | None -> w_child n.left);
+          (match ri with
+          | Some i ->
+              Wire.Writer.u8 w tag_inside;
+              Wire.Writer.varint w i
+          | None -> w_child n.right);
+          let idx = !next_idx in
+          incr next_idx;
+          Some idx
+        end
+  in
+  (match go d.root with
+  | Some _ -> ()
+  | None -> (
+      (* Empty intention trees (pure read-only txns under SI produce no
+         nodes) are legal; nothing more to write. *)
+      match d.root with
+      | Empty -> ()
+      | Node _ -> corrupt "intention root is not a draft node"));
+  Wire.Writer.contents w
+
+let encoded_size d = String.length (encode d)
+
+type resolver = snapshot:int -> key:Key.t -> vn:Vn.t -> Node.tree
+
+let decode_indexed ~pos ~resolve s =
+  let r = Wire.Reader.of_string s in
+  try
+    let snapshot = r_zint r in
+    let server = Wire.Reader.varint r in
+    let txn_seq = Wire.Reader.varint r in
+    let isolation = isolation_of_int (Wire.Reader.u8 r) in
+    let node_count = Wire.Reader.varint r in
+    if node_count < 0 || node_count > String.length s then
+      corrupt "implausible node count %d" node_count;
+    let nodes = Array.make (max 1 node_count) Empty in
+    let r_child self =
+      match Wire.Reader.u8 r with
+      | t when t = tag_empty -> Empty
+      | t when t = tag_inside ->
+          let i = Wire.Reader.varint r in
+          if i < 0 || i >= self then corrupt "child index %d out of order" i;
+          nodes.(i)
+      | t when t = tag_ref ->
+          let vn = r_vn r in
+          let key = r_zint r in
+          let resolved = resolve ~snapshot ~key ~vn in
+          (match resolved with
+          | Empty -> corrupt "unresolvable reference to key %d" key
+          | Node m ->
+              if not (Vn.equal m.vn vn) then
+                corrupt "reference to key %d resolved to wrong version" key);
+          resolved
+      | t -> corrupt "bad child tag %d" t
+    in
+    for idx = 0 to node_count - 1 do
+      let key = r_zint r in
+      let flags = Wire.Reader.u8 r in
+      let payload =
+        if flags land 32 <> 0 then Some Payload.Tombstone
+        else if flags land 64 <> 0 then None (* elided: recovered via ssv *)
+        else Some (Payload.Value (Wire.Reader.bytes r))
+      in
+      let ssv = if flags land 8 <> 0 then Some (r_vn r) else None in
+      let scv = if flags land 16 <> 0 then Some (r_vn r) else None in
+      let payload =
+        match payload with
+        | Some p -> p
+        | None -> (
+            let source_vn =
+              match ssv with
+              | Some v -> v
+              | None -> corrupt "elided payload on a node without a source"
+            in
+            match resolve ~snapshot ~key ~vn:source_vn with
+            | Node m ->
+                if not (Vn.equal m.vn source_vn) then
+                  corrupt "elided payload: source of key %d is version %s"
+                    key (Vn.to_string m.vn);
+                m.payload
+            | Empty -> corrupt "elided payload: key %d missing from snapshot" key)
+      in
+      let left = r_child idx in
+      let right = r_child idx in
+      let altered = flags land 1 <> 0 in
+      let vn = Vn.logged ~pos ~idx in
+      let cv =
+        if altered then vn
+        else
+          match scv with
+          | Some v -> v
+          | None -> corrupt "unaltered node %d lacks a content version" key
+      in
+      nodes.(idx) <-
+        Node
+          (Node.make ~key ~payload ~left ~right ~vn ~cv ~ssv ~scv ~altered
+             ~depends_on_content:(flags land 2 <> 0)
+             ~depends_on_structure:(flags land 4 <> 0)
+             ~owner:pos)
+    done;
+    if Wire.Reader.remaining r <> 0 then corrupt "trailing bytes";
+    let root = if node_count = 0 then Empty else nodes.(node_count - 1) in
+    ( {
+        Intention.pos;
+        snapshot;
+        server;
+        txn_seq;
+        isolation;
+        root;
+        node_count;
+        byte_size = String.length s;
+      },
+      nodes )
+  with Wire.Truncated -> corrupt "truncated intention"
+
+module Blocks = struct
+  (* Framing: crc32 | server | txn_seq | frag_idx | last flag | payload. *)
+  let overhead = 4 + 10 + 10 + 10 + 1 + 10
+
+  let split ~block_size ~server ~txn_seq s =
+    if block_size <= overhead then invalid_arg "Codec.Blocks.split: tiny block";
+    let chunk = block_size - overhead in
+    let total = String.length s in
+    let nfrags = max 1 ((total + chunk - 1) / chunk) in
+    List.init nfrags (fun i ->
+        let off = i * chunk in
+        let len = min chunk (total - off) in
+        let body = Wire.Writer.create ~capacity:(len + 32) () in
+        Wire.Writer.varint body server;
+        Wire.Writer.varint body txn_seq;
+        Wire.Writer.varint body i;
+        Wire.Writer.u8 body (if i = nfrags - 1 then 1 else 0);
+        Wire.Writer.bytes body (String.sub s off len);
+        let payload = Wire.Writer.contents body in
+        let framed = Wire.Writer.create ~capacity:(String.length payload + 4) () in
+        Wire.Writer.u32 framed (Crc32.digest_string payload);
+        Wire.Writer.raw framed
+          (Bytes.unsafe_of_string payload)
+          ~pos:0 ~len:(String.length payload);
+        Wire.Writer.contents framed)
+
+  let blocks_needed ~block_size size =
+    let chunk = block_size - overhead in
+    max 1 ((size + chunk - 1) / chunk)
+
+  module Reassembler = struct
+    type partial = { buf : Buffer.t; mutable next_frag : int }
+    type t = { partials : (int * int, partial) Hashtbl.t }
+
+    let create () = { partials = Hashtbl.create 64 }
+
+    let feed t ~pos block =
+      let r = Wire.Reader.of_string block in
+      try
+        let crc = Wire.Reader.u32 r in
+        let body_off = Wire.Reader.pos r in
+        let body_len = String.length block - body_off in
+        let actual =
+          Crc32.digest (Bytes.unsafe_of_string block) ~pos:body_off ~len:body_len
+        in
+        if not (Int32.equal crc actual) then
+          corrupt "block %d checksum mismatch" pos;
+        let server = Wire.Reader.varint r in
+        let txn_seq = Wire.Reader.varint r in
+        let frag_idx = Wire.Reader.varint r in
+        let last = Wire.Reader.u8 r = 1 in
+        let payload = Wire.Reader.bytes r in
+        let key = (server, txn_seq) in
+        let partial =
+          match Hashtbl.find_opt t.partials key with
+          | Some p -> p
+          | None ->
+              let p = { buf = Buffer.create 1024; next_frag = 0 } in
+              Hashtbl.add t.partials key p;
+              p
+        in
+        if frag_idx <> partial.next_frag then
+          corrupt "block %d: fragment %d arrived out of order (expected %d)"
+            pos frag_idx partial.next_frag;
+        Buffer.add_string partial.buf payload;
+        partial.next_frag <- partial.next_frag + 1;
+        if last then begin
+          Hashtbl.remove t.partials key;
+          Some (pos, Buffer.contents partial.buf)
+        end
+        else None
+      with Wire.Truncated -> corrupt "block %d truncated" pos
+
+    let pending t = Hashtbl.length t.partials
+  end
+end
+
+let decode ~pos ~resolve s = fst (decode_indexed ~pos ~resolve s)

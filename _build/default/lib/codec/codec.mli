@@ -1,0 +1,69 @@
+open Hyder_tree
+(** Intention serialization (Section 5.2).
+
+    An intention tree is serialized by a post-order traversal, so each node
+    is written after its children and can refer to them by index; pointers
+    to nodes outside the intention are written as (VN, key) references.  The
+    byte stream is split into fixed-size {e intention blocks} for the log;
+    an intention's blocks need not be contiguous in the log, and the
+    intention's identity is the log position of its last block (Section
+    5.1).  Deserialization swizzles references back to in-memory nodes via a
+    caller-supplied resolver (the server's retained-state cache) and assigns
+    node identities from the log address. *)
+
+exception Corrupt of string
+(** Raised on checksum mismatch or malformed input. *)
+
+val encode : Intention.draft -> string
+(** Serialize a draft intention to its wire form. *)
+
+val encoded_size : Intention.draft -> int
+
+type resolver = snapshot:int -> key:Key.t -> vn:Vn.t -> Node.tree
+(** [resolve ~snapshot ~key ~vn] must return the node holding [key] in the
+    database state at log position [snapshot]; [vn] is what the intention
+    expects and can be used for integrity checking. *)
+
+val decode : pos:int -> resolve:resolver -> string -> Intention.t
+(** Rebuild the intention appended at log position [pos].  Inside nodes get
+    owner [pos] and VNs [Logged (pos, idx)] in post-order, matching
+    {!Intention.assign}. *)
+
+val decode_indexed :
+  pos:int -> resolve:resolver -> string -> Intention.t * Node.tree array
+(** Like {!decode}, and also returns the decoded nodes indexed by their
+    post-order position -- the object table that lets later intentions'
+    references to this one be swizzled in O(1) (Section 5.2's "node pointer
+    to object pointer" transformation). *)
+
+(** Fragmentation of intention byte streams into log blocks. *)
+module Blocks : sig
+  val overhead : int
+  (** Per-block framing bytes (upper bound). *)
+
+  val split :
+    block_size:int -> server:int -> txn_seq:int -> string -> string list
+  (** Fragment an encoded intention into checksummed blocks of at most
+      [block_size] bytes. *)
+
+  val blocks_needed : block_size:int -> int -> int
+  (** How many blocks a payload of the given size occupies. *)
+
+  (** Reassembles interleaved block streams back into intentions.  Blocks
+      from different servers interleave arbitrarily in the log; blocks of
+      one intention arrive in order because each server appends them in
+      order. *)
+  module Reassembler : sig
+    type t
+
+    val create : unit -> t
+
+    val feed : t -> pos:int -> string -> (int * string) option
+    (** Offer the block at log position [pos].  Returns
+        [Some (intention_pos, bytes)] when this block completes an
+        intention; [intention_pos] is [pos] of this (last) block. *)
+
+    val pending : t -> int
+    (** Intentions with fragments outstanding. *)
+  end
+end

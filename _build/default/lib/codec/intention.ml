@@ -1,0 +1,69 @@
+open Hyder_tree
+open Node
+
+type isolation = Serializable | Snapshot_isolation | Read_committed
+
+let isolation_to_string = function
+  | Serializable -> "serializable"
+  | Snapshot_isolation -> "snapshot-isolation"
+  | Read_committed -> "read-committed"
+
+type draft = {
+  snapshot : int;
+  server : int;
+  txn_seq : int;
+  isolation : isolation;
+  root : Node.tree;
+}
+
+type t = {
+  pos : int;
+  snapshot : int;
+  server : int;
+  txn_seq : int;
+  isolation : isolation;
+  root : Node.tree;
+  node_count : int;
+  byte_size : int;
+}
+
+let draft_owner = max_int
+let draft_vn ~idx = Vn.logged ~pos:max_int ~idx
+
+let assign ~pos ?(byte_size = 0) (d : draft) =
+  let count = ref 0 in
+  (* Post-order renumbering of draft nodes; shared (snapshot) subtrees are
+     left untouched.  Must mirror the decoder exactly. *)
+  let rec go t =
+    match t with
+    | Empty -> Empty
+    | Node n ->
+        if n.owner <> draft_owner then t
+        else begin
+          let left = go n.left in
+          let right = go n.right in
+          let idx = !count in
+          incr count;
+          let vn = Vn.logged ~pos ~idx in
+          let cv = if n.altered then vn else n.cv in
+          Node
+            (Node.make ~key:n.key ~payload:n.payload ~left ~right ~vn ~cv
+               ~ssv:n.ssv ~scv:n.scv ~altered:n.altered
+               ~depends_on_content:n.depends_on_content
+               ~depends_on_structure:n.depends_on_structure ~owner:pos)
+        end
+  in
+  let root = go d.root in
+  {
+    pos;
+    snapshot = d.snapshot;
+    server = d.server;
+    txn_seq = d.txn_seq;
+    isolation = d.isolation;
+    root;
+    node_count = !count;
+    byte_size;
+  }
+
+let node_count t = t.node_count
+let inside t (n : Node.node) = n.owner = t.pos

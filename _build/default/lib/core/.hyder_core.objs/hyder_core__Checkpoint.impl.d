@@ -1,0 +1,1 @@
+lib/core/checkpoint.ml: Array Hyder_tree Key List Node Payload Tree Vn

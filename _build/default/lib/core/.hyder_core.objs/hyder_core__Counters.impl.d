@@ -1,0 +1,1 @@
+lib/core/counters.ml: Hyder_util

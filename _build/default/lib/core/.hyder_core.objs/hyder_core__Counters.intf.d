@@ -1,0 +1,1 @@
+lib/core/counters.mli: Hyder_util

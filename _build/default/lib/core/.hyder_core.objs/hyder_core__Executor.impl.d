@@ -1,0 +1,1 @@
+lib/core/executor.ml: Hyder_codec Hyder_tree Key Node Payload Printf Tree

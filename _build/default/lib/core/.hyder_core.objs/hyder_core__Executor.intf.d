@@ -1,0 +1,1 @@
+lib/core/executor.mli: Hyder_codec Hyder_tree Key Payload Tree

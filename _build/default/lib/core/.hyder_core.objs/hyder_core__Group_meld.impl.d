@@ -1,0 +1,1 @@
+lib/core/group_meld.ml: Counters Hyder_codec Hyder_tree List Meld Node

@@ -1,0 +1,1 @@
+lib/core/group_meld.mli: Counters Hyder_codec Hyder_tree Meld Node Vn

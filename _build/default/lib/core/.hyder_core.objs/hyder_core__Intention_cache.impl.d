@@ -1,0 +1,1 @@
+lib/core/intention_cache.ml: Array Hashtbl Hyder_tree Node Queue Weak

@@ -1,0 +1,1 @@
+lib/core/intention_cache.mli: Hyder_tree Node

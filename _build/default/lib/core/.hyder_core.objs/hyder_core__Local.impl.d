@@ -1,0 +1,1 @@
+lib/core/local.ml: Executor Hyder_codec Hyder_log List Pipeline

@@ -1,0 +1,1 @@
+lib/core/local.mli: Counters Executor Hyder_codec Hyder_log Hyder_tree Pipeline Tree

@@ -1,0 +1,1 @@
+lib/core/meld.ml: Counters Hyder_tree Key List Node Printf Vn

@@ -1,0 +1,1 @@
+lib/core/meld.mli: Counters Hyder_tree Key Node Vn

@@ -1,0 +1,1 @@
+lib/core/oracle.ml: Hashtbl Hyder_codec Hyder_tree Key List

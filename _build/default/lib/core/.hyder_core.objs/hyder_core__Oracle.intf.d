@@ -1,0 +1,1 @@
+lib/core/oracle.mli: Hyder_codec Hyder_tree Key

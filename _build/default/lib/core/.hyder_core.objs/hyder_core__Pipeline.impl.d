@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array Counters Group_meld Hyder_codec Hyder_tree Hyder_util Int Intention_cache Key List Meld Node Premeld State_store Unix Vn

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Counters Hyder_codec Hyder_tree Meld Premeld State_store Tree

@@ -1,0 +1,1 @@
+lib/core/premeld.ml: Array Counters Hyder_codec Meld Printf State_store

@@ -1,0 +1,1 @@
+lib/core/premeld.mli: Counters Hyder_codec Hyder_tree Meld State_store

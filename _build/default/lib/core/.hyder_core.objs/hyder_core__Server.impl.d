@@ -1,0 +1,1 @@
+lib/core/server.ml: Executor Hyder_codec List Meld Option Pipeline

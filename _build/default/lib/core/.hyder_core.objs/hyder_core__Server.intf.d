@@ -1,0 +1,1 @@
+lib/core/server.mli: Counters Executor Hyder_codec Hyder_tree Meld Pipeline Tree

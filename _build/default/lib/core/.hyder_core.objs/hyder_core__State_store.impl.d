@@ -1,0 +1,1 @@
+lib/core/state_store.ml: Array Hyder_tree Node Printf Tree

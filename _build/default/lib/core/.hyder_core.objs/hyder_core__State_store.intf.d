@@ -1,0 +1,1 @@
+lib/core/state_store.mli: Hyder_codec Hyder_tree Tree

@@ -1,0 +1,35 @@
+open Hyder_tree
+open Node
+
+type stats = { live_nodes : int; tombstones_dropped : int }
+
+let compact ~pos state =
+  (* Collect live nodes in key order, preserving payload and content
+     version; rebuild canonically. *)
+  let live = ref [] in
+  let dropped = ref 0 in
+  Tree.iter state (fun n ->
+      if Payload.is_tombstone n.payload then incr dropped
+      else live := (n.key, n.payload, n.cv) :: !live);
+  let items = Array.of_list (List.rev !live) in
+  let n = Array.length items in
+  let rec build lo hi =
+    if lo >= hi then Empty
+    else begin
+      let best = ref lo in
+      for i = lo + 1 to hi - 1 do
+        let k, _, _ = items.(i) and b, _, _ = items.(!best) in
+        if Key.priority_greater k b then best := i
+      done;
+      let key, payload, cv = items.(!best) in
+      let left = build lo !best in
+      let right = build (!best + 1) hi in
+      let vn = Vn.logged ~pos ~idx:!best in
+      Node
+        (Node.make ~key ~payload ~left ~right ~vn ~cv ~ssv:None ~scv:None
+           ~altered:false ~depends_on_content:false ~depends_on_structure:false
+           ~owner:state_owner)
+    end
+  in
+  let tree = build 0 n in
+  (tree, { live_nodes = n; tombstones_dropped = !dropped })

@@ -1,0 +1,22 @@
+open Hyder_tree
+
+(** Checkpointing and tombstone compaction.
+
+    Deletes leave tombstone nodes in the tree (DESIGN.md §2).  A checkpoint
+    rewrites a database state as a fresh canonical tree without them —
+    the moral equivalent of writing the state as one big intention at a
+    checkpoint log position, which is how a production Hyder would truncate
+    its log.  The output is a valid genesis-style state: every server
+    loading the same checkpoint at the same position obtains a physically
+    identical tree. *)
+
+type stats = {
+  live_nodes : int;
+  tombstones_dropped : int;
+}
+
+val compact : pos:int -> Tree.t -> Tree.t * stats
+(** [compact ~pos state] rebuilds [state] without tombstones.  Nodes get
+    VNs [Logged (pos, idx)] in key order and keep their content versions,
+    so later conflict checks against pre-checkpoint readers still work:
+    a key's [cv] is preserved verbatim. *)

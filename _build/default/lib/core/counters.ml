@@ -1,0 +1,70 @@
+type stage = {
+  mutable intentions : int;
+  mutable nodes_visited : int;
+  mutable ephemerals : int;
+  mutable grafts : int;
+  mutable aborts : int;
+  mutable seconds : float;
+}
+
+let make_stage () =
+  {
+    intentions = 0;
+    nodes_visited = 0;
+    ephemerals = 0;
+    grafts = 0;
+    aborts = 0;
+    seconds = 0.0;
+  }
+
+let reset_stage s =
+  s.intentions <- 0;
+  s.nodes_visited <- 0;
+  s.ephemerals <- 0;
+  s.grafts <- 0;
+  s.aborts <- 0;
+  s.seconds <- 0.0
+
+let add_stage ~into s =
+  into.intentions <- into.intentions + s.intentions;
+  into.nodes_visited <- into.nodes_visited + s.nodes_visited;
+  into.ephemerals <- into.ephemerals + s.ephemerals;
+  into.grafts <- into.grafts + s.grafts;
+  into.aborts <- into.aborts + s.aborts;
+  into.seconds <- into.seconds +. s.seconds
+
+type t = {
+  deserialize : stage;
+  premeld : stage;
+  group_meld : stage;
+  final_meld : stage;
+  mutable committed : int;
+  mutable aborted : int;
+  conflict_zone : Hyder_util.Stats.Summary.t;
+  fm_nodes_per_txn : Hyder_util.Stats.Summary.t;
+  intention_bytes : Hyder_util.Stats.Summary.t;
+}
+
+let create () =
+  {
+    deserialize = make_stage ();
+    premeld = make_stage ();
+    group_meld = make_stage ();
+    final_meld = make_stage ();
+    committed = 0;
+    aborted = 0;
+    conflict_zone = Hyder_util.Stats.Summary.create ();
+    fm_nodes_per_txn = Hyder_util.Stats.Summary.create ();
+    intention_bytes = Hyder_util.Stats.Summary.create ();
+  }
+
+let reset t =
+  reset_stage t.deserialize;
+  reset_stage t.premeld;
+  reset_stage t.group_meld;
+  reset_stage t.final_meld;
+  t.committed <- 0;
+  t.aborted <- 0;
+  Hyder_util.Stats.Summary.clear t.conflict_zone;
+  Hyder_util.Stats.Summary.clear t.fm_nodes_per_txn;
+  Hyder_util.Stats.Summary.clear t.intention_bytes

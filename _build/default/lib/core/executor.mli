@@ -1,0 +1,55 @@
+open Hyder_tree
+
+(** Transaction execution (Section 5.2).
+
+    A transaction runs optimistically, with no synchronization, against an
+    immutable snapshot — the last committed state its server knew when it
+    began.  Reads see the snapshot plus the transaction's own writes; writes
+    copy-on-write the root-to-node path into a growing draft.  Finishing a
+    transaction yields the intention draft to serialize and append (or
+    nothing, for read-only transactions, which are never logged or melded).
+
+    Isolation levels:
+    - [Serializable]: point reads are validated ([depends_on_content]),
+      reads of absent keys and range scans are structure-validated.
+    - [Snapshot_isolation]: only writes are validated (first-committer
+      wins); the readset is not recorded, which shrinks intentions by the
+      whole readset (Section 6.4.4).
+    - [Read_committed]: like snapshot isolation, but each read may observe
+      a fresher committed state supplied by [current].  *)
+
+type t
+
+val begin_txn :
+  ?current:(unit -> Tree.t) ->
+  snapshot_pos:int ->
+  snapshot:Tree.t ->
+  server:int ->
+  txn_seq:int ->
+  isolation:Hyder_codec.Intention.isolation ->
+  unit ->
+  t
+(** [current] is consulted by read-committed reads; it defaults to the
+    snapshot. *)
+
+val read : t -> Key.t -> Payload.t option
+(** [None] for absent keys and tombstones. *)
+
+val read_range : t -> lo:Key.t -> hi:Key.t -> (Key.t * Payload.t) list
+val write : t -> Key.t -> string -> unit
+val delete : t -> Key.t -> unit
+
+val finish : t -> Hyder_codec.Intention.draft option
+(** The intention draft, or [None] for a read-only transaction.  The
+    transaction must not be used afterwards. *)
+
+(** {1 Introspection (tests, oracle)} *)
+
+val reads : t -> Key.t list
+(** Keys point-read so far (own-write reads excluded), newest first. *)
+
+val writes : t -> Key.t list
+(** Keys written (including deletes), newest first. *)
+
+val snapshot_pos : t -> int
+val working_tree : t -> Tree.t

@@ -1,0 +1,32 @@
+open Hyder_tree
+
+(* Weak arrays: the cache is an address book, not an owner.  Nodes stay
+   resolvable exactly as long as something real (a retained state, a newer
+   intention) keeps them alive; aborted intentions' nodes vanish with them. *)
+type t = {
+  capacity : int;
+  table : (int, Node.tree Weak.t) Hashtbl.t;
+  fifo : int Queue.t;
+}
+
+let create ?(capacity = 16384) () =
+  if capacity <= 0 then invalid_arg "Intention_cache.create";
+  { capacity; table = Hashtbl.create (2 * capacity); fifo = Queue.create () }
+
+let add t ~pos nodes =
+  if not (Hashtbl.mem t.table pos) then begin
+    let w = Weak.create (Array.length nodes) in
+    Array.iteri (fun i n -> Weak.set w i (Some n)) nodes;
+    Hashtbl.replace t.table pos w;
+    Queue.push pos t.fifo;
+    while Queue.length t.fifo > t.capacity do
+      Hashtbl.remove t.table (Queue.pop t.fifo)
+    done
+  end
+
+let find t ~pos ~idx =
+  match Hashtbl.find_opt t.table pos with
+  | Some w when idx >= 0 && idx < Weak.length w -> Weak.get w idx
+  | Some _ | None -> None
+
+let cached t = Hashtbl.length t.table

@@ -1,0 +1,21 @@
+open Hyder_tree
+
+(** Bounded cache of recently deserialized intentions, indexed by log
+    position.
+
+    Intention references name nodes by log address (position, post-order
+    index).  Section 5.2: deserialization "transforms each node pointer in
+    an intention into an object pointer if the object is in memory" — this
+    table is that memory.  A reference to a cached intention's node resolves
+    in O(1); anything older (or ephemeral) falls back to a key lookup in the
+    retained snapshot state. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds the number of cached intentions (FIFO eviction);
+    default 16384, covering realistic conflict zones. *)
+
+val add : t -> pos:int -> Node.tree array -> unit
+val find : t -> pos:int -> idx:int -> Node.tree option
+val cached : t -> int

@@ -1,0 +1,76 @@
+module Intention = Hyder_codec.Intention
+module Codec = Hyder_codec.Codec
+module Mem_log = Hyder_log.Mem_log
+
+type t = {
+  pipeline : Pipeline.t;
+  use_codec : bool;
+  log : Mem_log.t;
+  reassembler : Codec.Blocks.Reassembler.t;
+  mutable next_txn_seq : int;
+  mutable fake_pos : int;  (** position source when bypassing the codec *)
+}
+
+let create ?(config = Pipeline.plain) ?(use_codec = false)
+    ?(block_size = 8192) ~genesis () =
+  {
+    pipeline = Pipeline.create ~config ~genesis ();
+    use_codec;
+    log = Mem_log.create ~block_size ();
+    reassembler = Codec.Blocks.Reassembler.create ();
+    next_txn_seq = 0;
+    fake_pos = 0;
+  }
+
+let lcs t = Pipeline.lcs t.pipeline
+let pipeline t = t.pipeline
+let counters t = Pipeline.counters t.pipeline
+let log t = t.log
+
+let submit_draft t (draft : Intention.draft) =
+  if t.use_codec then begin
+    let bytes = Codec.encode draft in
+    let blocks =
+      Codec.Blocks.split ~block_size:(Mem_log.block_size t.log)
+        ~server:draft.server ~txn_seq:draft.txn_seq bytes
+    in
+    let completed = ref None in
+    List.iter
+      (fun block ->
+        let pos = Mem_log.append t.log block in
+        match Codec.Blocks.Reassembler.feed t.reassembler ~pos block with
+        | Some done_ -> completed := Some done_
+        | None -> ())
+      blocks;
+    match !completed with
+    | None -> failwith "Local.submit_draft: intention never completed"
+    | Some (pos, bytes) ->
+        let intention = Pipeline.decode t.pipeline ~pos bytes in
+        Pipeline.submit t.pipeline intention
+  end
+  else begin
+    (* Bypass the codec: hand out synthetic, strictly increasing log
+       positions (two per intention, imitating the paper's ~2 blocks). *)
+    t.fake_pos <- t.fake_pos + 2;
+    let intention = Intention.assign ~pos:t.fake_pos draft in
+    Pipeline.submit t.pipeline intention
+  end
+
+let txn t ?(isolation = Intention.Serializable) body =
+  let _seq, pos, tree = Pipeline.lcs t.pipeline in
+  let txn_seq = t.next_txn_seq in
+  t.next_txn_seq <- txn_seq + 1;
+  let current () =
+    let _, _, t = Pipeline.lcs t.pipeline in
+    t
+  in
+  let e =
+    Executor.begin_txn ~current ~snapshot_pos:pos ~snapshot:tree ~server:0
+      ~txn_seq ~isolation ()
+  in
+  let result = body e in
+  match Executor.finish e with
+  | None -> (result, [])
+  | Some draft -> (result, submit_draft t draft)
+
+let flush t = Pipeline.flush t.pipeline

@@ -1,0 +1,321 @@
+open Hyder_tree
+open Node
+
+type mode = Final | Transaction of { out_owner : int }
+
+type abort_reason =
+  | Write_conflict of Key.t
+  | Read_conflict of Key.t
+  | Phantom_conflict of Key.t
+
+let abort_reason_to_string = function
+  | Write_conflict k -> Printf.sprintf "write-write conflict on key %d" k
+  | Read_conflict k -> Printf.sprintf "read-write conflict on key %d" k
+  | Phantom_conflict k -> Printf.sprintf "structure conflict at key %d" k
+
+type result = Merged of Node.tree | Conflict of abort_reason
+
+exception Abort of abort_reason
+
+exception
+  Corrupt_intention of string
+    (* invariant violation: only raised on malformed inputs *)
+
+(* Group meld subtlety (Section 4): when the state side is itself an earlier
+   intention, it is NOT a superset of the later transaction's snapshot — the
+   two snapshots can be ordered either way.  Conflict checks against data
+   the earlier member did not itself write are therefore deferred to final
+   meld (by carrying the dependency metadata into the merged node), and when
+   both members depend on a key, the merged metadata refers to the EARLIER
+   snapshot ("n12's readset must refer to the maximum of n1's and n2's
+   conflict zones").  The adjacency of the two intentions in the log makes
+   the single earlier reference sufficient: no third transaction can sit
+   between them. *)
+
+let meld ~mode ?(state_is_intention = false) ?(intention_snapshot = 0)
+    ?(state_snapshot = -1) ~members ~alloc ~(counters : Counters.stage)
+    ~intention ~state () =
+  let transaction_mode, out_owner =
+    match mode with
+    | Final -> (false, Node.state_owner)
+    | Transaction { out_owner } -> (true, out_owner)
+  in
+  let inside owner = List.exists (fun m -> m = owner) members in
+  let visit () = counters.nodes_visited <- counters.nodes_visited + 1 in
+  let fresh () =
+    counters.ephemerals <- counters.ephemerals + 1;
+    Vn.Alloc.next alloc
+  in
+  let state_side_mine (nl : node) = state_is_intention && inside nl.owner in
+  (* A node's ssv doubles as the graft precondition: "this subtree equals
+     version ssv plus my own changes".  A copy made on a SPLIT PATH holds
+     only half of its source's subtree, so it must never be graftable: it
+     keeps its content metadata (scv) but takes its own fresh VN as ssv — a
+     version no state will ever hold — unless it was an insert (ssv = None),
+     which stays an insert. *)
+  (* Under group meld every created node additionally degrafts: the merge
+     can mix the newer member's view with the older member's stale snapshot
+     subtrees, so no created node may claim its subtree is current.  Nodes
+     adopted wholesale from one member keep their honest claims. *)
+  let degraft ~restructured ~vn = function
+    | None -> None
+    | Some _ when restructured || state_is_intention -> Some vn
+    | some -> some
+  in
+  (* Ephemeral copy of a state-side (or snapshot) node with new children. *)
+  let eph_of_state ?(restructured = false) (nl : node) ~left ~right =
+    let vn = fresh () in
+    if transaction_mode then begin
+      let mine = state_side_mine nl in
+      let ssv, scv =
+        if mine then (nl.ssv, nl.scv) else (Some nl.vn, Some nl.cv)
+      in
+      let ssv = degraft ~restructured ~vn ssv in
+      Node.make ~key:nl.key ~payload:nl.payload ~left ~right ~vn ~cv:nl.cv
+        ~ssv ~scv ~altered:(mine && nl.altered)
+        ~depends_on_content:(mine && nl.depends_on_content)
+        ~depends_on_structure:(mine && nl.depends_on_structure)
+        ~owner:out_owner
+    end
+    else
+      Node.make ~key:nl.key ~payload:nl.payload ~left ~right ~vn ~cv:nl.cv
+        ~ssv:None ~scv:None ~altered:false ~depends_on_content:false
+        ~depends_on_structure:false ~owner:state_owner
+  in
+  (* Ephemeral copy of an intention-side node whose conflict checks have not
+     happened yet (restructuring around a concurrent insert): metadata and
+     ownership must survive so the checks still fire deeper in the merge. *)
+  let eph_of_intention ?(restructured = false) (ni : node) ~left ~right =
+    let vn = fresh () in
+    Node.make ~key:ni.key ~payload:ni.payload ~left ~right ~vn ~cv:ni.cv
+      ~ssv:(degraft ~restructured ~vn ni.ssv)
+      ~scv:ni.scv ~altered:ni.altered
+      ~depends_on_content:ni.depends_on_content
+      ~depends_on_structure:ni.depends_on_structure ~owner:ni.owner
+  in
+  let dependent (n : node) =
+    n.altered || n.depends_on_content || n.depends_on_structure
+  in
+  (* Merged node for a key present on both sides, after conflict checks.
+     The source metadata (ssv/scv) — and, for unaltered nodes, the payload
+     it must stay consistent with — comes from whichever side speaks for the
+     earlier history. *)
+  let merged_node (ni : node) (nl : node) ~left ~right =
+    if not transaction_mode then begin
+      let payload, cv =
+        if ni.altered then (ni.payload, ni.cv) else (nl.payload, nl.cv)
+      in
+      Node.make ~key:ni.key ~payload ~left ~right ~vn:(fresh ()) ~cv ~ssv:None
+        ~scv:None ~altered:false ~depends_on_content:false
+        ~depends_on_structure:false ~owner:state_owner
+    end
+    else begin
+      let nl_mine = state_side_mine nl in
+      let meta_from_state =
+        if not state_is_intention then true (* premeld: refresh against LCS *)
+        else begin
+          let ni_dep = dependent ni in
+          let nl_dep = nl_mine && dependent nl in
+          if ni_dep && nl_dep then state_snapshot <= intention_snapshot
+          else if nl_dep then true
+          else if ni_dep then false
+          else nl_mine
+        end
+      in
+      let vn = fresh () in
+      let ssv, scv =
+        if meta_from_state then
+          if nl_mine then (nl.ssv, nl.scv) else (Some nl.vn, Some nl.cv)
+        else (ni.ssv, ni.scv)
+      in
+      let ssv = degraft ~restructured:false ~vn ssv in
+      let payload, cv =
+        if ni.altered then (ni.payload, ni.cv)
+        else if nl_mine && nl.altered then (nl.payload, nl.cv)
+        else if meta_from_state then (nl.payload, nl.cv)
+        else (ni.payload, ni.cv)
+      in
+      Node.make ~key:ni.key ~payload ~left ~right ~vn ~cv ~ssv ~scv
+        ~altered:(ni.altered || (nl_mine && nl.altered))
+        ~depends_on_content:
+          (ni.depends_on_content || (nl_mine && nl.depends_on_content))
+        ~depends_on_structure:
+          (ni.depends_on_structure || (nl_mine && nl.depends_on_structure))
+        ~owner:out_owner
+    end
+  in
+  (* Split the state side around a key it does not contain; the copies along
+     the split path are ephemeral. *)
+  let rec split_state l key =
+    match l with
+    | Empty -> (Empty, Empty)
+    | Node nl ->
+        visit ();
+        if Key.compare nl.key key < 0 then begin
+          let a, b = split_state nl.right key in
+          (Node (eph_of_state ~restructured:true nl ~left:nl.left ~right:a), b)
+        end
+        else begin
+          let a, b = split_state nl.left key in
+          (a, Node (eph_of_state ~restructured:true nl ~left:b ~right:nl.right))
+        end
+  in
+  (* Split the intention side around a concurrently inserted key. *)
+  let rec split_intention i key =
+    match i with
+    | Empty -> (Empty, Empty)
+    | Node ni ->
+        visit ();
+        let copy ~left ~right =
+          if inside ni.owner then
+            eph_of_intention ~restructured:true ni ~left ~right
+          else eph_of_state ~restructured:true ni ~left ~right
+        in
+        if Key.compare ni.key key < 0 then begin
+          let a, b = split_intention ni.right key in
+          (Node (copy ~left:ni.left ~right:a), b)
+        end
+        else begin
+          let a, b = split_intention ni.left key in
+          (a, Node (copy ~left:b ~right:ni.right))
+        end
+  in
+  (* Conflict checks for a key present on both sides. *)
+  let check_node (ni : node) (nl : node) =
+    match ni.ssv with
+    | None ->
+        (* T inserted the key, yet the state has it.  Even in group meld
+           this is a genuine conflict: keys never disappear, so the key was
+           created inside the later member's conflict zone. *)
+        if ni.altered then raise (Abort (Write_conflict ni.key))
+        else
+          raise
+            (Corrupt_intention
+               (Printf.sprintf "non-insert node %d without ssv" ni.key))
+    | Some _ ->
+        let nl_mine = state_side_mine nl in
+        if ni.altered || ni.depends_on_content then begin
+          let do_check =
+            if not state_is_intention then true
+            else
+              (* Against an earlier intention, only its own writes can
+                 conflict here; anything else is older/newer snapshot skew
+                 and is re-checked by final meld. *)
+              nl_mine && nl.altered
+          in
+          if do_check then begin
+            match ni.scv with
+            | None ->
+                raise
+                  (Corrupt_intention
+                     (Printf.sprintf "node %d has ssv but no scv" ni.key))
+            | Some scv ->
+                if not (Vn.equal scv nl.cv) then
+                  raise
+                    (Abort
+                       (if ni.altered then Write_conflict ni.key
+                        else Read_conflict ni.key))
+          end
+        end;
+        if ni.depends_on_structure then begin
+          (* The graft fast path did not fire, so the subtree version
+             differs from what the transaction read. *)
+          if not state_is_intention then raise (Abort (Phantom_conflict ni.key))
+          else if nl_mine && nl.has_writes then
+            (* The earlier member restructured this subtree. *)
+            raise (Abort (Phantom_conflict ni.key))
+          else if intention_snapshot < state_snapshot then
+            (* The state side's view is newer: the structural change is
+               committed and inside the conflict zone. *)
+            raise (Abort (Phantom_conflict ni.key))
+          (* else: our view is newer than the earlier member's; defer. *)
+        end
+  in
+  let rec go i l =
+    if i == l then l
+    else
+      match (i, l) with
+      | Empty, _ -> l
+      | Node ni, _ when not (inside ni.owner) ->
+          (* The transaction did not touch this subtree: the state side wins
+             unconditionally. *)
+          l
+      | Node _, Empty ->
+          (* Virgin territory on the state side: adopt the intention's
+             subtree wholesale.  (Under group meld the region may also be
+             merely invisible to the earlier member; the metadata rides
+             along and final meld revalidates it.) *)
+          i
+      | Node ni, Node nl -> begin
+          visit ();
+          match ni.ssv with
+          | Some ssv when Vn.equal ssv nl.vn ->
+              (* Graft fast path: the version this subtree was derived from
+                 is still current — nothing concurrent happened below. *)
+              counters.grafts <- counters.grafts + 1;
+              if ni.has_writes then i
+              else if transaction_mode then
+                (* Section 3.3: keep the intention's read-only subtree so
+                   the output retains readset metadata. *)
+                i
+              else l
+          | _ ->
+              let c = Key.compare ni.key nl.key in
+              if c = 0 then begin
+                check_node ni nl;
+                let left = go ni.left nl.left in
+                let right = go ni.right nl.right in
+                let i_contributes = dependent ni in
+                if (not i_contributes) && left == nl.left && right == nl.right
+                then l
+                else if
+                  (not transaction_mode)
+                  && ni.altered && left == ni.left && right == ni.right
+                then i
+                else if
+                  (not transaction_mode)
+                  && (not ni.altered)
+                  && left == nl.left && right == nl.right
+                then l
+                else Node (merged_node ni nl ~left ~right)
+              end
+              else if Key.priority_greater ni.key nl.key then begin
+                (* The intention holds a key that outranks this whole state
+                   region: splice it in, splitting the state around it.  In
+                   a full state this can only be a fresh insert; under group
+                   meld it can also be snapshot data the earlier member
+                   cannot see yet. *)
+                if ni.ssv <> None && not state_is_intention then
+                  raise
+                    (Corrupt_intention
+                       (Printf.sprintf
+                          "node %d outranks state root %d but has a source \
+                           (ssv=%s owner=%d altered=%b vn=%s mode=%s)"
+                          ni.key nl.key
+                          (match ni.ssv with
+                          | Some v -> Vn.to_string v
+                          | None -> "-")
+                          ni.owner ni.altered (Vn.to_string ni.vn)
+                          (if transaction_mode then "txn" else "final")));
+                let ll, lr = split_state l ni.key in
+                let left = go ni.left ll in
+                let right = go ni.right lr in
+                if left == ni.left && right == ni.right then i
+                else Node (eph_of_intention ni ~left ~right)
+              end
+              else begin
+                (* A key unknown to the intention outranks its region: the
+                   state's node roots the merge and the intention splits. *)
+                let il, ir = split_intention i nl.key in
+                let left = go il nl.left in
+                let right = go ir nl.right in
+                if left == nl.left && right == nl.right then l
+                else Node (eph_of_state nl ~left ~right)
+              end
+        end
+  in
+  match go intention state with
+  | merged -> Merged merged
+  | exception Abort reason ->
+      counters.aborts <- counters.aborts + 1;
+      Conflict reason

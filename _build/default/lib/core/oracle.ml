@@ -1,0 +1,25 @@
+open Hyder_tree
+module Intention = Hyder_codec.Intention
+
+type t = { last_writer : (Key.t, int) Hashtbl.t; mutable seq : int }
+
+let create () = { last_writer = Hashtbl.create 1024; seq = 0 }
+let next_seq t = t.seq
+
+let written_after t snap k =
+  match Hashtbl.find_opt t.last_writer k with
+  | None -> false (* genesis data: written at seq -1 <= any snapshot *)
+  | Some w -> w > snap
+
+let decide t ~snapshot_seq ~isolation ~reads ~writes =
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  let validated =
+    match isolation with
+    | Intention.Serializable -> List.rev_append reads writes
+    | Intention.Snapshot_isolation | Intention.Read_committed -> writes
+  in
+  let conflict = List.exists (written_after t snapshot_seq) validated in
+  if not conflict then
+    List.iter (fun k -> Hashtbl.replace t.last_writer k seq) writes;
+  not conflict

@@ -1,0 +1,31 @@
+open Hyder_tree
+
+(** Reference OCC validator.
+
+    Recomputes commit/abort decisions from readsets and writesets alone,
+    with a per-key last-committed-writer table — the textbook backward
+    validation that meld implements structurally.  Tests replay the same
+    transaction stream through meld and through this oracle and require
+    identical decisions (for point operations on existing keys; range scans
+    and absent-key reads are deliberately conservative in meld and are
+    tested separately). *)
+
+type t
+
+val create : unit -> t
+
+val decide :
+  t ->
+  snapshot_seq:int ->
+  isolation:Hyder_codec.Intention.isolation ->
+  reads:Key.t list ->
+  writes:Key.t list ->
+  bool
+(** Decide the next transaction in log order (the call sequence defines the
+    order).  Under serializable isolation both reads and writes are
+    validated against writers later than [snapshot_seq]; under snapshot
+    isolation and read committed, writes only.  A committing transaction's
+    writes are recorded at its own sequence number. *)
+
+val next_seq : t -> int
+(** Sequence number the next [decide] call will validate as. *)

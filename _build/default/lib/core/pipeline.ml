@@ -1,0 +1,232 @@
+open Hyder_tree
+module Intention = Hyder_codec.Intention
+module Codec = Hyder_codec.Codec
+module Summary = Hyder_util.Stats.Summary
+
+type config = {
+  premeld : Premeld.config option;
+  group_size : int;
+}
+
+let plain = { premeld = None; group_size = 1 }
+let with_premeld = { premeld = Some Premeld.default_config; group_size = 1 }
+let with_group_meld = { premeld = None; group_size = 2 }
+
+let with_both =
+  { premeld = Some Premeld.default_config; group_size = 2 }
+
+type decided_at = At_premeld | At_group_meld | At_final_meld
+
+type decision = {
+  seq : int;
+  pos : int;
+  server : int;
+  txn_seq : int;
+  committed : bool;
+  reason : Meld.abort_reason option;
+  decided_at : decided_at;
+}
+
+type t = {
+  config : config;
+  counters : Counters.t;
+  states : State_store.t;
+  cache : Intention_cache.t;
+  fm_alloc : Vn.Alloc.t;
+  pm_allocs : Vn.Alloc.t array;
+  gm_alloc : Vn.Alloc.t;
+  mutable next_seq : int;
+  mutable pending : Group_meld.group option;  (** group being assembled *)
+  mutable pending_members : int;
+}
+
+let create ?(config = plain) ~genesis () =
+  if config.group_size < 1 then invalid_arg "Pipeline.create: group_size";
+  (match config.premeld with
+  | Some { Premeld.threads; distance } when threads < 1 || distance < 1 ->
+      invalid_arg "Pipeline.create: premeld config"
+  | _ -> ());
+  let pm_threads =
+    match config.premeld with Some c -> c.Premeld.threads | None -> 0
+  in
+  {
+    config;
+    counters = Counters.create ();
+    states = State_store.create ~genesis ();
+    cache = Intention_cache.create ();
+    fm_alloc = Vn.Alloc.create ~thread:0;
+    pm_allocs =
+      Array.init pm_threads (fun i -> Vn.Alloc.create ~thread:(i + 1));
+    gm_alloc = Vn.Alloc.create ~thread:(pm_threads + 1);
+    next_seq = 0;
+    pending = None;
+    pending_members = 0;
+  }
+
+let states t = t.states
+let counters t = t.counters
+let config t = t.config
+let lcs t = State_store.latest t.states
+
+let now () = Unix.gettimeofday ()
+
+let timed (stage : Counters.stage) f =
+  let t0 = now () in
+  let r = f () in
+  stage.seconds <- stage.seconds +. (now () -. t0);
+  r
+
+let decode t ~pos bytes =
+  let ds = t.counters.deserialize in
+  timed ds (fun () ->
+      ds.intentions <- ds.intentions + 1;
+      (* References resolve O(1) through the intention cache when they name
+         a recently logged node, and fall back to a key lookup in the
+         retained snapshot otherwise (genesis data, ephemeral nodes, or
+         intentions beyond the cache horizon). *)
+      let fallback = State_store.resolver t.states in
+      let resolve ~snapshot ~key ~vn =
+        match vn with
+        | Vn.Logged { pos = p; idx } -> (
+            match Intention_cache.find t.cache ~pos:p ~idx with
+            | Some (Node.Node n as tree) when Key.equal n.Node.key key -> tree
+            | Some _ | None -> fallback ~snapshot ~key ~vn)
+        | Vn.Ephemeral _ -> fallback ~snapshot ~key ~vn
+      in
+      let i, nodes = Codec.decode_indexed ~pos ~resolve bytes in
+      Intention_cache.add t.cache ~pos nodes;
+      ds.nodes_visited <- ds.nodes_visited + i.Intention.node_count;
+      Summary.add t.counters.intention_bytes (float_of_int i.Intention.byte_size);
+      i)
+
+(* Run final meld on a completed group and emit its decisions. *)
+let final_meld t (group : Group_meld.group) =
+  let fm = t.counters.final_meld in
+  let lcs_seq, _lcs_pos, lcs_tree = State_store.latest t.states in
+  let alive = List.length group.members in
+  let nodes_before = fm.nodes_visited in
+  let result =
+    if alive = 0 then Meld.Merged lcs_tree
+    else
+      timed fm (fun () ->
+          fm.intentions <- fm.intentions + alive;
+          Meld.meld ~mode:Meld.Final ~members:group.member_positions
+            ~alloc:t.fm_alloc ~counters:fm ~intention:group.root
+            ~state:lcs_tree ())
+  in
+  let new_state, fate =
+    match result with
+    | Meld.Merged s -> (s, None)
+    | Meld.Conflict reason -> (lcs_tree, Some reason)
+  in
+
+  if alive > 0 then begin
+    let nodes = fm.nodes_visited - nodes_before in
+    let per_member = float_of_int nodes /. float_of_int alive in
+    List.iter
+      (fun (m : Group_meld.member) ->
+        Summary.add t.counters.fm_nodes_per_txn per_member;
+        let effective_snap =
+          match m.premeld_input with
+          | Some s -> s
+          | None -> State_store.seq_of_pos t.states m.intention.snapshot
+        in
+        Summary.add t.counters.conflict_zone
+          (float_of_int (max 0 (lcs_seq - effective_snap))))
+      group.members
+  end;
+  (* Decisions for every member, in sequence order; states recorded at each
+     member's position so later snapshot references resolve. *)
+  let decided =
+    List.map
+      (fun (m : Group_meld.member) ->
+        match fate with
+        | None -> (m, true, None, At_final_meld)
+        | Some reason -> (m, false, Some reason, At_final_meld))
+      group.members
+    @ List.map
+        (fun ((m : Group_meld.member), reason, stage) ->
+          let decided_at =
+            match stage with `Premeld -> At_premeld | `Group -> At_group_meld
+          in
+          (m, false, Some reason, decided_at))
+        group.early_aborts
+  in
+  let decided =
+    List.sort
+      (fun ((a : Group_meld.member), _, _, _) (b, _, _, _) ->
+        Int.compare a.seq b.seq)
+      decided
+  in
+  List.map
+    (fun ((m : Group_meld.member), committed, reason, decided_at) ->
+      State_store.record t.states ~seq:m.seq ~pos:m.intention.pos new_state;
+      if committed then t.counters.committed <- t.counters.committed + 1
+      else t.counters.aborted <- t.counters.aborted + 1;
+      {
+        seq = m.seq;
+        pos = m.intention.pos;
+        server = m.intention.server;
+        txn_seq = m.intention.txn_seq;
+        committed;
+        reason;
+        decided_at;
+      })
+    decided
+
+let submit t (intention : Intention.t) =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  (* Premeld stage. *)
+  let unit_group =
+    match t.config.premeld with
+    | None -> Group_meld.single ~seq intention
+    | Some pc -> (
+        match
+          timed t.counters.premeld (fun () ->
+              Premeld.run pc ~allocs:t.pm_allocs ~counters:t.counters.premeld
+                ~states:t.states ~seq intention)
+        with
+        | Premeld.Unchanged i -> Group_meld.single ~seq i
+        | Premeld.Premelded (i, m) ->
+            Group_meld.single ~premeld_input:m ~seq i
+        | Premeld.Dead reason -> Group_meld.dead ~seq intention reason)
+  in
+  (* Group meld stage. *)
+  if t.config.group_size <= 1 then final_meld t unit_group
+  else begin
+    let merged =
+      match t.pending with
+      | None -> unit_group
+      | Some g ->
+          timed t.counters.group_meld (fun () ->
+              Group_meld.combine ~alloc:t.gm_alloc
+                ~counters:t.counters.group_meld g unit_group)
+    in
+    t.pending_members <- t.pending_members + 1;
+    if t.pending_members >= t.config.group_size then begin
+      t.pending <- None;
+      t.pending_members <- 0;
+      final_meld t merged
+    end
+    else begin
+      t.pending <- Some merged;
+      []
+    end
+  end
+
+let flush t =
+  match t.pending with
+  | None -> []
+  | Some g ->
+      t.pending <- None;
+      t.pending_members <- 0;
+      final_meld t g
+
+let prune t ~keep =
+  let floor_for_premeld =
+    match t.config.premeld with
+    | None -> 2
+    | Some { Premeld.threads; distance } -> (threads * distance) + 2
+  in
+  State_store.prune t.states ~keep:(max keep floor_for_premeld)

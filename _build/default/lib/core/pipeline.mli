@@ -1,0 +1,67 @@
+open Hyder_tree
+
+(** The meld pipeline (Figure 2): deserialize → premeld → group meld →
+    final meld.
+
+    This is the {e deterministic semantic machine}: it processes intentions
+    strictly in log order and produces, for every intention, the same
+    commit/abort decision and the same (physically identical) sequence of
+    database states on every server, whatever the physical thread
+    interleaving would be.  Physical parallelism is modeled by the cluster
+    simulator using the per-stage wall-clock timings this machine measures;
+    the paper's determinism scheme (Section 3.4) exists precisely so that
+    the stage interleaving cannot affect the results.
+
+    Stage thread ids for ephemeral VNs: final meld = 0, premeld threads =
+    1..t, group meld = t+1. *)
+
+type config = {
+  premeld : Premeld.config option;  (** [None] = premeld off *)
+  group_size : int;  (** 1 = group meld off; the paper uses 2 *)
+}
+
+val plain : config
+(** No optimizations: the original meld of [8]. *)
+
+val with_premeld : config
+val with_group_meld : config
+val with_both : config
+
+type decided_at = At_premeld | At_group_meld | At_final_meld
+
+type decision = {
+  seq : int;  (** dense intention sequence number *)
+  pos : int;  (** log position *)
+  server : int;
+  txn_seq : int;
+  committed : bool;
+  reason : Meld.abort_reason option;
+  decided_at : decided_at;
+}
+
+type t
+
+val create : ?config:config -> genesis:Tree.t -> unit -> t
+
+val decode : t -> pos:int -> string -> Hyder_codec.Intention.t
+(** The ds stage: deserialize an encoded intention, resolving references
+    against retained states.  Timed into the ds counters. *)
+
+val submit : t -> Hyder_codec.Intention.t -> decision list
+(** Feed the next intention in log order.  Returns the decisions that
+    became final (possibly none while a group is filling, possibly several
+    when a group completes), in sequence order. *)
+
+val flush : t -> decision list
+(** Force a partially filled group through final meld (stream end). *)
+
+val lcs : t -> int * int * Tree.t
+(** [(seq, pos, tree)] of the last committed state. *)
+
+val states : t -> State_store.t
+val counters : t -> Counters.t
+val config : t -> config
+
+val prune : t -> keep:int -> unit
+(** Drop old retained states, but never below what premeld arithmetic
+    needs. *)

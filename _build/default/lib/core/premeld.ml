@@ -1,0 +1,42 @@
+module Intention = Hyder_codec.Intention
+
+type config = { threads : int; distance : int }
+
+let default_config = { threads = 5; distance = 10 }
+
+let thread_for config ~seq =
+  if config.threads <= 0 then invalid_arg "Premeld.thread_for";
+  1 + (seq mod config.threads)
+
+let input_seq config ~seq = seq - (config.threads * config.distance) - 1
+
+type outcome =
+  | Unchanged of Intention.t
+  | Premelded of Intention.t * int
+  | Dead of Meld.abort_reason
+
+let run config ~allocs ~counters ~states ~seq (intention : Intention.t) =
+  let m = input_seq config ~seq in
+  let snap_seq = State_store.seq_of_pos states intention.snapshot in
+  if m <= snap_seq then Unchanged intention
+  else begin
+    let state =
+      match State_store.by_seq states m with
+      | Some s -> s
+      | None ->
+          failwith
+            (Printf.sprintf "Premeld.run: state %d not retained (seq %d)" m
+               seq)
+    in
+    let thread = thread_for config ~seq in
+    let alloc = allocs.(thread - 1) in
+    counters.Counters.intentions <- counters.Counters.intentions + 1;
+    match
+      Meld.meld
+        ~mode:(Meld.Transaction { out_owner = intention.pos })
+        ~members:[ intention.pos ] ~alloc ~counters ~intention:intention.root
+        ~state ()
+    with
+    | Meld.Merged root -> Premelded ({ intention with root }, m)
+    | Meld.Conflict reason -> Dead reason
+  end

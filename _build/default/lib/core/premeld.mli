@@ -1,0 +1,43 @@
+(** Premeld (Section 3, Algorithm 1).
+
+    A trial meld of an intention against a committed state {e earlier} than
+    its final input LCS.  If it finds a conflict the intention is dead and
+    final meld skips it; otherwise its output — re-interpreted as an
+    intention with refreshed metadata — substitutes for the original, and
+    final meld only revalidates the short post-premeld conflict zone.
+
+    Determinism (Section 3.4): with [threads = t] and [distance = d],
+    intention number [v] is premelded by thread [v mod t] against the state
+    produced by intention [v - t*d - 1].  Every server runs the same
+    arithmetic, so every server premelds every intention against the same
+    state with the same ephemeral-id stream. *)
+
+type config = { threads : int; distance : int }
+
+val default_config : config
+(** 5 threads, distance 10 — the best setting found in Section 6.4.6. *)
+
+val thread_for : config -> seq:int -> int
+(** Pipeline thread id (1-based; 0 is final meld's). *)
+
+val input_seq : config -> seq:int -> int
+(** Sequence number of the state to premeld intention [seq] against. *)
+
+type outcome =
+  | Unchanged of Hyder_codec.Intention.t
+      (** the designated state precedes the snapshot: nothing to do *)
+  | Premelded of Hyder_codec.Intention.t * int
+      (** substitute intention and the input state's sequence number *)
+  | Dead of Meld.abort_reason  (** conflict found early *)
+
+val run :
+  config ->
+  allocs:Hyder_tree.Vn.Alloc.t array ->
+  counters:Counters.stage ->
+  states:State_store.t ->
+  seq:int ->
+  Hyder_codec.Intention.t ->
+  outcome
+(** [allocs.(i)] is the ephemeral allocator of premeld thread [i+1]; the
+    state store must already hold the designated input state (final meld is
+    always ahead of it). *)

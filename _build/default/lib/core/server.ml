@@ -1,0 +1,73 @@
+module Intention = Hyder_codec.Intention
+module Codec = Hyder_codec.Codec
+
+type outcome = Committed | Aborted of Meld.abort_reason
+
+type t = {
+  server_id : int;
+  block_size : int;
+  pipeline : Pipeline.t;
+  reassembler : Codec.Blocks.Reassembler.t;
+  mutable next_txn_seq : int;
+  mutable decision_handler : (txn_seq:int -> outcome -> unit) option;
+}
+
+let create ?(config = Pipeline.plain) ?(block_size = 8192) ~server_id ~genesis
+    () =
+  {
+    server_id;
+    block_size;
+    pipeline = Pipeline.create ~config ~genesis ();
+    reassembler = Codec.Blocks.Reassembler.create ();
+    next_txn_seq = 0;
+    decision_handler = None;
+  }
+
+let server_id t = t.server_id
+let lcs t = Pipeline.lcs t.pipeline
+let pipeline t = t.pipeline
+let counters t = Pipeline.counters t.pipeline
+let on_decision t f = t.decision_handler <- Some f
+
+let txn t ?(isolation = Intention.Serializable) body =
+  let _, pos, tree = Pipeline.lcs t.pipeline in
+  let txn_seq = t.next_txn_seq in
+  t.next_txn_seq <- txn_seq + 1;
+  let e =
+    Executor.begin_txn ~snapshot_pos:pos ~snapshot:tree ~server:t.server_id
+      ~txn_seq ~isolation ()
+  in
+  let result = body e in
+  match Executor.finish e with
+  | None -> (result, None)
+  | Some draft ->
+      let bytes = Codec.encode draft in
+      let blocks =
+        Codec.Blocks.split ~block_size:t.block_size ~server:t.server_id
+          ~txn_seq bytes
+      in
+      (result, Some (txn_seq, blocks))
+
+let observe_block t ~pos block =
+  match Codec.Blocks.Reassembler.feed t.reassembler ~pos block with
+  | None -> []
+  | Some (intention_pos, bytes) ->
+      let intention = Pipeline.decode t.pipeline ~pos:intention_pos bytes in
+      let decisions = Pipeline.submit t.pipeline intention in
+      (match t.decision_handler with
+      | None -> ()
+      | Some handler ->
+          List.iter
+            (fun (d : Pipeline.decision) ->
+              if d.Pipeline.server = t.server_id then
+                handler ~txn_seq:d.Pipeline.txn_seq
+                  (if d.Pipeline.committed then Committed
+                   else
+                     Aborted
+                       (Option.value
+                          ~default:(Meld.Write_conflict (-1))
+                          d.Pipeline.reason)))
+            decisions);
+      decisions
+
+let prune t ~keep = Pipeline.prune t.pipeline ~keep

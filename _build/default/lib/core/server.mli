@@ -1,0 +1,62 @@
+open Hyder_tree
+
+(** A Hyder II transaction server (Section 5.2).
+
+    Ties the pieces together the way a deployed server does: transactions
+    execute against the server's current last-committed state and their
+    intentions are serialized and appended to the shared log; every block
+    observed on the log (its own appends and other servers' — in a real
+    deployment via broadcast) is reassembled and fed through the meld
+    pipeline in log order; commit/abort outcomes are delivered back to the
+    issuing transaction's completion callback.
+
+    Several servers sharing one log and observing every block converge to
+    physically identical states — the architecture's core claim, and what
+    the integration tests assert.  For the performance-model version of all
+    this (simulated time, queueing), see {!Hyder_cluster.Cluster}. *)
+
+type t
+
+val create :
+  ?config:Pipeline.config ->
+  ?block_size:int ->
+  server_id:int ->
+  genesis:Tree.t ->
+  unit ->
+  t
+
+val server_id : t -> int
+
+(** {1 Transactions} *)
+
+type outcome = Committed | Aborted of Meld.abort_reason
+
+val txn :
+  t ->
+  ?isolation:Hyder_codec.Intention.isolation ->
+  (Executor.t -> 'a) ->
+  'a * (int * string list) option
+(** Execute a transaction on the current LCS.  Read-only transactions
+    return [None] (nothing to log).  Write transactions return
+    [Some (txn_seq, blocks)]: the caller appends the blocks to the shared
+    log (in order) and feeds every log block back via {!observe_block} —
+    the decision arrives through {!on_decision} once this server's own
+    pipeline melds the intention. *)
+
+val on_decision : t -> (txn_seq:int -> outcome -> unit) -> unit
+(** Register the decision callback for locally issued transactions. *)
+
+(** {1 Log ingestion} *)
+
+val observe_block : t -> pos:int -> string -> Pipeline.decision list
+(** Feed the block at log position [pos].  Blocks must arrive in log order
+    (a real deployment's reader guarantees this per server).  Completes
+    intentions, melds them, and returns the decisions that became final
+    (for any server's transactions). *)
+
+val lcs : t -> int * int * Tree.t
+val pipeline : t -> Pipeline.t
+val counters : t -> Counters.t
+
+val prune : t -> keep:int -> unit
+(** Bound retained history (states + reassembly). *)

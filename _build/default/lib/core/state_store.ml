@@ -1,0 +1,124 @@
+open Hyder_tree
+
+type entry = { seq : int; pos : int; state : Tree.t }
+
+type t = {
+  mutable entries : entry array;  (** circular buffer, ordered by seq *)
+  mutable first : int;  (** index of oldest entry *)
+  mutable count : int;
+  mutable pruned_any : bool;
+  genesis : Tree.t;
+}
+
+let initial_capacity = 4096
+
+let create ~genesis () =
+  {
+    entries =
+      Array.make initial_capacity { seq = -1; pos = -1; state = genesis };
+    first = 0;
+    count = 0;
+    pruned_any = false;
+    genesis;
+  }
+
+let nth t i = t.entries.((t.first + i) mod Array.length t.entries)
+
+let latest t =
+  if t.count = 0 then (-1, -1, t.genesis)
+  else begin
+    let e = nth t (t.count - 1) in
+    (e.seq, e.pos, e.state)
+  end
+
+let grow t =
+  let cap = Array.length t.entries in
+  let bigger = Array.make (2 * cap) t.entries.(0) in
+  for i = 0 to t.count - 1 do
+    bigger.(i) <- nth t i
+  done;
+  t.entries <- bigger;
+  t.first <- 0
+
+let record t ~seq ~pos state =
+  let last_seq, last_pos, _ = latest t in
+  if seq <> last_seq + 1 then
+    invalid_arg
+      (Printf.sprintf "State_store.record: seq %d after %d" seq last_seq);
+  if pos <= last_pos then
+    invalid_arg
+      (Printf.sprintf "State_store.record: pos %d after %d" pos last_pos);
+  if t.count = Array.length t.entries then grow t;
+  t.entries.((t.first + t.count) mod Array.length t.entries) <-
+    { seq; pos; state };
+  t.count <- t.count + 1
+
+let by_seq t seq =
+  if seq = -1 then Some t.genesis
+  else if t.count = 0 then None
+  else begin
+    let first_seq = (nth t 0).seq in
+    let i = seq - first_seq in
+    if i < 0 || i >= t.count then None else Some (nth t i).state
+  end
+
+(* Newest entry with position <= pos, by binary search. *)
+let find_by_pos t pos =
+  if t.count = 0 || (nth t 0).pos > pos then None
+  else begin
+    let lo = ref 0 and hi = ref (t.count - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if (nth t mid).pos <= pos then lo := mid else hi := mid - 1
+    done;
+    Some (nth t !lo)
+  end
+
+let by_pos t pos =
+  if pos = -1 then Some t.genesis
+  else
+    match find_by_pos t pos with
+    | Some e -> Some e.state
+    | None ->
+        (* A position older than every recorded intention is the genesis
+           state — unless history has been pruned away. *)
+        if t.pruned_any then None else Some t.genesis
+
+let seq_of_pos t pos =
+  if pos = -1 then -1
+  else match find_by_pos t pos with None -> -1 | Some e -> e.seq
+
+let resolver t =
+  (* One intention resolves many references against the same snapshot, so
+     memoize the last position -> state lookup. *)
+  let last = ref None in
+  fun ~snapshot ~key ~vn ->
+    ignore vn;
+    let state =
+      match !last with
+      | Some (pos, state) when pos = snapshot -> Some state
+      | _ ->
+          let s = by_pos t snapshot in
+          (match s with Some st -> last := Some (snapshot, st) | None -> ());
+          s
+    in
+    match state with
+    | None ->
+        failwith
+          (Printf.sprintf
+             "State_store.resolver: snapshot state at position %d not retained"
+             snapshot)
+    | Some state -> (
+        match Tree.find state key with
+        | None -> Node.Empty
+        | Some n -> Node.Node n)
+
+let prune t ~keep =
+  if keep < 0 then invalid_arg "State_store.prune";
+  if t.count > keep then t.pruned_any <- true;
+  while t.count > keep do
+    t.first <- (t.first + 1) mod Array.length t.entries;
+    t.count <- t.count - 1
+  done
+
+let retained t = t.count

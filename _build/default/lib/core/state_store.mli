@@ -1,0 +1,47 @@
+open Hyder_tree
+
+(** Retained database states.
+
+    Each server must keep recent committed states: premeld needs the state
+    the index arithmetic of Algorithm 1 designates, the deserializer needs
+    to resolve intention references against the originating transaction's
+    snapshot, and executors need stable snapshots.  States are cheap to
+    retain — consecutive states share all but O(log n) nodes.
+
+    Two numberings coexist: the {e sequence number} (dense: the i-th
+    intention melded, genesis = -1) and the {e log position} (sparse: the
+    last-block position of that intention).  Premeld arithmetic uses
+    sequence numbers; intention metadata uses log positions. *)
+
+type t
+
+val create : genesis:Tree.t -> unit -> t
+
+val latest : t -> int * int * Tree.t
+(** [(seq, pos, state)] of the current last committed state. *)
+
+val record : t -> seq:int -> pos:int -> Tree.t -> unit
+(** Record the state after melding intention [seq] at log position [pos]
+    (for an aborted intention, the unchanged previous state).  [seq] must be
+    consecutive and [pos] increasing. *)
+
+val by_seq : t -> int -> Tree.t option
+(** State after intention [seq]; [-1] is genesis.  [None] if pruned or not
+    yet produced. *)
+
+val by_pos : t -> int -> Tree.t option
+(** State as of log position [pos]: the newest recorded state whose
+    position is [<= pos].  [-1] is genesis. *)
+
+val seq_of_pos : t -> int -> int
+(** Sequence number of the newest intention with log position [<= pos]. *)
+
+val resolver : t -> Hyder_codec.Codec.resolver
+(** Resolver for the deserializer: looks the key up in the state at the
+    intention's snapshot position. *)
+
+val prune : t -> keep:int -> unit
+(** Drop states older than the newest [keep] (genesis is always kept as the
+    oldest retained state's stand-in). *)
+
+val retained : t -> int

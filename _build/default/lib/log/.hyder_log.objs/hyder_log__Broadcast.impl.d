@@ -1,0 +1,1 @@
+lib/log/broadcast.ml: Array Hyder_sim

@@ -1,0 +1,1 @@
+lib/log/broadcast.mli: Hyder_sim

@@ -1,0 +1,1 @@
+lib/log/corfu.ml: Array Hyder_sim Hyder_util Mem_log

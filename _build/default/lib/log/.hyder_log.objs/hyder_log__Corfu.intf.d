@@ -1,0 +1,1 @@
+lib/log/corfu.mli: Hyder_sim Hyder_util Log_intf

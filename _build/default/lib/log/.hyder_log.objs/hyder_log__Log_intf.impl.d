@@ -1,0 +1,1 @@
+lib/log/log_intf.ml:

@@ -1,0 +1,1 @@
+lib/log/mem_log.ml: Array Printf String

@@ -1,0 +1,1 @@
+lib/log/mem_log.mli: Log_intf

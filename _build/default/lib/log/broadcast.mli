@@ -1,0 +1,30 @@
+(** Simulated intention broadcast between transaction servers.
+
+    After a server appends an intention it broadcasts the blocks to its
+    peers (Section 5.2).  Section 5.3 reports that the UDP simulation lost
+    packets under load and the switch to TCP — in-order, reliable, slightly
+    more expensive — was a significant win.  We model the TCP variant: each
+    (sender, receiver) pair is an ordered channel with a per-message service
+    time (bandwidth share) plus propagation latency, so messages from one
+    sender never arrive out of order. *)
+
+type config = {
+  propagation : float;  (** one-way wire latency, seconds *)
+  per_byte : float;  (** serialization cost per byte on the sender NIC *)
+  per_message : float;  (** fixed per-message CPU/NIC overhead *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  ?config:config -> Hyder_sim.Engine.t -> senders:int -> receivers:int -> t
+
+val send :
+  t -> from:int -> size:int -> (receiver:int -> unit) -> unit
+(** Broadcast a message of [size] bytes from server [from]; the callback
+    fires once per receiver (including the sender itself, at zero cost, so
+    every server observes the same stream). *)
+
+val messages_sent : t -> int

@@ -1,0 +1,25 @@
+(** Signatures shared by log implementations.
+
+    In Hyder the log *is* the database: a totally ordered, shared sequence of
+    fixed-size intention blocks.  Appending is the only point of arbitration
+    between servers (Section 1 of the paper). *)
+
+type position = int
+(** Index of a block in the log; dense, starting at 0. *)
+
+(** Synchronous block log.  Used by the core library, unit tests and the
+    single-process experiments; the distributed experiments wrap the
+    simulated CORFU service instead. *)
+module type SYNC = sig
+  type t
+
+  val append : t -> string -> position
+  (** Append one block; returns the position it was assigned. *)
+
+  val read : t -> position -> string
+  (** Read the block at a position.  Raises [Invalid_argument] if out of
+      range. *)
+
+  val length : t -> int
+  (** Number of blocks appended so far (= next position). *)
+end

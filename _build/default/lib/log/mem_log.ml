@@ -1,0 +1,40 @@
+type t = {
+  block_size : int;
+  mutable blocks : string array;
+  mutable len : int;
+  mutable bytes : int;
+}
+
+let create ?(block_size = 8192) () =
+  if block_size <= 0 then invalid_arg "Mem_log.create: block_size";
+  { block_size; blocks = Array.make 1024 ""; len = 0; bytes = 0 }
+
+let block_size t = t.block_size
+let length t = t.len
+let bytes_appended t = t.bytes
+
+let append t block =
+  if String.length block > t.block_size then
+    invalid_arg
+      (Printf.sprintf "Mem_log.append: block of %d bytes exceeds page size %d"
+         (String.length block) t.block_size);
+  if t.len = Array.length t.blocks then begin
+    let bigger = Array.make (2 * t.len) "" in
+    Array.blit t.blocks 0 bigger 0 t.len;
+    t.blocks <- bigger
+  end;
+  let pos = t.len in
+  t.blocks.(pos) <- block;
+  t.len <- t.len + 1;
+  t.bytes <- t.bytes + String.length block;
+  pos
+
+let read t pos =
+  if pos < 0 || pos >= t.len then
+    invalid_arg (Printf.sprintf "Mem_log.read: position %d out of range" pos);
+  t.blocks.(pos)
+
+let iter t ~from f =
+  for pos = max 0 from to t.len - 1 do
+    f pos t.blocks.(pos)
+  done

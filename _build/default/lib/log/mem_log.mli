@@ -1,0 +1,19 @@
+(** In-memory shared log: the reference implementation of {!Log_intf.SYNC}.
+
+    This plays the role of [8]'s in-memory log and backs all unit tests; the
+    distributed experiments use {!Corfu} instead.  It also records total
+    bytes appended, which the benchmarks use for log-bandwidth accounting. *)
+
+type t
+
+include Log_intf.SYNC with type t := t
+
+val create : ?block_size:int -> unit -> t
+(** [block_size] is enforced as an upper bound on appended blocks (default
+    8192, matching the paper's 8K pages). *)
+
+val block_size : t -> int
+val bytes_appended : t -> int
+
+val iter : t -> from:Log_intf.position -> (Log_intf.position -> string -> unit) -> unit
+(** Iterate blocks from a position to the current end, in order. *)

@@ -1,0 +1,95 @@
+type event = { time : float; seq : int; fn : unit -> unit }
+
+(* Binary min-heap on (time, seq).  The seq tie-break makes event order — and
+   therefore the whole simulation — deterministic. *)
+type t = {
+  mutable heap : event array;
+  mutable size : int;
+  mutable clock : float;
+  mutable next_seq : int;
+}
+
+let dummy = { time = 0.0; seq = 0; fn = ignore }
+
+let create () =
+  { heap = Array.make 1024 dummy; size = 0; clock = 0.0; next_seq = 0 }
+
+let now t = t.clock
+let pending t = t.size
+
+let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if earlier t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && earlier t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && earlier t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t ev =
+  if t.size = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.size) dummy in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end;
+  t.heap.(t.size) <- ev;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  let top = t.heap.(0) in
+  t.size <- t.size - 1;
+  t.heap.(0) <- t.heap.(t.size);
+  t.heap.(t.size) <- dummy;
+  if t.size > 0 then sift_down t 0;
+  top
+
+let schedule_at t ~time fn =
+  let time = if time < t.clock then t.clock else time in
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  push t { time; seq; fn }
+
+let schedule t ~delay fn =
+  let delay = if delay < 0.0 then 0.0 else delay in
+  schedule_at t ~time:(t.clock +. delay) fn
+
+let step t =
+  if t.size = 0 then false
+  else begin
+    let ev = pop t in
+    t.clock <- ev.time;
+    ev.fn ();
+    true
+  end
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some limit ->
+      let continue = ref true in
+      while !continue do
+        if t.size = 0 then continue := false
+        else if t.heap.(0).time > limit then begin
+          t.clock <- limit;
+          continue := false
+        end
+        else ignore (step t)
+      done

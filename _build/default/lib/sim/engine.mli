@@ -1,0 +1,33 @@
+(** Discrete-event simulation engine.
+
+    The cluster experiments replace the paper's 20-server rack with a
+    simulation: algorithmic work (meld, premeld, ...) executes for real and
+    its measured/counted cost is fed back in as event durations, while
+    queueing at shared resources (log, network) is simulated here.
+
+    Events fire in (time, insertion order) — ties break deterministically by
+    insertion sequence, so a simulation is a pure function of its inputs. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulated time, in seconds. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** Run a callback [delay] seconds from now.  Negative delays are clamped to
+    zero. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+(** Run a callback at an absolute simulated time (>= now). *)
+
+val step : t -> bool
+(** Fire the earliest pending event.  Returns [false] when none remain. *)
+
+val run : ?until:float -> t -> unit
+(** Drain the event queue; with [until], stop once the clock passes it
+    (pending later events remain queued). *)
+
+val pending : t -> int
+(** Number of queued events. *)

@@ -1,0 +1,1 @@
+lib/tree/key.ml: Format Hyder_util Int Int64

@@ -1,0 +1,1 @@
+lib/tree/key.mli: Format

@@ -1,0 +1,1 @@
+lib/tree/node.ml: Format Key Payload Vn

@@ -1,0 +1,1 @@
+lib/tree/payload.ml: Format String

@@ -1,0 +1,1 @@
+lib/tree/tree.ml: Array Key Node Option Payload Printf Vn

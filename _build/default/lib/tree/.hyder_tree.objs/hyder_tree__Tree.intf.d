@@ -1,0 +1,1 @@
+lib/tree/tree.mli: Key Node Payload Vn

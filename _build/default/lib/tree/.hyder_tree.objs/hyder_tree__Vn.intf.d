@@ -1,0 +1,1 @@
+lib/tree/vn.mli: Format

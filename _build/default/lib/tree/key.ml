@@ -1,0 +1,13 @@
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+let priority k = Hyder_util.Rng.hash64 (Int64.of_int k)
+
+let priority_greater a b =
+  let pa = priority a and pb = priority b in
+  let c = Int64.unsigned_compare pa pb in
+  if c <> 0 then c > 0 else a < b
+
+let pp fmt k = Format.fprintf fmt "%d" k
+let to_string = string_of_int

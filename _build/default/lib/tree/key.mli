@@ -1,0 +1,23 @@
+(** Database keys.
+
+    Keys are 63-bit integers, as in the paper's YCSB-derived workloads
+    (Section 6.1 uses 4-byte integer keys).  The canonical treap priority of
+    a key is a stateless 64-bit hash of it, so the *shape* of the database
+    tree is a pure function of the key set — the property the determinism of
+    meld rests on in this implementation (see DESIGN.md §5). *)
+
+type t = int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val priority : t -> int64
+(** Canonical treap priority.  Heap order compares [(priority, key)]
+    lexicographically so ties are impossible. *)
+
+val priority_greater : t -> t -> bool
+(** [priority_greater a b] is true when [a] must sit above [b] in the
+    canonical treap. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,83 @@
+type tree = Empty | Node of node
+
+and node = {
+  key : Key.t;
+  payload : Payload.t;
+  left : tree;
+  right : tree;
+  vn : Vn.t;
+  cv : Vn.t;
+  ssv : Vn.t option;
+  scv : Vn.t option;
+  altered : bool;
+  depends_on_content : bool;
+  depends_on_structure : bool;
+  owner : int;
+  has_writes : bool;
+}
+
+let state_owner = -1
+
+let child_has_writes owner = function
+  | Empty -> false
+  | Node n -> n.owner = owner && n.has_writes
+
+let make ~key ~payload ~left ~right ~vn ~cv ~ssv ~scv ~altered
+    ~depends_on_content ~depends_on_structure ~owner =
+  let has_writes =
+    altered || ssv = None
+    || child_has_writes owner left
+    || child_has_writes owner right
+  in
+  {
+    key;
+    payload;
+    left;
+    right;
+    vn;
+    cv;
+    ssv;
+    scv;
+    altered;
+    depends_on_content;
+    depends_on_structure;
+    owner;
+    has_writes;
+  }
+
+let with_children n ~left ~right ~vn =
+  let has_writes =
+    n.altered || n.ssv = None
+    || child_has_writes n.owner left
+    || child_has_writes n.owner right
+  in
+  { n with left; right; vn; has_writes }
+
+let rec size = function
+  | Empty -> 0
+  | Node n -> 1 + size n.left + size n.right
+
+let rec live_size = function
+  | Empty -> 0
+  | Node n ->
+      (if Payload.is_tombstone n.payload then 0 else 1)
+      + live_size n.left + live_size n.right
+
+let rec depth = function
+  | Empty -> 0
+  | Node n -> 1 + max (depth n.left) (depth n.right)
+
+let pp fmt tree =
+  let rec go indent = function
+    | Empty -> ()
+    | Node n ->
+        go (indent ^ "  ") n.right;
+        Format.fprintf fmt "%s%a=%a vn=%a cv=%a%s%s%s own=%d@." indent Key.pp
+          n.key Payload.pp n.payload Vn.pp n.vn Vn.pp n.cv
+          (if n.altered then " W" else "")
+          (if n.depends_on_content then " Rc" else "")
+          (if n.depends_on_structure then " Rs" else "")
+          n.owner;
+        go (indent ^ "  ") n.left
+  in
+  go "" tree

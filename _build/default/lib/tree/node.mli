@@ -1,0 +1,85 @@
+(** Tree nodes and their meld metadata.
+
+    The representation is concrete (and shared with [hyder_core]) because
+    meld, premeld and group meld are defined structurally over it.
+
+    Metadata per node (Section 2 / Appendix A of the paper, recast in the
+    content-version formulation described in DESIGN.md):
+
+    - [vn]: this version's identity.
+    - [cv]: the {e content version} — the VN of the version that first
+      generated this node's payload.  Appendix A calls the same information
+      SCV when talking about the source node; carrying it on every node
+      makes the conflict rules uniform:  a dependent access of key [k]
+      conflicts iff the LCS's [cv] for [k] differs from the [scv] the
+      intention recorded.
+    - [ssv]: source structure version — the VN of the same-key node in the
+      state this node was derived from ([None] for a fresh insert).
+    - [scv]: source content version — the [cv] of that same-key source node.
+    - [altered]: the producing transaction changed the payload.
+    - [depends_on_content]: the transaction read the payload and runs at an
+      isolation level that validates reads (the paper's DependsOn flag).
+    - [depends_on_structure]: the transaction depends on the whole subtree
+      under this node being unchanged — used for range scans and reads of
+      absent keys (phantom avoidance; the paper defers this metadata
+      to [8]).
+    - [owner]: log position of the intention this node belongs to, or
+      [state_owner] for nodes of melded states (including genesis and
+      ephemeral nodes created by final meld).  Meld uses it to decide
+      whether a node is "inside" the intention being melded.
+    - [has_writes]: subtree summary — true iff this node or any descendant
+      {e belonging to the same intention} was altered or inserted.  Drives
+      the Section 3.3 read-only-subtree rule. *)
+
+type tree = Empty | Node of node
+
+and node = {
+  key : Key.t;
+  payload : Payload.t;
+  left : tree;
+  right : tree;
+  vn : Vn.t;
+  cv : Vn.t;
+  ssv : Vn.t option;
+  scv : Vn.t option;
+  altered : bool;
+  depends_on_content : bool;
+  depends_on_structure : bool;
+  owner : int;
+  has_writes : bool;
+}
+
+val state_owner : int
+(** The [owner] value (-1) marking nodes that belong to a database state
+    rather than to a pending intention. *)
+
+val make :
+  key:Key.t ->
+  payload:Payload.t ->
+  left:tree ->
+  right:tree ->
+  vn:Vn.t ->
+  cv:Vn.t ->
+  ssv:Vn.t option ->
+  scv:Vn.t option ->
+  altered:bool ->
+  depends_on_content:bool ->
+  depends_on_structure:bool ->
+  owner:int ->
+  node
+(** Smart constructor; computes [has_writes] from the fields and the
+    same-owner children. *)
+
+val with_children : node -> left:tree -> right:tree -> vn:Vn.t -> node
+(** Copy-on-write: same key/payload/metadata, new children and identity. *)
+
+val size : tree -> int
+(** Total nodes (including tombstones). *)
+
+val live_size : tree -> int
+(** Nodes whose payload is not a tombstone. *)
+
+val depth : tree -> int
+
+val pp : Format.formatter -> tree -> unit
+(** Multi-line structural dump, for debugging and golden tests. *)

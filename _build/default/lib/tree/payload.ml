@@ -1,0 +1,19 @@
+type t = Value of string | Tombstone
+
+let value s = Value s
+let tombstone = Tombstone
+let is_tombstone = function Tombstone -> true | Value _ -> false
+
+let equal a b =
+  match (a, b) with
+  | Tombstone, Tombstone -> true
+  | Value x, Value y -> String.equal x y
+  | Tombstone, Value _ | Value _, Tombstone -> false
+
+let size = function Tombstone -> 0 | Value s -> String.length s
+
+let pp fmt = function
+  | Tombstone -> Format.pp_print_string fmt "<tombstone>"
+  | Value s ->
+      if String.length s <= 16 then Format.fprintf fmt "%S" s
+      else Format.fprintf fmt "%S..(%d bytes)" (String.sub s 0 16) (String.length s)

@@ -1,0 +1,21 @@
+(** Node payloads.
+
+    A deletion is represented as a tombstone payload rather than a structural
+    removal: the node stays in the tree and reads treat the key as absent.
+    This keeps meld a pure merge of canonical treaps (see DESIGN.md §2) while
+    giving deletes the exact OCC semantics of writes. *)
+
+type t =
+  | Value of string
+  | Tombstone
+
+val value : string -> t
+val tombstone : t
+
+val is_tombstone : t -> bool
+val equal : t -> t -> bool
+
+val size : t -> int
+(** Bytes the payload occupies when serialized (tombstones are 0). *)
+
+val pp : Format.formatter -> t -> unit

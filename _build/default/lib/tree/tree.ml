@@ -1,0 +1,361 @@
+open Node
+
+type t = Node.tree
+
+let empty = Empty
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rec find t key =
+  match t with
+  | Empty -> None
+  | Node n ->
+      let c = Key.compare key n.key in
+      if c = 0 then Some n else if c < 0 then find n.left key else find n.right key
+
+let lookup t key =
+  match find t key with
+  | None -> None
+  | Some n -> if Payload.is_tombstone n.payload then None else Some n.payload
+
+let mem t key = lookup t key <> None
+
+let rec pred t key =
+  match t with
+  | Empty -> None
+  | Node n ->
+      if Key.compare n.key key < 0 then
+        match pred n.right key with None -> Some n | Some m -> Some m
+      else pred n.left key
+
+let rec succ t key =
+  match t with
+  | Empty -> None
+  | Node n ->
+      if Key.compare n.key key > 0 then
+        match succ n.left key with None -> Some n | Some m -> Some m
+      else succ n.right key
+
+let range_items t ~lo ~hi =
+  let rec go t acc =
+    match t with
+    | Empty -> acc
+    | Node n ->
+        let acc = if Key.compare n.key hi < 0 then go n.right acc else acc in
+        let acc =
+          if Key.compare lo n.key <= 0 && Key.compare n.key hi <= 0
+             && not (Payload.is_tombstone n.payload)
+          then (n.key, n.payload) :: acc
+          else acc
+        in
+        if Key.compare lo n.key < 0 then go n.left acc else acc
+  in
+  go t []
+
+let rec iter t f =
+  match t with
+  | Empty -> ()
+  | Node n ->
+      iter n.left f;
+      f n;
+      iter n.right f
+
+let to_alist t =
+  let acc = ref [] in
+  let rec go = function
+    | Empty -> ()
+    | Node n ->
+        go n.right;
+        if not (Payload.is_tombstone n.payload) then
+          acc := (n.key, n.payload) :: !acc;
+        go n.left
+  in
+  go t;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Copy-on-write mutators                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* ssv/scv of a new draft derived from [old]: a node already owned by this
+   intention keeps its snapshot-relative metadata; a snapshot node becomes
+   the source. *)
+let source_meta ~owner (old : node) =
+  if old.owner = owner then (old.ssv, old.scv) else (Some old.vn, Some old.cv)
+
+(* Structural copy: same payload and access flags, new children. *)
+let copy ~owner ~fresh (old : node) ~left ~right =
+  let ssv, scv = source_meta ~owner old in
+  let mine = old.owner = owner in
+  Node.make ~key:old.key ~payload:old.payload ~left ~right ~vn:(fresh ())
+    ~cv:old.cv ~ssv ~scv
+    ~altered:(mine && old.altered)
+    ~depends_on_content:(mine && old.depends_on_content)
+    ~depends_on_structure:(mine && old.depends_on_structure)
+    ~owner
+
+(* Split a subtree around an absent key, copying the split path. *)
+let rec split t key ~owner ~fresh =
+  match t with
+  | Empty -> (Empty, Empty)
+  | Node n ->
+      if Key.compare n.key key < 0 then begin
+        let l2, r2 = split n.right key ~owner ~fresh in
+        (Node (copy ~owner ~fresh n ~left:n.left ~right:l2), r2)
+      end
+      else begin
+        let l2, r2 = split n.left key ~owner ~fresh in
+        (l2, Node (copy ~owner ~fresh n ~left:r2 ~right:n.right))
+      end
+
+let upsert t ~owner ~fresh key payload =
+  let fresh_insert ~left ~right =
+    let vn = fresh () in
+    Node.make ~key ~payload ~left ~right ~vn ~cv:vn ~ssv:None ~scv:None
+      ~altered:true ~depends_on_content:false ~depends_on_structure:false
+      ~owner
+  in
+  let rec go t =
+    match t with
+    | Empty -> Node (fresh_insert ~left:Empty ~right:Empty)
+    | Node n ->
+        let c = Key.compare key n.key in
+        if c = 0 then begin
+          (* Payload update in place (copy-on-write). *)
+          let ssv, scv = source_meta ~owner n in
+          let mine = n.owner = owner in
+          let vn = fresh () in
+          Node
+            (Node.make ~key ~payload ~left:n.left ~right:n.right ~vn ~cv:vn
+               ~ssv ~scv ~altered:true
+               ~depends_on_content:(mine && n.depends_on_content)
+               ~depends_on_structure:(mine && n.depends_on_structure)
+               ~owner)
+        end
+        else if Key.priority_greater key n.key then begin
+          (* The new key outranks this subtree's root: splice it here. *)
+          let left, right = split t key ~owner ~fresh in
+          Node (fresh_insert ~left ~right)
+        end
+        else if c < 0 then Node (copy ~owner ~fresh n ~left:(go n.left) ~right:n.right)
+        else Node (copy ~owner ~fresh n ~left:n.left ~right:(go n.right))
+  in
+  go t
+
+(* Mark the node (copying it) with extra dependency flags; keep payload. *)
+let mark ~owner ~fresh (n : node) ~content ~structure =
+  let ssv, scv = source_meta ~owner n in
+  let mine = n.owner = owner in
+  Node.make ~key:n.key ~payload:n.payload ~left:n.left ~right:n.right
+    ~vn:(fresh ()) ~cv:n.cv ~ssv ~scv ~altered:(mine && n.altered)
+    ~depends_on_content:((mine && n.depends_on_content) || content)
+    ~depends_on_structure:((mine && n.depends_on_structure) || structure)
+    ~owner
+
+let touch_read t ~owner ~fresh key =
+  (* Returns the rebuilt subtree, or physically the same subtree when no
+     marking was needed (so repeated reads do not churn versions). *)
+  let rec go t =
+    match t with
+    | Empty -> Empty
+    | Node n ->
+        let c = Key.compare key n.key in
+        if c = 0 then
+          if n.owner = owner && (n.altered || n.depends_on_content) then t
+          else Node (mark ~owner ~fresh n ~content:true ~structure:false)
+        else begin
+          let child = if c < 0 then n.left else n.right in
+          match child with
+          | Empty ->
+              (* Absent key: the transaction depends on this gap staying
+                 empty — guard the node where the search ended. *)
+              if n.owner = owner && n.depends_on_structure then t
+              else Node (mark ~owner ~fresh n ~content:false ~structure:true)
+          | Node _ ->
+              let child' = go child in
+              if child' == child then t
+              else if c < 0 then
+                Node (copy ~owner ~fresh n ~left:child' ~right:n.right)
+              else Node (copy ~owner ~fresh n ~left:n.left ~right:child')
+        end
+  in
+  go t
+
+(* Materialize the path to an existing key and set depends_on_structure on
+   it; used as the phantom guard for empty-range neighbours. *)
+let mark_structure t ~owner ~fresh key =
+  let rec go t =
+    match t with
+    | Empty -> Empty
+    | Node n ->
+        let c = Key.compare key n.key in
+        if c = 0 then
+          if n.owner = owner && n.depends_on_structure then t
+          else Node (mark ~owner ~fresh n ~content:false ~structure:true)
+        else begin
+          let child = if c < 0 then n.left else n.right in
+          let child' = go child in
+          if child' == child then t
+          else if c < 0 then Node (copy ~owner ~fresh n ~left:child' ~right:n.right)
+          else Node (copy ~owner ~fresh n ~left:n.left ~right:child')
+        end
+  in
+  go t
+
+let touch_range t ~owner ~fresh ~lo ~hi =
+  let found = ref false in
+  let rec go t =
+    match t with
+    | Empty -> Empty
+    | Node n ->
+        let below = Key.compare n.key lo < 0 in
+        let above = Key.compare n.key hi > 0 in
+        if below then begin
+          let r = go n.right in
+          if r == n.right then t else Node (copy ~owner ~fresh n ~left:n.left ~right:r)
+        end
+        else if above then begin
+          let l = go n.left in
+          if l == n.left then t else Node (copy ~owner ~fresh n ~left:l ~right:n.right)
+        end
+        else begin
+          (* In range: the scan's result depends on this node's subtree. *)
+          found := true;
+          let l = go n.left in
+          let r = go n.right in
+          if n.owner = owner && n.depends_on_structure && l == n.left
+             && r == n.right
+          then t
+          else
+            Node
+              (mark ~owner ~fresh
+                 { n with left = l; right = r }
+                 ~content:true ~structure:true)
+        end
+  in
+  let t' = go t in
+  if !found then t'
+  else begin
+    (* Empty range: guard its neighbours so a concurrent insert into the
+       gap is detected. *)
+    let t' =
+      match pred t' lo with
+      | None -> t'
+      | Some p -> mark_structure t' ~owner ~fresh p.key
+    in
+    match succ t' hi with
+    | None -> t'
+    | Some s -> mark_structure t' ~owner ~fresh s.key
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Bootstrap                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let of_sorted_array items =
+  let n = Array.length items in
+  for i = 1 to n - 1 do
+    if Key.compare (fst items.(i - 1)) (fst items.(i)) >= 0 then
+      invalid_arg "Tree.of_sorted_array: keys must be strictly increasing"
+  done;
+  (* Recursive canonical construction: the root of a segment is its
+     maximum-priority key.  In-order index is the genesis VN index. *)
+  let rec build lo hi =
+    if lo >= hi then Empty
+    else begin
+      let best = ref lo in
+      for i = lo + 1 to hi - 1 do
+        if Key.priority_greater (fst items.(i)) (fst items.(!best)) then
+          best := i
+      done;
+      let key, payload = items.(!best) in
+      let left = build lo !best in
+      let right = build (!best + 1) hi in
+      let vn = Vn.genesis ~idx:!best in
+      Node
+        (Node.make ~key ~payload ~left ~right ~vn ~cv:vn ~ssv:None ~scv:None
+           ~altered:false ~depends_on_content:false ~depends_on_structure:false
+           ~owner:state_owner)
+    end
+  in
+  build 0 n
+
+(* ------------------------------------------------------------------ *)
+(* Validation and statistics                                           *)
+(* ------------------------------------------------------------------ *)
+
+let validate t =
+  let exception Bad of string in
+  let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt in
+  let rec go t lo hi =
+    match t with
+    | Empty -> ()
+    | Node n ->
+        (match lo with
+        | Some l when Key.compare n.key l <= 0 ->
+            fail "BST violation at key %s" (Key.to_string n.key)
+        | _ -> ());
+        (match hi with
+        | Some h when Key.compare n.key h >= 0 ->
+            fail "BST violation at key %s" (Key.to_string n.key)
+        | _ -> ());
+        let check_child = function
+          | Empty -> ()
+          | Node c ->
+              if not (Key.priority_greater n.key c.key) then
+                fail "heap violation: %s under %s" (Key.to_string c.key)
+                  (Key.to_string n.key)
+        in
+        check_child n.left;
+        check_child n.right;
+        let expect =
+          n.altered || n.ssv = None
+          || (match n.left with
+             | Node c -> c.owner = n.owner && c.has_writes
+             | Empty -> false)
+          || match n.right with
+             | Node c -> c.owner = n.owner && c.has_writes
+             | Empty -> false
+        in
+        if n.has_writes <> expect then
+          fail "has_writes summary wrong at key %s" (Key.to_string n.key);
+        go n.left lo (Some n.key);
+        go n.right (Some n.key) hi
+  in
+  match go t None None with () -> Ok () | exception Bad s -> Error s
+
+let size = Node.size
+let live_size = Node.live_size
+let depth = Node.depth
+
+let path_length t key =
+  let rec go t acc =
+    match t with
+    | Empty -> acc
+    | Node n ->
+        let c = Key.compare key n.key in
+        if c = 0 then acc + 1
+        else if c < 0 then go n.left (acc + 1)
+        else go n.right (acc + 1)
+  in
+  go t 0
+
+let rec physically_equal a b =
+  match (a, b) with
+  | Empty, Empty -> true
+  | Node x, Node y ->
+      x == y
+      || Key.equal x.key y.key
+         && Payload.equal x.payload y.payload
+         && Vn.equal x.vn y.vn && Vn.equal x.cv y.cv
+         && Option.equal Vn.equal x.ssv y.ssv
+         && Option.equal Vn.equal x.scv y.scv
+         && x.altered = y.altered
+         && x.depends_on_content = y.depends_on_content
+         && x.depends_on_structure = y.depends_on_structure
+         && x.owner = y.owner
+         && physically_equal x.left y.left
+         && physically_equal x.right y.right
+  | Empty, Node _ | Node _, Empty -> false

@@ -1,0 +1,1 @@
+lib/util/table.ml: Float List Printf String

@@ -1,0 +1,1 @@
+lib/util/wire.ml: Bytes Char Int64 String

@@ -1,0 +1,9 @@
+(** CRC-32 (IEEE 802.3 polynomial) over byte ranges.
+
+    Used to checksum intention blocks so that a corrupted or torn log page is
+    detected at deserialization time rather than silently melded. *)
+
+val digest : Bytes.t -> pos:int -> len:int -> int32
+(** Checksum of [len] bytes of [b] starting at [pos]. *)
+
+val digest_string : string -> int32

@@ -1,0 +1,99 @@
+(* The Zipfian sampler follows Gray et al., "Quickly generating
+   billion-record synthetic databases" (SIGMOD 1994), as used by YCSB:
+   zeta-based inversion with constants precomputed for the key-space size. *)
+
+type zipf = {
+  n : int;
+  theta : float;
+  alpha : float;
+  zetan : float;
+  eta : float;
+}
+
+type kind =
+  | Uniform of int
+  | Zipfian of zipf
+  | Scrambled of zipf * int
+  | Hotspot of { n : int; hot_keys : int; hot_prob : float }
+  | Latest of { mutable max : int; zipf : zipf }
+
+type t = kind ref
+
+let zeta n theta =
+  let acc = ref 0.0 in
+  for i = 1 to n do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int i) theta)
+  done;
+  !acc
+
+let make_zipf n theta =
+  if n <= 0 then invalid_arg "Dist.zipfian: n must be positive";
+  let zetan = zeta n theta in
+  let zeta2 = zeta 2 theta in
+  let alpha = 1.0 /. (1.0 -. theta) in
+  let eta =
+    (1.0 -. Float.pow (2.0 /. float_of_int n) (1.0 -. theta))
+    /. (1.0 -. (zeta2 /. zetan))
+  in
+  { n; theta; alpha; zetan; eta }
+
+let sample_zipf z rng =
+  let u = Rng.unit_float rng in
+  let uz = u *. z.zetan in
+  if uz < 1.0 then 0
+  else if uz < 1.0 +. Float.pow 0.5 z.theta then 1
+  else
+    let v =
+      float_of_int z.n
+      *. Float.pow ((z.eta *. u) -. z.eta +. 1.0) z.alpha
+    in
+    let k = int_of_float v in
+    if k >= z.n then z.n - 1 else k
+
+let uniform ~n =
+  if n <= 0 then invalid_arg "Dist.uniform: n must be positive";
+  ref (Uniform n)
+
+let zipfian ?(theta = 0.99) ~n () = ref (Zipfian (make_zipf n theta))
+
+let scrambled_zipfian ?(theta = 0.99) ~n () =
+  ref (Scrambled (make_zipf n theta, n))
+
+let hotspot ~x ~n =
+  if not (x > 0.0 && x <= 1.0) then
+    invalid_arg "Dist.hotspot: x must be in (0, 1]";
+  let hot_keys = max 1 (int_of_float (Float.round (x *. float_of_int n))) in
+  ref (Hotspot { n; hot_keys; hot_prob = 1.0 -. x })
+
+let latest ~n = ref (Latest { max = n; zipf = make_zipf n 0.99 })
+
+let set_max t m =
+  match !t with
+  | Latest l -> l.max <- max 1 m
+  | Uniform _ | Zipfian _ | Scrambled _ | Hotspot _ -> ()
+
+let sample t rng =
+  match !t with
+  | Uniform n -> Rng.int rng n
+  | Zipfian z -> sample_zipf z rng
+  | Scrambled (z, n) ->
+      let rank = sample_zipf z rng in
+      let h = Rng.hash64 (Int64.of_int rank) in
+      Int64.to_int (Int64.rem (Int64.shift_right_logical h 1) (Int64.of_int n))
+  | Hotspot { n; hot_keys; hot_prob } ->
+      if hot_keys >= n then Rng.int rng n
+      else if Rng.unit_float rng < hot_prob then Rng.int rng hot_keys
+      else hot_keys + Rng.int rng (n - hot_keys)
+  | Latest l ->
+      let z = sample_zipf l.zipf rng in
+      let k = l.max - 1 - (z mod l.max) in
+      if k < 0 then 0 else k
+
+let name t =
+  match !t with
+  | Uniform _ -> "uniform"
+  | Zipfian _ -> "zipfian"
+  | Scrambled _ -> "scrambled-zipfian"
+  | Hotspot { hot_keys; n; _ } ->
+      Printf.sprintf "hotspot(x=%.2f)" (float_of_int hot_keys /. float_of_int n)
+  | Latest _ -> "latest"

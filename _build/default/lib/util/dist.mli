@@ -1,0 +1,37 @@
+(** Key-selection distributions for workload generation.
+
+    These mirror the generators of the Yahoo! Cloud Serving Benchmark (YCSB)
+    that the paper's workload generator was adapted from (Section 6.1), plus
+    the hotspot distribution of Section 6.4.5. *)
+
+type t
+(** A sampler over the integer key space [\[0, n)]. *)
+
+val uniform : n:int -> t
+(** Every key equally likely. *)
+
+val zipfian : ?theta:float -> n:int -> unit -> t
+(** YCSB Zipfian: popularity rank follows a Zipf law with exponent [theta]
+    (default 0.99).  Low-numbered keys are hottest. *)
+
+val scrambled_zipfian : ?theta:float -> n:int -> unit -> t
+(** Zipfian popularity, but hot keys are scattered over the whole key space
+    by a 64-bit hash, as in YCSB's ScrambledZipfianGenerator. *)
+
+val hotspot : x:float -> n:int -> t
+(** The Section 6.4.5 hotspot: fraction [x] of the data items receives
+    fraction [1 - x] of the accesses.  [x = 1.0] degenerates to uniform. *)
+
+val latest : n:int -> t
+(** Skewed towards the most recently inserted keys (YCSB "latest"): key
+    [max - z] where [z] is Zipfian.  [set_max] moves the insertion front. *)
+
+val set_max : t -> int -> unit
+(** For [latest]: record that keys [\[0, max)] now exist.  Ignored by other
+    distributions. *)
+
+val sample : t -> Rng.t -> int
+(** Draw a key. *)
+
+val name : t -> string
+(** Human-readable name for reports. *)

@@ -1,0 +1,49 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the repository flows through this module so that every
+    experiment is reproducible from a single integer seed.  The generator is
+    SplitMix64 (Steele, Lea, Flood 2014): tiny state, excellent statistical
+    quality for simulation purposes, and cheap splitting for deriving
+    independent streams. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator.  Equal seeds give equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] duplicates the state; the copy evolves independently. *)
+
+val split : t -> t
+(** [split t] derives a new generator from [t], advancing [t].  Streams from
+    split generators are statistically independent. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val unit_float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed value with the given mean; used for simulated
+    service and inter-arrival times. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val hash64 : int64 -> int64
+(** The SplitMix64 finalizer as a stateless 64-bit mixing function.  Used to
+    derive canonical treap priorities and scrambled key spaces. *)

@@ -1,0 +1,52 @@
+(** Measurement accumulators used by benchmarks and the cluster simulator. *)
+
+(** Streaming mean / variance / extrema (Welford's algorithm); O(1) space. *)
+module Summary : sig
+  type t
+
+  val create : unit -> t
+  val clear : t -> unit
+  val add : t -> float -> unit
+  val count : t -> int
+  val total : t -> float
+  val mean : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+end
+
+(** Sample set retaining every observation; supports exact percentiles.
+    Intended for latency distributions of bounded experiments. *)
+module Sample : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+
+  val percentile : t -> float -> float
+  (** [percentile s p] with [p] in [\[0, 100\]]; nearest-rank on the sorted
+      sample.  Raises [Invalid_argument] on an empty sample. *)
+end
+
+(** Fixed-bucket histogram for work counters (e.g. nodes visited). *)
+module Histogram : sig
+  type t
+
+  val create : bucket_width:float -> buckets:int -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val bucket_counts : t -> int array
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Counter with a rate: events per simulated or real second. *)
+module Meter : sig
+  type t
+
+  val create : unit -> t
+  val mark : ?n:int -> t -> unit
+  val count : t -> int
+  val rate : t -> elapsed:float -> float
+end

@@ -1,0 +1,1 @@
+lib/workload/ycsb.ml: Array Float Hashtbl Hyder_codec Hyder_core Hyder_tree Hyder_util Key List Payload Printf String Tree

@@ -1,0 +1,1 @@
+lib/workload/ycsb.mli: Hyder_codec Hyder_core Hyder_tree Key Payload Tree

@@ -1,0 +1,165 @@
+open Hyder_tree
+module Rng = Hyder_util.Rng
+module Dist = Hyder_util.Dist
+module Executor = Hyder_core.Executor
+
+type key_distribution =
+  | Uniform
+  | Zipfian of float
+  | Scrambled_zipfian of float
+  | Hotspot of float
+  | Latest
+
+type config = {
+  record_count : int;
+  payload_size : int;
+  ops_per_txn : int;
+  update_fraction : float;
+  insert_fraction : float;
+  scan_fraction : float;
+  scan_length : int;
+  distribution : key_distribution;
+  isolation : Hyder_codec.Intention.isolation;
+}
+
+let default =
+  {
+    record_count = 1_000_000;
+    payload_size = 1024;
+    ops_per_txn = 10;
+    update_fraction = 0.2;
+    insert_fraction = 0.0;
+    scan_fraction = 0.0;
+    scan_length = 10;
+    distribution = Uniform;
+    isolation = Hyder_codec.Intention.Serializable;
+  }
+
+let paper_scale c = { c with record_count = 10_000_000 }
+
+type op =
+  | Read of Key.t
+  | Scan of Key.t * int
+  | Update of Key.t * string
+  | Insert of Key.t * string
+
+type t = {
+  config : config;
+  rng : Rng.t;
+  dist : Dist.t;
+  mutable next_insert_key : int;
+  mutable cached_genesis : Tree.t option;
+}
+
+let make_dist config =
+  let n = config.record_count in
+  match config.distribution with
+  | Uniform -> Dist.uniform ~n
+  | Zipfian theta -> Dist.zipfian ~theta ~n ()
+  | Scrambled_zipfian theta -> Dist.scrambled_zipfian ~theta ~n ()
+  | Hotspot x -> Dist.hotspot ~x ~n
+  | Latest -> Dist.latest ~n
+
+let create ?(seed = 0xC0FFEEL) config =
+  if config.record_count <= 0 then invalid_arg "Ycsb.create: record_count";
+  if config.ops_per_txn <= 0 then invalid_arg "Ycsb.create: ops_per_txn";
+  {
+    config;
+    rng = Rng.create seed;
+    dist = make_dist config;
+    next_insert_key = config.record_count;
+    cached_genesis = None;
+  }
+
+let config t = t.config
+
+(* Deterministic payload for a key: cheap, compressible-looking, and of the
+   configured size. *)
+let payload_for config k =
+  let base = Printf.sprintf "val-%d-" k in
+  let pad = max 0 (config.payload_size - String.length base) in
+  base ^ String.make pad 'x'
+
+let genesis_array t =
+  Array.init t.config.record_count (fun k ->
+      (k, Payload.value (payload_for t.config k)))
+
+(* Genesis states are immutable and depend only on (record_count,
+   payload_size); share them process-wide so experiment sweeps do not
+   rebuild multi-million-node trees per run. *)
+let genesis_cache : (int * int, Tree.t) Hashtbl.t = Hashtbl.create 8
+
+let genesis t =
+  match t.cached_genesis with
+  | Some g -> g
+  | None ->
+      let key = (t.config.record_count, t.config.payload_size) in
+      let g =
+        match Hashtbl.find_opt genesis_cache key with
+        | Some g -> g
+        | None ->
+            let g = Tree.of_sorted_array (genesis_array t) in
+            Hashtbl.replace genesis_cache key g;
+            g
+      in
+      t.cached_genesis <- Some g;
+      g
+
+let sample_key t =
+  Dist.sample t.dist t.rng
+
+let fresh_value t =
+  (* Updates write a full-size payload, like YCSB's field updates. *)
+  payload_for t.config (Rng.int t.rng 1_000_000_000)
+
+let read_op t =
+  if
+    t.config.scan_fraction > 0.0
+    && Rng.unit_float t.rng < t.config.scan_fraction
+  then Scan (sample_key t, t.config.scan_length)
+  else Read (sample_key t)
+
+let write_op t =
+  if
+    t.config.insert_fraction > 0.0
+    && Rng.unit_float t.rng < t.config.insert_fraction
+  then begin
+    let k = t.next_insert_key in
+    t.next_insert_key <- k + 1;
+    Dist.set_max t.dist (k + 1);
+    Insert (k, fresh_value t)
+  end
+  else Update (sample_key t, fresh_value t)
+
+let next_write_txn t =
+  let n = t.config.ops_per_txn in
+  let writes =
+    max 1 (int_of_float (Float.round (t.config.update_fraction *. float_of_int n)))
+  in
+  let writes = min writes n in
+  (* Write positions are scattered through the transaction, as YCSB does. *)
+  let slots = Array.init n (fun i -> i < writes) in
+  Rng.shuffle t.rng slots;
+  Array.to_list
+    (Array.map (fun is_write -> if is_write then write_op t else read_op t) slots)
+
+let next_read_only_txn t =
+  List.init t.config.ops_per_txn (fun _ -> read_op t)
+
+let apply ops e =
+  List.iter
+    (fun op ->
+      match op with
+      | Read k -> ignore (Executor.read e k)
+      | Scan (k, len) -> ignore (Executor.read_range e ~lo:k ~hi:(k + len - 1))
+      | Update (k, v) -> Executor.write e k v
+      | Insert (k, v) -> Executor.write e k v)
+    ops
+
+let reads_of ops =
+  List.filter_map (function Read k -> Some k | Scan _ | Update _ | Insert _ -> None) ops
+
+let writes_of ops =
+  List.filter_map
+    (function Update (k, _) | Insert (k, _) -> Some k | Read _ | Scan _ -> None)
+    ops

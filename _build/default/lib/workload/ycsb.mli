@@ -1,0 +1,66 @@
+open Hyder_tree
+
+(** Transactional YCSB workload generator (Section 6.1).
+
+    The paper adapted the Yahoo! Cloud Serving Benchmark with multi-operation
+    transactions.  Knobs, with the paper's defaults: number of operations per
+    transaction (10), reads vs writes within a transaction (8R + 2W), point
+    vs range lookups, database size (10M items; scaled down by default here —
+    see DESIGN.md), payload size (1K), and key-selection distribution
+    (uniform by default; hotspot for Section 6.4.5). *)
+
+type key_distribution =
+  | Uniform
+  | Zipfian of float  (** theta *)
+  | Scrambled_zipfian of float
+  | Hotspot of float  (** x: fraction of items receiving 1-x of accesses *)
+  | Latest
+
+type config = {
+  record_count : int;
+  payload_size : int;
+  ops_per_txn : int;
+  update_fraction : float;  (** fraction of a write transaction's ops that write *)
+  insert_fraction : float;  (** fraction of writes that insert fresh keys *)
+  scan_fraction : float;  (** fraction of reads that are short range scans *)
+  scan_length : int;
+  distribution : key_distribution;
+  isolation : Hyder_codec.Intention.isolation;
+}
+
+val default : config
+(** The Section 6.1 defaults (8 reads + 2 writes, uniform, serializable),
+    with [record_count] scaled to 1M. *)
+
+val paper_scale : config -> config
+(** Restore the paper's 10M-item database (memory permitting). *)
+
+type op =
+  | Read of Key.t
+  | Scan of Key.t * int  (** start key, length *)
+  | Update of Key.t * string
+  | Insert of Key.t * string
+
+type t
+
+val create : ?seed:int64 -> config -> t
+val config : t -> config
+
+val genesis : t -> Tree.t
+(** Build (and cache) the initial database state: keys [0 .. record_count). *)
+
+val genesis_array : t -> (Key.t * Payload.t) array
+(** The raw load, for substrates that are not tree-based (baselines). *)
+
+val next_write_txn : t -> op list
+(** Generate the operations of one read-write transaction.  Deterministic
+    given the seed and call sequence. *)
+
+val next_read_only_txn : t -> op list
+(** All-read transaction of [ops_per_txn] operations. *)
+
+val apply : op list -> Hyder_core.Executor.t -> unit
+(** Execute the operations through a transaction executor. *)
+
+val reads_of : op list -> Key.t list
+val writes_of : op list -> Key.t list

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Format Hyder_codec Hyder_core Hyder_tree List Node Payload Printf String Tree

@@ -1,0 +1,1 @@
+test/test_admission.ml: Alcotest Hyder_cluster Hyder_workload Printf

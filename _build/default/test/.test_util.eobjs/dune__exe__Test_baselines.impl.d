@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Hyder_baselines Hyder_workload Printf

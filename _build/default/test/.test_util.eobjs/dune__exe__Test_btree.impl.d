@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Array Hyder_baselines Hyder_codec Hyder_tree Hyder_util Int List Map Payload Printf QCheck2 QCheck_alcotest Result Tree

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Hyder_cluster Hyder_codec Hyder_core Hyder_workload List Printf

@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Bytes Char Helpers Hyder_codec Hyder_core Hyder_tree List Node Printf QCheck2 QCheck_alcotest String Tree

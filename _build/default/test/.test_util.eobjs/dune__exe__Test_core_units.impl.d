@@ -1,0 +1,1 @@
+test/test_core_units.ml: Alcotest Array Gc Helpers Hyder_codec Hyder_core Hyder_tree List Node Option Payload Tree Vn

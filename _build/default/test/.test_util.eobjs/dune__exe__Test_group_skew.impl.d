@@ -1,0 +1,1 @@
+test/test_group_skew.ml: Alcotest Helpers Hyder_codec Hyder_core Hyder_tree List Option Payload Tree

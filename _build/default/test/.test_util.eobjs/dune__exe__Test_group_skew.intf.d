@@ -1,0 +1,1 @@
+test/test_group_skew.mli:

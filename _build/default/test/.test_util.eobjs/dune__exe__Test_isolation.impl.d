@@ -1,0 +1,1 @@
+test/test_isolation.ml: Alcotest Helpers Hyder_codec Hyder_core Hyder_tree Hyder_util List Payload Tree

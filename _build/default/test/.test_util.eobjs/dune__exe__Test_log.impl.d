@@ -1,0 +1,1 @@
+test/test_log.ml: Alcotest Array Hyder_log Hyder_sim Hyder_util List Printf String

@@ -1,0 +1,1 @@
+test/test_meld.ml: Alcotest Hashtbl Helpers Hyder_codec Hyder_core Hyder_tree Hyder_util List Printf Tree

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Hashtbl Helpers Hyder_codec Hyder_core Hyder_tree Hyder_util Int Int64 Key List Printf Tree

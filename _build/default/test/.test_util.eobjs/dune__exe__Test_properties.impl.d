@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Bytes Char Hashtbl Helpers Hyder_codec Hyder_core Hyder_tree Hyder_util Int Int64 List Option Payload Printf QCheck2 QCheck_alcotest Result String Tree

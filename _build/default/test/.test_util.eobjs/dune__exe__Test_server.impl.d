@@ -1,0 +1,1 @@
+test/test_server.ml: Alcotest Array Hashtbl Helpers Hyder_codec Hyder_core Hyder_log Hyder_tree Hyder_util List Option Payload Printf String Tree

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Hyder_sim Hyder_util List Printf

@@ -1,0 +1,1 @@
+test/test_tree.ml: Alcotest Array Helpers Hyder_codec Hyder_tree Hyder_util Int Int64 List Map Node Option Payload Printf QCheck2 QCheck_alcotest String Tree

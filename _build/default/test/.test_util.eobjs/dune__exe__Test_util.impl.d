@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Hashtbl Hyder_util Int32 Int64 List Option Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Hyder_codec Hyder_core Hyder_tree Hyder_workload List Payload String Tree

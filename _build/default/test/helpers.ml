@@ -1,0 +1,71 @@
+(* Shared helpers for the test suites. *)
+open Hyder_tree
+module Intention = Hyder_codec.Intention
+module Local = Hyder_core.Local
+module Executor = Hyder_core.Executor
+module Pipeline = Hyder_core.Pipeline
+
+let payload k = Payload.value ("v" ^ string_of_int k)
+
+(* Genesis with keys [0; gap; 2*gap; ...] — gaps leave room for inserts. *)
+let genesis ?(gap = 1) n =
+  Tree.of_sorted_array (Array.init n (fun i -> (i * gap, payload (i * gap))))
+
+let value_exn = function
+  | Some (Payload.Value s) -> s
+  | Some Payload.Tombstone -> failwith "unexpected tombstone"
+  | None -> failwith "expected a value"
+
+let check_tree_valid name t =
+  match Tree.validate t with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: invalid tree: %s" name e
+
+(* Structural key shape, ignoring versions: canonical-form comparisons. *)
+let rec shape = function
+  | Node.Empty -> "."
+  | Node.Node n ->
+      Printf.sprintf "(%d %s %s)" n.Node.key (shape n.Node.left)
+        (shape n.Node.right)
+
+let txn_counter = ref 1000
+
+(* Begin a transaction against the harness's current LCS without committing
+   it yet, so tests can create genuinely concurrent transactions. *)
+let begin_txn ?(isolation = Intention.Serializable) h =
+  let _, pos, tree = Local.lcs h in
+  incr txn_counter;
+  Executor.begin_txn ~snapshot_pos:pos ~snapshot:tree ~server:0
+    ~txn_seq:!txn_counter ~isolation ()
+
+(* Commit: returns the pipeline decisions that became final. *)
+let commit h e =
+  match Executor.finish e with
+  | None -> []
+  | Some draft -> Local.submit_draft h draft
+
+(* Commit and expect exactly one decision; return whether it committed. *)
+let commit1 h e =
+  match commit h e with
+  | [ d ] -> d.Pipeline.committed
+  | ds -> Alcotest.failf "expected one decision, got %d" (List.length ds)
+
+let committed_decisions ds =
+  List.filter (fun d -> d.Pipeline.committed) ds
+
+let alist_testable =
+  let pp fmt l =
+    Format.fprintf fmt "[%s]"
+      (String.concat "; "
+         (List.map
+            (fun (k, p) ->
+              Printf.sprintf "%d=%s" k
+                (match p with
+                | Payload.Value s -> s
+                | Payload.Tombstone -> "<dead>"))
+            l))
+  in
+  Alcotest.testable pp (fun a b ->
+      List.equal
+        (fun (k1, p1) (k2, p2) -> k1 = k2 && Payload.equal p1 p2)
+        a b)

@@ -1,0 +1,84 @@
+module Admission = Hyder_cluster.Admission
+module Cluster = Hyder_cluster.Cluster
+module Ycsb = Hyder_workload.Ycsb
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_window_grows_when_healthy () =
+  let a = Admission.create () in
+  let w0 = Admission.window a in
+  for _ = 1 to 256 do
+    Admission.observe a ~committed:true
+  done;
+  check "window grew" true (Admission.window a > w0);
+  let ups, downs = Admission.adjustments a in
+  check_int "four healthy periods" 4 ups;
+  check_int "no cuts" 0 downs
+
+let test_window_shrinks_on_aborts () =
+  let a = Admission.create () in
+  let w0 = Admission.window a in
+  for i = 1 to 128 do
+    Admission.observe a ~committed:(i mod 3 = 0) (* ~67% aborts *)
+  done;
+  check "window cut" true (Admission.window a < w0);
+  let _, downs = Admission.adjustments a in
+  check "cuts happened" true (downs >= 2)
+
+let test_window_bounded () =
+  let config =
+    { Admission.default_config with Admission.min_window = 4; max_window = 16 }
+  in
+  let a = Admission.create ~config () in
+  for _ = 1 to 10_000 do
+    Admission.observe a ~committed:true
+  done;
+  check_int "capped at max" 16 (Admission.window a);
+  for _ = 1 to 10_000 do
+    Admission.observe a ~committed:false
+  done;
+  check_int "floored at min" 4 (Admission.window a)
+
+let test_adaptive_cluster_cuts_aborts () =
+  let base =
+    {
+      Cluster.default_config with
+      Cluster.servers = 4;
+      write_threads = 8;
+      inflight_per_thread = 80;
+      workload =
+        { Ycsb.default with Ycsb.record_count = 8_000; payload_size = 32 };
+      duration = 0.12;
+      warmup = 0.06;
+    }
+  in
+  let fixed = Cluster.run base in
+  let adaptive =
+    Cluster.run
+      { base with Cluster.adaptive_admission = Some Admission.default_config }
+  in
+  check
+    (Printf.sprintf "adaptive lowers abort rate (%.1f%% -> %.1f%%)"
+       (100.0 *. fixed.Cluster.abort_rate)
+       (100.0 *. adaptive.Cluster.abort_rate))
+    true
+    (adaptive.Cluster.abort_rate < fixed.Cluster.abort_rate);
+  check "still commits plenty" true
+    (adaptive.Cluster.write_tps > fixed.Cluster.write_tps /. 2.0)
+
+let () =
+  Alcotest.run "admission"
+    [
+      ( "controller",
+        [
+          Alcotest.test_case "grows" `Quick test_window_grows_when_healthy;
+          Alcotest.test_case "shrinks" `Quick test_window_shrinks_on_aborts;
+          Alcotest.test_case "bounded" `Quick test_window_bounded;
+        ] );
+      ( "in cluster",
+        [
+          Alcotest.test_case "cuts aborts" `Quick
+            test_adaptive_cluster_cuts_aborts;
+        ] );
+    ]

@@ -1,0 +1,116 @@
+module Tango = Hyder_baselines.Tango
+module Inmem = Hyder_baselines.Inmem_hyder
+module Ycsb = Hyder_workload.Ycsb
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let store () = Tango.create ~genesis:(Array.init 100 (fun k -> (k, "v" ^ string_of_int k)))
+
+let test_tango_read_write () =
+  let s = store () in
+  let t = Tango.Txn.begin_ s in
+  Alcotest.(check (option string)) "read" (Some "v5") (Tango.Txn.read t 5);
+  Tango.Txn.write t 5 "new";
+  Alcotest.(check (option string)) "read own write" (Some "new")
+    (Tango.Txn.read t 5);
+  let e = Tango.Txn.finish t in
+  check "applies cleanly" true (Tango.apply s e);
+  Alcotest.(check (option string)) "installed" (Some "new") (Tango.lookup s 5)
+
+let test_tango_conflict_detection () =
+  let s = store () in
+  (* two concurrent txns, both read-modify-write key 7 *)
+  let t1 = Tango.Txn.begin_ s and t2 = Tango.Txn.begin_ s in
+  ignore (Tango.Txn.read t1 7);
+  ignore (Tango.Txn.read t2 7);
+  Tango.Txn.write t1 7 "one";
+  Tango.Txn.write t2 7 "two";
+  let e1 = Tango.Txn.finish t1 and e2 = Tango.Txn.finish t2 in
+  check "first commits" true (Tango.apply s e1);
+  check "second aborts" false (Tango.apply s e2);
+  Alcotest.(check (option string)) "first wins" (Some "one") (Tango.lookup s 7)
+
+let test_tango_blind_writes_dont_conflict () =
+  let s = store () in
+  let t1 = Tango.Txn.begin_ s and t2 = Tango.Txn.begin_ s in
+  Tango.Txn.write t1 7 "one";
+  Tango.Txn.write t2 7 "two";
+  check "both blind writes commit" true
+    (Tango.apply s (Tango.Txn.finish t1) && Tango.apply s (Tango.Txn.finish t2));
+  Alcotest.(check (option string)) "last wins" (Some "two") (Tango.lookup s 7)
+
+let test_tango_absent_key_read_validated () =
+  let s = store () in
+  let t1 = Tango.Txn.begin_ s and t2 = Tango.Txn.begin_ s in
+  check "absent" true (Tango.Txn.read t1 999 = None);
+  Tango.Txn.write t1 50 "acted-on-absence";
+  Tango.Txn.write t2 999 "now present";
+  check "inserter commits" true (Tango.apply s (Tango.Txn.finish t2));
+  check "reader aborts" false (Tango.apply s (Tango.Txn.finish t1))
+
+let test_tango_counters () =
+  let s = store () in
+  let t = Tango.Txn.begin_ s in
+  Tango.Txn.write t 1 "x";
+  ignore (Tango.apply s (Tango.Txn.finish t));
+  check_int "applied" 1 (Tango.applied s);
+  check_int "committed" 1 (Tango.committed s);
+  check_int "size" 100 (Tango.size s);
+  let t = Tango.Txn.begin_ s in
+  Tango.Txn.write t 500 "new-key";
+  ignore (Tango.apply s (Tango.Txn.finish t));
+  check_int "insert grows" 101 (Tango.size s)
+
+let test_tango_entry_size () =
+  let s = store () in
+  let t = Tango.Txn.begin_ s in
+  ignore (Tango.Txn.read t 1);
+  Tango.Txn.write t 2 "abcdef";
+  let e = Tango.Txn.finish t in
+  check "encoded size positive and small" true
+    (Tango.encoded_size e > 5 && Tango.encoded_size e < 100)
+
+let test_inmem_hyder_runs () =
+  let workload =
+    { Ycsb.default with Ycsb.record_count = 5_000; payload_size = 32 }
+  in
+  let r = Inmem.run ~txns:2_000 ~zone_cap:64 ~workload () in
+  check "meld time positive" true (r.Inmem.meld_us > 0.0);
+  check "tps sane" true (r.Inmem.meld_bound_tps > 1_000.0);
+  check "some nodes visited" true (r.Inmem.fm_nodes_per_txn > 1.0);
+  check "abort rate small" true (r.Inmem.abort_rate < 0.3)
+
+let test_inmem_hyder_zone_sensitivity () =
+  let workload =
+    { Ycsb.default with Ycsb.record_count = 5_000; payload_size = 32 }
+  in
+  let small = Inmem.run ~txns:2_000 ~zone_cap:8 ~workload () in
+  let large = Inmem.run ~txns:2_000 ~zone_cap:512 ~workload () in
+  check
+    (Printf.sprintf "bigger zone, more meld work (%.1f vs %.1f)"
+       small.Inmem.fm_nodes_per_txn large.Inmem.fm_nodes_per_txn)
+    true
+    (large.Inmem.fm_nodes_per_txn > small.Inmem.fm_nodes_per_txn)
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "tango",
+        [
+          Alcotest.test_case "read/write" `Quick test_tango_read_write;
+          Alcotest.test_case "conflicts" `Quick test_tango_conflict_detection;
+          Alcotest.test_case "blind writes" `Quick
+            test_tango_blind_writes_dont_conflict;
+          Alcotest.test_case "absent reads" `Quick
+            test_tango_absent_key_read_validated;
+          Alcotest.test_case "counters" `Quick test_tango_counters;
+          Alcotest.test_case "entry size" `Quick test_tango_entry_size;
+        ] );
+      ( "in-memory hyder",
+        [
+          Alcotest.test_case "runs" `Quick test_inmem_hyder_runs;
+          Alcotest.test_case "zone sensitivity" `Quick
+            test_inmem_hyder_zone_sensitivity;
+        ] );
+    ]

@@ -1,0 +1,217 @@
+open Hyder_tree
+module I = Hyder_codec.Intention
+module Codec = Hyder_codec.Codec
+module Executor = Hyder_core.Executor
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Build a draft by running an executor against a genesis snapshot. *)
+let make_draft ?(isolation = I.Serializable) ~snapshot ~snapshot_pos body =
+  let e =
+    Executor.begin_txn ~snapshot_pos ~snapshot ~server:3 ~txn_seq:17
+      ~isolation ()
+  in
+  body e;
+  match Executor.finish e with
+  | Some d -> d
+  | None -> Alcotest.fail "expected a draft"
+
+let resolver_of snapshot ~snapshot_pos : Codec.resolver =
+ fun ~snapshot:pos ~key ~vn ->
+  ignore vn;
+  check_int "resolver asked for the right snapshot" snapshot_pos pos;
+  match Tree.find snapshot key with
+  | Some n -> Node.Node n
+  | None -> Node.Empty
+
+let test_roundtrip_matches_assign () =
+  let snapshot = Helpers.genesis ~gap:10 500 in
+  let draft =
+    make_draft ~snapshot ~snapshot_pos:(-1) (fun e ->
+        Executor.write e 100 "updated";
+        Executor.write e 105 "inserted";
+        ignore (Executor.read e 200);
+        Executor.delete e 300)
+  in
+  let bytes = Codec.encode draft in
+  let decoded =
+    Codec.decode ~pos:7 ~resolve:(resolver_of snapshot ~snapshot_pos:(-1)) bytes
+  in
+  let assigned = I.assign ~pos:7 draft in
+  check "physically identical to assign" true
+    (Tree.physically_equal decoded.I.root assigned.I.root);
+  check_int "node counts agree" assigned.I.node_count decoded.I.node_count;
+  check_int "snapshot" (-1) decoded.I.snapshot;
+  check_int "server" 3 decoded.I.server;
+  check_int "txn_seq" 17 decoded.I.txn_seq;
+  check "isolation" true (decoded.I.isolation = I.Serializable);
+  check_int "byte size recorded" (String.length bytes) decoded.I.byte_size
+
+let test_roundtrip_snapshot_isolation_smaller () =
+  let snapshot = Helpers.genesis ~gap:10 500 in
+  let body e =
+    for i = 0 to 7 do
+      ignore (Executor.read e (i * 50))
+    done;
+    Executor.write e 100 "x";
+    Executor.write e 200 "y"
+  in
+  let sr = make_draft ~isolation:I.Serializable ~snapshot ~snapshot_pos:(-1) body in
+  let si =
+    make_draft ~isolation:I.Snapshot_isolation ~snapshot ~snapshot_pos:(-1) body
+  in
+  let sr_size = Codec.encoded_size sr in
+  let si_size = Codec.encoded_size si in
+  check
+    (Printf.sprintf "SI intention much smaller (%d vs %d)" si_size sr_size)
+    true
+    (si_size * 2 < sr_size)
+
+let test_decode_rejects_corruption () =
+  let snapshot = Helpers.genesis ~gap:10 100 in
+  let draft =
+    make_draft ~snapshot ~snapshot_pos:(-1) (fun e -> Executor.write e 10 "v")
+  in
+  let bytes = Codec.encode draft in
+  let resolve = resolver_of snapshot ~snapshot_pos:(-1) in
+  (* Truncation *)
+  (try
+     ignore
+       (Codec.decode ~pos:1 ~resolve (String.sub bytes 0 (String.length bytes / 2)));
+     Alcotest.fail "expected Corrupt"
+   with Codec.Corrupt _ -> ());
+  (* Trailing garbage *)
+  try
+    ignore (Codec.decode ~pos:1 ~resolve (bytes ^ "zz"));
+    Alcotest.fail "expected Corrupt"
+  with Codec.Corrupt _ -> ()
+
+let test_blocks_roundtrip_single () =
+  let payload = "some intention bytes" in
+  let blocks = Codec.Blocks.split ~block_size:8192 ~server:1 ~txn_seq:5 payload in
+  check_int "one block" 1 (List.length blocks);
+  let r = Codec.Blocks.Reassembler.create () in
+  match Codec.Blocks.Reassembler.feed r ~pos:42 (List.hd blocks) with
+  | Some (pos, bytes) ->
+      check_int "position of last block" 42 pos;
+      Alcotest.(check string) "payload" payload bytes
+  | None -> Alcotest.fail "expected completion"
+
+let test_blocks_roundtrip_multi () =
+  let payload = String.init 20_000 (fun i -> Char.chr (i mod 256)) in
+  let blocks = Codec.Blocks.split ~block_size:4096 ~server:2 ~txn_seq:9 payload in
+  check "multiple blocks" true (List.length blocks > 4);
+  List.iter
+    (fun b -> check "fits page" true (String.length b <= 4096))
+    blocks;
+  check_int "count formula agrees"
+    (List.length blocks)
+    (Codec.Blocks.blocks_needed ~block_size:4096 (String.length payload));
+  let r = Codec.Blocks.Reassembler.create () in
+  let result = ref None in
+  List.iteri
+    (fun i b ->
+      match Codec.Blocks.Reassembler.feed r ~pos:(100 + i) b with
+      | Some (pos, bytes) ->
+          check_int "last block position" (100 + List.length blocks - 1) pos;
+          result := Some bytes
+      | None -> check "only last completes" true (i < List.length blocks - 1))
+    blocks;
+  Alcotest.(check (option string)) "payload intact" (Some payload) !result;
+  check_int "no pending" 0 (Codec.Blocks.Reassembler.pending r)
+
+let test_blocks_interleaved_servers () =
+  let pa = String.make 9000 'a' and pb = String.make 9000 'b' in
+  let ba = Codec.Blocks.split ~block_size:4096 ~server:0 ~txn_seq:1 pa in
+  let bb = Codec.Blocks.split ~block_size:4096 ~server:1 ~txn_seq:1 pb in
+  let r = Codec.Blocks.Reassembler.create () in
+  let done_ = ref [] in
+  let pos = ref 0 in
+  let feed b =
+    (match Codec.Blocks.Reassembler.feed r ~pos:!pos b with
+    | Some (p, bytes) -> done_ := (p, bytes) :: !done_
+    | None -> ());
+    incr pos
+  in
+  (* Interleave the two servers' block streams. *)
+  List.iter2 (fun a b -> feed a; feed b) ba bb;
+  check_int "both completed" 2 (List.length !done_);
+  let by_content c = List.find (fun (_, b) -> b.[0] = c) !done_ in
+  check "a intact" true (snd (by_content 'a') = pa);
+  check "b intact" true (snd (by_content 'b') = pb)
+
+let test_blocks_checksum_detects_flip () =
+  let blocks = Codec.Blocks.split ~block_size:8192 ~server:0 ~txn_seq:0 "data" in
+  let b = Bytes.of_string (List.hd blocks) in
+  Bytes.set b (Bytes.length b - 1) 'X';
+  let r = Codec.Blocks.Reassembler.create () in
+  try
+    ignore (Codec.Blocks.Reassembler.feed r ~pos:0 (Bytes.to_string b));
+    Alcotest.fail "expected Corrupt"
+  with Codec.Corrupt _ -> ()
+
+let test_read_only_regions_become_refs () =
+  (* A write touches one path; the rest of the tree must serialize as
+     references, keeping intentions small. *)
+  let snapshot = Helpers.genesis 10_000 in
+  let draft =
+    make_draft ~snapshot ~snapshot_pos:(-1) (fun e -> Executor.write e 5000 "v")
+  in
+  let size = Codec.encoded_size draft in
+  check (Printf.sprintf "intention is small (%d bytes)" size) true (size < 2000);
+  let assigned = I.assign ~pos:3 draft in
+  check
+    (Printf.sprintf "path-sized node count (%d)" assigned.I.node_count)
+    true
+    (assigned.I.node_count < 40)
+
+(* Property: encode/decode roundtrip equals assign for random transactions. *)
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"codec roundtrip = assign" ~count:100
+    QCheck2.Gen.(
+      pair (list_size (int_range 1 10) (int_bound 499))
+        (list_size (int_range 0 6) (int_bound 499)))
+    (fun (writes, reads) ->
+      let snapshot = Helpers.genesis ~gap:3 500 in
+      let draft =
+        make_draft ~snapshot ~snapshot_pos:(-1) (fun e ->
+            List.iter (fun k -> ignore (Executor.read e (k * 3))) reads;
+            List.iter (fun k -> Executor.write e (k * 3) "w") writes)
+      in
+      let bytes = Codec.encode draft in
+      let decoded =
+        Codec.decode ~pos:11
+          ~resolve:(fun ~snapshot:_ ~key ~vn:_ ->
+            match Tree.find snapshot key with
+            | Some n -> Node.Node n
+            | None -> Node.Empty)
+          bytes
+      in
+      Tree.physically_equal decoded.I.root (I.assign ~pos:11 draft).I.root)
+
+let () =
+  Alcotest.run "codec"
+    [
+      ( "intentions",
+        [
+          Alcotest.test_case "roundtrip = assign" `Quick
+            test_roundtrip_matches_assign;
+          Alcotest.test_case "SI smaller than SR" `Quick
+            test_roundtrip_snapshot_isolation_smaller;
+          Alcotest.test_case "rejects corruption" `Quick
+            test_decode_rejects_corruption;
+          Alcotest.test_case "untouched regions are refs" `Quick
+            test_read_only_regions_become_refs;
+        ] );
+      ( "blocks",
+        [
+          Alcotest.test_case "single block" `Quick test_blocks_roundtrip_single;
+          Alcotest.test_case "multi block" `Quick test_blocks_roundtrip_multi;
+          Alcotest.test_case "interleaved servers" `Quick
+            test_blocks_interleaved_servers;
+          Alcotest.test_case "checksum" `Quick test_blocks_checksum_detects_flip;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_roundtrip ] );
+    ]

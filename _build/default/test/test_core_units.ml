@@ -1,0 +1,316 @@
+open Hyder_tree
+module State_store = Hyder_core.State_store
+module Intention_cache = Hyder_core.Intention_cache
+module Executor = Hyder_core.Executor
+module Oracle = Hyder_core.Oracle
+module I = Hyder_codec.Intention
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- state store --------------------------------------------------------- *)
+
+let mini_state n =
+  Tree.of_sorted_array (Array.init n (fun k -> (k, Helpers.payload k)))
+
+let test_state_store_basics () =
+  let genesis = mini_state 3 in
+  let s = State_store.create ~genesis () in
+  let seq, pos, tree = State_store.latest s in
+  check_int "genesis seq" (-1) seq;
+  check_int "genesis pos" (-1) pos;
+  check "genesis tree" true (tree == genesis);
+  let s0 = mini_state 4 and s1 = mini_state 5 in
+  State_store.record s ~seq:0 ~pos:2 s0;
+  State_store.record s ~seq:1 ~pos:7 s1;
+  let seq, pos, tree = State_store.latest s in
+  check_int "latest seq" 1 seq;
+  check_int "latest pos" 7 pos;
+  check "latest tree" true (tree == s1);
+  check "by_seq genesis" true (State_store.by_seq s (-1) = Some genesis);
+  check "by_seq 0" true (State_store.by_seq s 0 = Some s0);
+  check "by_seq missing" true (State_store.by_seq s 5 = None)
+
+let test_state_store_by_pos () =
+  let genesis = mini_state 3 in
+  let s = State_store.create ~genesis () in
+  State_store.record s ~seq:0 ~pos:2 (mini_state 4);
+  State_store.record s ~seq:1 ~pos:7 (mini_state 5);
+  State_store.record s ~seq:2 ~pos:8 (mini_state 6);
+  (* position between entries resolves to the newest at-or-before *)
+  check "pos -1 genesis" true (State_store.by_pos s (-1) = Some genesis);
+  check "pos 1 -> genesis (nothing recorded yet)" true
+    (State_store.by_pos s 1 = Some genesis);
+  check_int "seq_of_pos 7" 1 (State_store.seq_of_pos s 7);
+  check_int "seq_of_pos 7.5-ish" 1 (State_store.seq_of_pos s 7);
+  check_int "seq_of_pos big" 2 (State_store.seq_of_pos s 100);
+  check "by_pos exact" true
+    (match State_store.by_pos s 8 with
+    | Some t -> Tree.live_size t = 6
+    | None -> false)
+
+let test_state_store_ordering_enforced () =
+  let s = State_store.create ~genesis:(mini_state 1) () in
+  State_store.record s ~seq:0 ~pos:5 (mini_state 2);
+  (try
+     State_store.record s ~seq:2 ~pos:9 (mini_state 2);
+     Alcotest.fail "expected seq gap rejection"
+   with Invalid_argument _ -> ());
+  try
+    State_store.record s ~seq:1 ~pos:5 (mini_state 2);
+    Alcotest.fail "expected pos regression rejection"
+  with Invalid_argument _ -> ()
+
+let test_state_store_prune () =
+  let s = State_store.create ~genesis:(mini_state 1) () in
+  for i = 0 to 99 do
+    State_store.record s ~seq:i ~pos:(2 * (i + 1)) (mini_state (i + 2))
+  done;
+  check_int "retained" 100 (State_store.retained s);
+  State_store.prune s ~keep:10;
+  check_int "pruned" 10 (State_store.retained s);
+  check "old state gone" true (State_store.by_seq s 10 = None);
+  check "recent state kept" true (State_store.by_seq s 95 <> None);
+  (* pruned history: positions before the window are unknown, not genesis *)
+  check "by_pos before window" true (State_store.by_pos s 50 = None);
+  check "genesis still addressable" true (State_store.by_pos s (-1) <> None)
+
+let test_state_store_grows_past_initial_capacity () =
+  let s = State_store.create ~genesis:(mini_state 1) () in
+  for i = 0 to 9_999 do
+    State_store.record s ~seq:i ~pos:(i + 1) (mini_state 2)
+  done;
+  check_int "all retained" 10_000 (State_store.retained s);
+  check_int "binary search still right" 5_000 (State_store.seq_of_pos s 5_001)
+
+let test_resolver_finds_snapshot_nodes () =
+  let genesis = mini_state 10 in
+  let s = State_store.create ~genesis () in
+  let resolve = State_store.resolver s in
+  (match resolve ~snapshot:(-1) ~key:5 ~vn:(Vn.genesis ~idx:0) with
+  | Node.Node n -> check_int "found key" 5 n.Node.key
+  | Node.Empty -> Alcotest.fail "expected node");
+  match resolve ~snapshot:(-1) ~key:555 ~vn:(Vn.genesis ~idx:0) with
+  | Node.Empty -> ()
+  | Node.Node _ -> Alcotest.fail "expected empty"
+
+(* --- intention cache ------------------------------------------------------ *)
+
+let node_for k =
+  match Tree.find (mini_state (k + 1)) k with
+  | Some n -> Node.Node n
+  | None -> assert false
+
+let test_cache_add_find () =
+  let c = Intention_cache.create ~capacity:4 () in
+  let nodes = [| node_for 0; node_for 1 |] in
+  Intention_cache.add c ~pos:10 nodes;
+  check "hit" true (Intention_cache.find c ~pos:10 ~idx:1 = Some nodes.(1));
+  check "miss idx" true (Intention_cache.find c ~pos:10 ~idx:9 = None);
+  check "miss pos" true (Intention_cache.find c ~pos:11 ~idx:0 = None)
+
+let test_cache_eviction_fifo () =
+  let c = Intention_cache.create ~capacity:2 () in
+  let keep = [| node_for 1 |] in
+  Intention_cache.add c ~pos:1 keep;
+  Intention_cache.add c ~pos:2 keep;
+  Intention_cache.add c ~pos:3 keep;
+  check_int "bounded" 2 (Intention_cache.cached c);
+  check "oldest evicted" true (Intention_cache.find c ~pos:1 ~idx:0 = None);
+  check "newest kept" true (Intention_cache.find c ~pos:3 ~idx:0 <> None)
+
+let test_cache_is_weak () =
+  let c = Intention_cache.create () in
+  let make () = [| node_for 2 |] in
+  Intention_cache.add c ~pos:5 (make ());
+  (* Nothing else references the node: a full GC may reclaim it.  The cache
+     must degrade to a miss, never a dangling value. *)
+  Gc.full_major ();
+  Gc.full_major ();
+  match Intention_cache.find c ~pos:5 ~idx:0 with
+  | None -> ()
+  | Some (Node.Node n) -> check_int "if alive, it is the right node" 2 n.Node.key
+  | Some Node.Empty -> Alcotest.fail "never Empty"
+
+(* --- executor isolation paths --------------------------------------------- *)
+
+let test_executor_read_committed_sees_fresh () =
+  let snap = mini_state 10 in
+  let current = ref snap in
+  let e =
+    Executor.begin_txn
+      ~current:(fun () -> !current)
+      ~snapshot_pos:(-1) ~snapshot:snap ~server:0 ~txn_seq:0
+      ~isolation:I.Read_committed ()
+  in
+  check "initial" true
+    (Executor.read e 3 = Some (Helpers.payload 3));
+  (* another transaction commits meanwhile *)
+  let fresh = ref 0 in
+  let upd =
+    Tree.upsert snap ~owner:Node.state_owner
+      ~fresh:(fun () -> incr fresh; Vn.genesis ~idx:(1000 + !fresh))
+      3 (Payload.value "fresh")
+  in
+  current := upd;
+  check "read-committed sees it" true
+    (Executor.read e 3 = Some (Payload.value "fresh"));
+  (* but own writes still win *)
+  Executor.write e 3 "mine";
+  check "own write wins" true (Executor.read e 3 = Some (Payload.value "mine"))
+
+let test_executor_si_records_no_deps () =
+  let snap = mini_state 10 in
+  let e =
+    Executor.begin_txn ~snapshot_pos:(-1) ~snapshot:snap ~server:0 ~txn_seq:0
+      ~isolation:I.Snapshot_isolation ()
+  in
+  ignore (Executor.read e 1);
+  ignore (Executor.read_range e ~lo:2 ~hi:5);
+  Executor.write e 7 "w";
+  let draft = Option.get (Executor.finish e) in
+  let deps = ref 0 in
+  Tree.iter draft.I.root (fun n ->
+      if n.Node.owner = I.draft_owner
+         && (n.Node.depends_on_content || n.Node.depends_on_structure)
+      then incr deps);
+  check_int "no dependency metadata under SI" 0 !deps
+
+let test_executor_finish_read_only () =
+  let e =
+    Executor.begin_txn ~snapshot_pos:(-1) ~snapshot:(mini_state 5) ~server:0
+      ~txn_seq:0 ~isolation:I.Serializable ()
+  in
+  ignore (Executor.read e 1);
+  check "read-only yields no draft" true (Executor.finish e = None);
+  Alcotest.check_raises "use after finish"
+    (Invalid_argument "Executor.read: finished") (fun () ->
+      ignore (Executor.read e 1))
+
+let test_executor_introspection () =
+  let e =
+    Executor.begin_txn ~snapshot_pos:(-1) ~snapshot:(mini_state 10) ~server:0
+      ~txn_seq:0 ~isolation:I.Serializable ()
+  in
+  ignore (Executor.read e 1);
+  ignore (Executor.read e 2);
+  Executor.write e 3 "x";
+  Executor.delete e 4;
+  check "reads tracked" true (List.sort compare (Executor.reads e) = [ 1; 2 ]);
+  check "writes tracked" true (List.sort compare (Executor.writes e) = [ 3; 4 ]);
+  check_int "snapshot pos" (-1) (Executor.snapshot_pos e)
+
+(* --- checkpoint ------------------------------------------------------------ *)
+
+let test_checkpoint_compacts_tombstones () =
+  let module Local = Hyder_core.Local in
+  let h = Local.create ~genesis:(mini_state 100) () in
+  ignore (Local.txn h (fun e -> Executor.delete e 10));
+  ignore (Local.txn h (fun e -> Executor.delete e 20));
+  ignore (Local.txn h (fun e -> Executor.write e 30 "fresh"));
+  let _, _, state = Local.lcs h in
+  let compacted, stats = Hyder_core.Checkpoint.compact ~pos:1_000_000 state in
+  check_int "tombstones dropped" 2 stats.Hyder_core.Checkpoint.tombstones_dropped;
+  check_int "live nodes" 98 stats.Hyder_core.Checkpoint.live_nodes;
+  check_int "structure shrinks" 98 (Tree.size compacted);
+  (match Tree.validate compacted with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid checkpoint: %s" e);
+  check "same logical content" true
+    (Tree.to_alist compacted = Tree.to_alist state);
+  (* content versions preserved so later conflict checks still work *)
+  let before = Option.get (Tree.find state 30) in
+  let after = Option.get (Tree.find compacted 30) in
+  check "cv preserved" true (Vn.equal before.Node.cv after.Node.cv)
+
+let test_checkpoint_deterministic () =
+  let module Local = Hyder_core.Local in
+  let h = Local.create ~genesis:(mini_state 50) () in
+  ignore (Local.txn h (fun e -> Executor.delete e 5));
+  let _, _, state = Local.lcs h in
+  let a, _ = Hyder_core.Checkpoint.compact ~pos:777 state in
+  let b, _ = Hyder_core.Checkpoint.compact ~pos:777 state in
+  check "physically identical" true (Tree.physically_equal a b)
+
+let test_checkpoint_usable_as_genesis () =
+  let module Local = Hyder_core.Local in
+  let h = Local.create ~genesis:(mini_state 50) () in
+  ignore (Local.txn h (fun e -> Executor.delete e 5));
+  let _, _, state = Local.lcs h in
+  let compacted, _ = Hyder_core.Checkpoint.compact ~pos:777 state in
+  let h2 = Local.create ~genesis:compacted () in
+  let v, ds = Local.txn h2 (fun e -> Executor.write e 6 "after-checkpoint") in
+  ignore v;
+  check "txns run on checkpointed state" true
+    (List.for_all (fun d -> d.Hyder_core.Pipeline.committed) ds)
+
+(* --- oracle ---------------------------------------------------------------- *)
+
+let test_oracle_basics () =
+  let o = Oracle.create () in
+  (* txn 0: writes k1 from genesis snapshot *)
+  check "t0 commits" true
+    (Oracle.decide o ~snapshot_seq:(-1) ~isolation:I.Serializable ~reads:[]
+       ~writes:[ 1 ]);
+  (* txn 1: stale snapshot, reads k1 -> conflict *)
+  check "stale reader aborts" false
+    (Oracle.decide o ~snapshot_seq:(-1) ~isolation:I.Serializable
+       ~reads:[ 1 ] ~writes:[ 9 ]);
+  (* txn 2: same stale snapshot but SI ignores the read *)
+  check "SI reader commits" true
+    (Oracle.decide o ~snapshot_seq:(-1) ~isolation:I.Snapshot_isolation
+       ~reads:[ 1 ] ~writes:[ 8 ]);
+  (* txn 3: fresh snapshot sees everything *)
+  check "fresh commits" true
+    (Oracle.decide o ~snapshot_seq:2 ~isolation:I.Serializable ~reads:[ 1; 8 ]
+       ~writes:[ 1 ]);
+  check_int "seq advances per decide" 4 (Oracle.next_seq o);
+  (* aborted writes are not installed: reading k9 from genesis is fine *)
+  check "aborted write not installed" true
+    (Oracle.decide o ~snapshot_seq:(-1) ~isolation:I.Serializable
+       ~reads:[ 9 ] ~writes:[ 9 ])
+
+let () =
+  Alcotest.run "core units"
+    [
+      ( "state store",
+        [
+          Alcotest.test_case "basics" `Quick test_state_store_basics;
+          Alcotest.test_case "by_pos" `Quick test_state_store_by_pos;
+          Alcotest.test_case "ordering" `Quick
+            test_state_store_ordering_enforced;
+          Alcotest.test_case "prune" `Quick test_state_store_prune;
+          Alcotest.test_case "growth" `Quick
+            test_state_store_grows_past_initial_capacity;
+          Alcotest.test_case "resolver" `Quick
+            test_resolver_finds_snapshot_nodes;
+        ] );
+      ( "intention cache",
+        [
+          Alcotest.test_case "add/find" `Quick test_cache_add_find;
+          Alcotest.test_case "fifo eviction" `Quick test_cache_eviction_fifo;
+          Alcotest.test_case "weak" `Quick test_cache_is_weak;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "read committed" `Quick
+            test_executor_read_committed_sees_fresh;
+          Alcotest.test_case "SI records no deps" `Quick
+            test_executor_si_records_no_deps;
+          Alcotest.test_case "read-only finish" `Quick
+            test_executor_finish_read_only;
+          Alcotest.test_case "introspection" `Quick
+            test_executor_introspection;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "compacts" `Quick
+            test_checkpoint_compacts_tombstones;
+          Alcotest.test_case "deterministic" `Quick
+            test_checkpoint_deterministic;
+          Alcotest.test_case "usable as genesis" `Quick
+            test_checkpoint_usable_as_genesis;
+        ] );
+      ( "oracle",
+        [ Alcotest.test_case "basics" `Quick test_oracle_basics ] );
+    ]

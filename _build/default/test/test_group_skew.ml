@@ -1,0 +1,156 @@
+(* Group meld snapshot-skew corner cases (DESIGN.md §6.2).
+
+   The two members of a group are adjacent in the log but their snapshots
+   can be ordered either way.  These tests pin the deferral logic directly:
+
+   - NEWER-second: I2's snapshot includes commits I1's predates.  Data that
+     I2 read from those commits must not false-conflict against I1's older
+     view — the check defers to final meld.
+   - OLDER-second: I2's snapshot predates I1's.  Changes committed between
+     the snapshots are genuinely inside I2's conflict zone and must abort
+     it even though its partner saw them. *)
+
+open Hyder_tree
+module Local = Hyder_core.Local
+module Executor = Hyder_core.Executor
+module Pipeline = Hyder_core.Pipeline
+module State_store = Hyder_core.State_store
+module I = Hyder_codec.Intention
+
+let check = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let group_harness () =
+  Local.create ~config:Pipeline.with_group_meld
+    ~genesis:(Helpers.genesis ~gap:10 200) ()
+
+let value lcs k =
+  match Tree.lookup lcs k with
+  | Some (Payload.Value v) -> v
+  | Some Payload.Tombstone -> "<dead>"
+  | None -> "<absent>"
+
+(* Begin a transaction pinned to an explicit past state (by lag in
+   sequence numbers). *)
+let begin_at h ~lag ?(isolation = I.Serializable) () =
+  let states = Pipeline.states (Local.pipeline h) in
+  let lcs_seq, lcs_pos, _ = Local.lcs h in
+  let seq = max (-1) (lcs_seq - lag) in
+  let snapshot = Option.get (State_store.by_seq states seq) in
+  let pos = if seq < 0 then -1 else lcs_pos - (2 * (lcs_seq - seq)) in
+  Helpers.txn_counter := !Helpers.txn_counter + 1;
+  Executor.begin_txn ~snapshot_pos:pos ~snapshot ~server:0
+    ~txn_seq:!Helpers.txn_counter ~isolation ()
+
+let test_newer_second_member_no_false_conflict () =
+  let h = group_harness () in
+  (* C commits a write to key 100 (as its own full group). *)
+  ignore (Local.txn h (fun e -> Executor.write e 100 "from-C"));
+  ignore (Local.txn h (fun e -> Executor.write e 110 "filler"));
+  (* I1 runs on a snapshot OLDER than C's commit but touches nothing of
+     C's; I2 runs on the newest snapshot and READS C's key. *)
+  let i1 = begin_at h ~lag:2 () in
+  let i2 = begin_at h ~lag:0 () in
+  Executor.write i1 120 "i1";
+  check_str "I2 sees C's write" "from-C"
+    (match Executor.read i2 100 with
+    | Some (Payload.Value v) -> v
+    | _ -> "?");
+  Executor.write i2 130 "i2";
+  let ds = Helpers.commit h i1 @ Helpers.commit h i2 in
+  check "both decided" true (List.length ds = 2);
+  List.iter
+    (fun (d : Pipeline.decision) ->
+      check "no false conflict from snapshot skew" true d.Pipeline.committed)
+    ds;
+  let _, _, lcs = Local.lcs h in
+  check_str "i1 applied" "i1" (value lcs 120);
+  check_str "i2 applied" "i2" (value lcs 130)
+
+let test_older_second_member_genuine_conflict () =
+  let h = group_harness () in
+  (* C commits a write to key 100. *)
+  ignore (Local.txn h (fun e -> Executor.write e 100 "from-C"));
+  ignore (Local.txn h (fun e -> Executor.write e 110 "filler"));
+  (* I1 on the newest snapshot; I2 pinned BEFORE C and reading C's key:
+     C is in I2's conflict zone, so I2 must abort — even though its group
+     partner's snapshot already includes C. *)
+  let i1 = begin_at h ~lag:0 () in
+  let i2 = begin_at h ~lag:2 () in
+  Executor.write i1 120 "i1";
+  check_str "I2 reads the stale value" "v100"
+    (match Executor.read i2 100 with
+    | Some (Payload.Value v) -> v
+    | _ -> "?");
+  Executor.write i2 130 "i2";
+  let ds = Helpers.commit h i1 @ Helpers.commit h i2 in
+  check "both decided" true (List.length ds = 2);
+  (* I2's conflict is against committed history (not against its partner),
+     so it is found at FINAL meld and fate-shares the whole group: both
+     abort.  (With premeld enabled, the conflict would be found early and
+     I1 would be spared — see the premeld pipeline tests.) *)
+  List.iter
+    (fun (d : Pipeline.decision) ->
+      check "fate shared: aborts" false d.Pipeline.committed;
+      check "decided at final meld" true
+        (d.Pipeline.decided_at = Pipeline.At_final_meld))
+    ds;
+  let _, _, lcs = Local.lcs h in
+  check_str "i2's write not applied" "v130" (value lcs 130);
+  check_str "i1 dragged down too" "v120" (value lcs 120)
+
+let test_skewed_insert_visibility () =
+  let h = group_harness () in
+  (* C inserts a brand-new key. *)
+  ignore (Local.txn h (fun e -> Executor.write e 105 "new-key"));
+  ignore (Local.txn h (fun e -> Executor.write e 110 "filler"));
+  (* I1 pinned before the insert (cannot see key 105), I2 on the newest
+     snapshot UPDATES it.  Group meld must splice I2's update through
+     I1's older view without declaring an insert-insert conflict. *)
+  let i1 = begin_at h ~lag:2 () in
+  let i2 = begin_at h ~lag:0 () in
+  Executor.write i1 120 "i1";
+  Executor.write i2 105 "updated-new-key";
+  let ds = Helpers.commit h i1 @ Helpers.commit h i2 in
+  List.iter
+    (fun (d : Pipeline.decision) -> check "both commit" true d.Pipeline.committed)
+    ds;
+  let _, _, lcs = Local.lcs h in
+  check_str "update applied over the skew" "updated-new-key" (value lcs 105)
+
+let test_skew_matches_plain_when_conflict_free () =
+  (* With no conflicts anywhere, fate sharing has nothing to couple and
+     group meld must agree with plain meld despite the snapshot skew. *)
+  let run config =
+    let h =
+      Local.create ~config ~genesis:(Helpers.genesis ~gap:10 200) ()
+    in
+    ignore (Local.txn h (fun e -> Executor.write e 100 "from-C"));
+    ignore (Local.txn h (fun e -> Executor.write e 110 "filler"));
+    let i1 = begin_at h ~lag:2 () in
+    let i2 = begin_at h ~lag:0 () in
+    ignore (Executor.read i1 150);
+    Executor.write i1 120 "i1";
+    ignore (Executor.read i2 100) (* fresh snapshot: sees C, no conflict *);
+    Executor.write i2 130 "i2";
+    let ds = Helpers.commit h i1 @ Helpers.commit h i2 @ Local.flush h in
+    List.map (fun (d : Pipeline.decision) -> d.Pipeline.committed) ds
+  in
+  check "plain and group agree here" true
+    (run Pipeline.plain = run Pipeline.with_group_meld)
+
+let () =
+  Alcotest.run "group skew"
+    [
+      ( "snapshot skew",
+        [
+          Alcotest.test_case "newer second member" `Quick
+            test_newer_second_member_no_false_conflict;
+          Alcotest.test_case "older second member" `Quick
+            test_older_second_member_genuine_conflict;
+          Alcotest.test_case "insert visibility" `Quick
+            test_skewed_insert_visibility;
+          Alcotest.test_case "matches plain when conflict-free" `Quick
+            test_skew_matches_plain_when_conflict_free;
+        ] );
+    ]

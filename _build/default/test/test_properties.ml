@@ -1,0 +1,282 @@
+(* Randomized end-to-end properties, complementing the fixed-seed scenarios
+   in test_pipeline.ml:
+
+   - arbitrary transaction streams (mixed isolation, stale snapshots,
+     inserts, deletes) decided by meld == decided by the OCC oracle, and the
+     final state equals the committed-writes replay;
+   - the decisions are identical with premeld on;
+   - block streams survive arbitrary single-byte corruption (CRC) and
+     truncation without undefined behaviour;
+   - tree mutators never break the structural invariants. *)
+
+open Hyder_tree
+module Executor = Hyder_core.Executor
+module Pipeline = Hyder_core.Pipeline
+module Premeld = Hyder_core.Premeld
+module Oracle = Hyder_core.Oracle
+module Codec = Hyder_codec.Codec
+module I = Hyder_codec.Intention
+
+(* ---------------- random stream vs oracle, via qcheck ---------------- *)
+
+type op = R of int | W of int | D of int
+
+type spec = { lag : int; ops : op list; si : bool }
+
+let genesis_n = 150
+
+let spec_gen =
+  QCheck2.Gen.(
+    let op =
+      oneof
+        [
+          map (fun k -> R k) (int_bound (genesis_n - 1));
+          map (fun k -> W k) (int_bound (genesis_n - 1));
+          (* deletes target a small key range so delete/write/delete chains
+             actually collide *)
+          map (fun k -> D k) (int_bound 20);
+        ]
+    in
+    map3
+      (fun lag ops si -> { lag; ops; si })
+      (int_bound 8)
+      (list_size (int_range 1 6) op)
+      bool)
+
+let has_write spec =
+  List.exists (function W _ | D _ -> true | R _ -> false) spec.ops
+
+let replay ~config specs =
+  let genesis = Helpers.genesis genesis_n in
+  let p = Pipeline.create ~config ~genesis () in
+  let history = ref [ (-1, -1, genesis) ] in
+  let next_pos = ref 0 in
+  let results = ref [] in
+  let oracle = Oracle.create () in
+  let model = Hashtbl.create 64 in
+  for k = 0 to genesis_n - 1 do
+    Hashtbl.replace model k (Payload.value ("v" ^ string_of_int k))
+  done;
+  let decisions = ref [] in
+  List.iter
+    (fun spec ->
+      if has_write spec then begin
+        let hist = !history in
+        let lag = min spec.lag (List.length hist - 1) in
+        let snapshot_seq, snapshot_pos, snapshot = List.nth hist lag in
+        let isolation =
+          if spec.si then I.Snapshot_isolation else I.Serializable
+        in
+        let e =
+          Executor.begin_txn ~snapshot_pos ~snapshot ~server:0 ~txn_seq:0
+            ~isolation ()
+        in
+        (* reads of genesis keys that might be deleted: restrict validated
+           reads to keys >= 30, which are never deleted, so the oracle
+           comparison stays exact (absent-key reads are conservative). *)
+        let reads = ref [] and writes = ref [] in
+        List.iter
+          (function
+            | R k ->
+                let k = 30 + (k mod (genesis_n - 30)) in
+                ignore (Executor.read e k);
+                reads := k :: !reads
+            | W k ->
+                Executor.write e k "w";
+                writes := (k, Some "w") :: !writes
+            | D k ->
+                Executor.delete e k;
+                writes := (k, None) :: !writes)
+          spec.ops;
+        match Executor.finish e with
+        | None -> ()
+        | Some draft ->
+            next_pos := !next_pos + 2;
+            let intention = I.assign ~pos:!next_pos draft in
+            let expected =
+              Oracle.decide oracle ~snapshot_seq ~isolation ~reads:!reads
+                ~writes:(List.map fst !writes)
+            in
+            if expected then
+              List.iter
+                (fun (k, v) ->
+                  match v with
+                  | Some s -> Hashtbl.replace model k (Payload.value s)
+                  | None -> Hashtbl.remove model k)
+                (List.rev !writes);
+            results := expected :: !results;
+            decisions := Pipeline.submit p intention @ !decisions
+      end;
+      let seq, pos, tree = Pipeline.lcs p in
+      history := (seq, pos, tree) :: !history)
+    specs;
+  decisions := Pipeline.flush p @ !decisions;
+  let got =
+    List.map
+      (fun (d : Pipeline.decision) -> d.Pipeline.committed)
+      (List.sort
+         (fun (a : Pipeline.decision) b -> Int.compare a.Pipeline.seq b.Pipeline.seq)
+         !decisions)
+  in
+  let _, _, final = Pipeline.lcs p in
+  (List.rev !results, got, final, model)
+
+let prop_stream_matches_oracle config =
+  QCheck2.Test.make
+    ~name:
+      (Printf.sprintf "random stream == oracle (%s)"
+         (match config.Pipeline.premeld with
+         | Some _ -> "premeld"
+         | None -> "plain"))
+    ~count:60
+    QCheck2.Gen.(list_size (int_range 1 60) spec_gen)
+    (fun specs ->
+      let expected, got, final, model = replay ~config specs in
+      if expected <> got then
+        QCheck2.Test.fail_reportf "decision mismatch: %s vs %s"
+          (String.concat "" (List.map (fun b -> if b then "C" else "a") expected))
+          (String.concat "" (List.map (fun b -> if b then "C" else "a") got));
+      (* state equals model *)
+      Hashtbl.iter
+        (fun k v ->
+          match Tree.lookup final k with
+          | Some p when Payload.equal p v -> ()
+          | other ->
+              QCheck2.Test.fail_reportf "key %d: model %s, tree %s" k
+                (match v with Payload.Value s -> s | _ -> "?")
+                (match other with
+                | Some (Payload.Value s) -> s
+                | Some Payload.Tombstone -> "<dead>"
+                | None -> "<absent>"))
+        model;
+      Tree.live_size final = Hashtbl.length model
+      && Result.is_ok (Tree.validate final))
+
+let prop_premeld_equals_plain =
+  QCheck2.Test.make ~name:"premeld decisions == plain decisions" ~count:40
+    QCheck2.Gen.(list_size (int_range 5 50) spec_gen)
+    (fun specs ->
+      let _, plain, final_plain, _ = replay ~config:Pipeline.plain specs in
+      let _, pre, final_pre, _ =
+        replay
+          ~config:
+            {
+              Pipeline.premeld = Some { Premeld.threads = 3; distance = 2 };
+              group_size = 1;
+            }
+          specs
+      in
+      plain = pre
+      && Tree.to_alist final_plain = Tree.to_alist final_pre)
+
+(* ---------------- codec robustness ---------------- *)
+
+let make_blocks seed =
+  let rng = Hyder_util.Rng.create (Int64.of_int seed) in
+  let snapshot = Helpers.genesis 200 in
+  let e =
+    Executor.begin_txn ~snapshot_pos:(-1) ~snapshot ~server:1 ~txn_seq:seed
+      ~isolation:I.Serializable ()
+  in
+  for _ = 1 to 5 do
+    ignore (Executor.read e (Hyder_util.Rng.int rng 200));
+    Executor.write e (Hyder_util.Rng.int rng 200) "x"
+  done;
+  let draft = Option.get (Executor.finish e) in
+  Codec.Blocks.split ~block_size:256 ~server:1 ~txn_seq:seed
+    (Codec.encode draft)
+
+let prop_block_corruption_detected =
+  QCheck2.Test.make ~name:"flipping any block byte raises Corrupt" ~count:200
+    QCheck2.Gen.(triple (int_bound 1000) (int_bound 10_000) (int_range 1 255))
+    (fun (seed, byte_pos, delta) ->
+      let blocks = make_blocks seed in
+      let blocks = Array.of_list blocks in
+      let bi = byte_pos mod Array.length blocks in
+      let b = Bytes.of_string blocks.(bi) in
+      let off = byte_pos mod Bytes.length b in
+      Bytes.set b off
+        (Char.chr ((Char.code (Bytes.get b off) + delta) land 0xFF));
+      blocks.(bi) <- Bytes.to_string b;
+      let r = Codec.Blocks.Reassembler.create () in
+      try
+        Array.iteri
+          (fun pos block ->
+            ignore (Codec.Blocks.Reassembler.feed r ~pos block))
+          blocks;
+        false (* corruption must not slip through *)
+      with Codec.Corrupt _ -> true)
+
+let prop_block_truncation_detected =
+  QCheck2.Test.make ~name:"truncating a block raises Corrupt" ~count:100
+    QCheck2.Gen.(pair (int_bound 1000) (int_bound 10_000))
+    (fun (seed, cut) ->
+      let blocks = Array.of_list (make_blocks seed) in
+      let bi = cut mod Array.length blocks in
+      let b = blocks.(bi) in
+      let keep = cut mod max 1 (String.length b - 1) in
+      blocks.(bi) <- String.sub b 0 keep;
+      let r = Codec.Blocks.Reassembler.create () in
+      try
+        Array.iteri
+          (fun pos block ->
+            ignore (Codec.Blocks.Reassembler.feed r ~pos block))
+          blocks;
+        false
+      with Codec.Corrupt _ -> true)
+
+(* ---------------- tree invariants under mixed mutation ---------------- *)
+
+let prop_mutators_preserve_invariants =
+  QCheck2.Test.make ~name:"mutators preserve tree invariants" ~count:150
+    QCheck2.Gen.(
+      list_size (int_range 1 80)
+        (pair (int_bound 5) (pair (int_bound 300) (int_bound 300))))
+    (fun script ->
+      let c = ref 0 in
+      let fresh () =
+        incr c;
+        I.draft_vn ~idx:!c
+      in
+      let owner = I.draft_owner in
+      let t =
+        List.fold_left
+          (fun t (kind, (a, b)) ->
+            match kind with
+            | 0 -> Tree.upsert t ~owner ~fresh a (Payload.value "v")
+            | 1 -> Tree.upsert t ~owner ~fresh a Payload.tombstone
+            | 2 -> Tree.touch_read t ~owner ~fresh a
+            | 3 ->
+                Tree.touch_range t ~owner ~fresh ~lo:(min a b) ~hi:(max a b)
+            | 4 -> (
+                match Tree.pred t a with
+                | Some _ | None -> t)
+            | _ -> (
+                ignore (Tree.range_items t ~lo:(min a b) ~hi:(max a b));
+                t))
+          (Helpers.genesis ~gap:3 60)
+          script
+      in
+      Result.is_ok (Tree.validate t))
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "end-to-end",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_stream_matches_oracle Pipeline.plain;
+            prop_stream_matches_oracle
+              {
+                Pipeline.premeld = Some { Premeld.threads = 2; distance = 3 };
+                group_size = 1;
+              };
+            prop_premeld_equals_plain;
+          ] );
+      ( "codec robustness",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_block_corruption_detected; prop_block_truncation_detected ] );
+      ( "tree invariants",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_mutators_preserve_invariants ] );
+    ]

@@ -1,0 +1,219 @@
+(* Multi-server integration: the architecture's core claim.
+
+   Several servers share one log.  Each runs its own meld pipeline over the
+   same block sequence.  Whatever the interleaving of transaction execution
+   (including stale snapshots, because servers only advance as they observe
+   blocks), all servers must make identical commit/abort decisions and
+   converge to PHYSICALLY identical states (Section 3.4). *)
+
+open Hyder_tree
+module Server = Hyder_core.Server
+module Executor = Hyder_core.Executor
+module Pipeline = Hyder_core.Pipeline
+module Mem_log = Hyder_log.Mem_log
+module Rng = Hyder_util.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A tiny deployment: [n] servers, one shared in-memory log, and a pump
+   that delivers appended blocks to every server in log order. *)
+type deployment = {
+  servers : Server.t array;
+  log : Mem_log.t;
+  mutable delivered : int;
+  decisions : (int * int, Server.outcome) Hashtbl.t;  (* (server, txn_seq) *)
+}
+
+let deploy ?(config = Pipeline.plain) n ~genesis_size =
+  let genesis = Helpers.genesis ~gap:10 genesis_size in
+  let servers =
+    Array.init n (fun server_id ->
+        Server.create ~config ~block_size:512 ~server_id ~genesis ())
+  in
+  let d =
+    {
+      servers;
+      log = Mem_log.create ~block_size:512 ();
+      delivered = 0;
+      decisions = Hashtbl.create 64;
+    }
+  in
+  Array.iter
+    (fun s ->
+      Server.on_decision s (fun ~txn_seq outcome ->
+          Hashtbl.replace d.decisions (Server.server_id s, txn_seq) outcome))
+    servers;
+  d
+
+let append_blocks d blocks =
+  List.iter (fun b -> ignore (Mem_log.append d.log b)) blocks
+
+(* Deliver every not-yet-delivered block to every server; decisions must
+   agree across servers. *)
+let pump d =
+  let len = Mem_log.length d.log in
+  for pos = d.delivered to len - 1 do
+    let block = Mem_log.read d.log pos in
+    let all =
+      Array.map (fun s -> Server.observe_block s ~pos block) d.servers
+    in
+    (* Every server sees the same decisions, in the same order. *)
+    Array.iter
+      (fun ds ->
+        let strip =
+          List.map
+            (fun (x : Pipeline.decision) ->
+              (x.Pipeline.seq, x.Pipeline.pos, x.Pipeline.committed))
+            ds
+        in
+        let strip0 =
+          List.map
+            (fun (x : Pipeline.decision) ->
+              (x.Pipeline.seq, x.Pipeline.pos, x.Pipeline.committed))
+            all.(0)
+        in
+        check "identical decisions across servers" true (strip = strip0))
+      all
+  done;
+  d.delivered <- len
+
+let assert_converged d =
+  let _, _, s0 = Server.lcs d.servers.(0) in
+  Array.iter
+    (fun s ->
+      let _, _, t = Server.lcs s in
+      check "physically identical LCS" true (Tree.physically_equal s0 t))
+    d.servers
+
+let test_two_servers_sequential () =
+  let d = deploy 2 ~genesis_size:100 in
+  for i = 0 to 19 do
+    let s = d.servers.(i mod 2) in
+    let _, r = Server.txn s (fun e -> Executor.write e (i * 10) "x") in
+    (match r with
+    | Some (_, blocks) -> append_blocks d blocks
+    | None -> Alcotest.fail "expected blocks");
+    pump d
+  done;
+  assert_converged d;
+  check_int "all delivered decisions" 20 (Hashtbl.length d.decisions);
+  Hashtbl.iter
+    (fun _ outcome -> check "all commit" true (outcome = Server.Committed))
+    d.decisions
+
+let test_conflicting_concurrent_servers () =
+  let d = deploy 3 ~genesis_size:100 in
+  (* All three servers update the same key before any block circulates:
+     genuine cross-server conflict; exactly one can win. *)
+  let pending =
+    Array.to_list
+      (Array.map
+         (fun s ->
+           let _, r =
+             Server.txn s (fun e ->
+                 ignore (Executor.read e 50);
+                 Executor.write e 50 (Printf.sprintf "from-%d" (Server.server_id s)))
+           in
+           Option.get r)
+         d.servers)
+  in
+  List.iter (fun (_, blocks) -> append_blocks d blocks) pending;
+  pump d;
+  assert_converged d;
+  let outcomes = Hashtbl.fold (fun _ o acc -> o :: acc) d.decisions [] in
+  check_int "three decisions" 3 (List.length outcomes);
+  check_int "exactly one winner" 1
+    (List.length (List.filter (fun o -> o = Server.Committed) outcomes));
+  let _, _, lcs = Server.lcs d.servers.(0) in
+  match Tree.lookup lcs 50 with
+  | Some (Payload.Value v) ->
+      check "winner's value installed" true
+        (String.length v > 5 && String.sub v 0 5 = "from-")
+  | _ -> Alcotest.fail "key 50 lost"
+
+let test_random_multi_server_convergence () =
+  List.iter
+    (fun config ->
+      let d = deploy ~config 4 ~genesis_size:200 in
+      let rng = Rng.create 77L in
+      let buffered = ref [] in
+      for round = 1 to 120 do
+        (* each round: 1-4 concurrent txns on random servers, then blocks hit
+           the log in a random order of transactions (blocks of one txn stay
+           ordered), and only sometimes get pumped (so snapshots go stale) *)
+        let txns = 1 + Rng.int rng 4 in
+        for _ = 1 to txns do
+          let s = d.servers.(Rng.int rng 4) in
+          let _, r =
+            Server.txn s
+              ~isolation:
+                (if Rng.int rng 4 = 0 then
+                   Hyder_codec.Intention.Snapshot_isolation
+                 else Hyder_codec.Intention.Serializable)
+              (fun e ->
+                for _ = 1 to 1 + Rng.int rng 3 do
+                  let k = 10 * Rng.int rng 250 in
+                  if Rng.bool rng then ignore (Executor.read e k)
+                  else Executor.write e k (Printf.sprintf "r%d" round)
+                done;
+                (* guarantee a write so the txn is logged *)
+                Executor.write e (10 * Rng.int rng 250) "w")
+          in
+          match r with
+          | Some (_, blocks) -> buffered := blocks :: !buffered
+          | None -> ()
+        done;
+        (* shuffle transaction order into the log *)
+        let batch = Array.of_list !buffered in
+        buffered := [];
+        Rng.shuffle rng batch;
+        Array.iter (fun blocks -> append_blocks d blocks) batch;
+        if Rng.int rng 3 <> 0 then pump d
+      done;
+      pump d;
+      assert_converged d;
+      (* sanity: a decent number of both outcomes occurred *)
+      let outcomes = Hashtbl.fold (fun _ o acc -> o :: acc) d.decisions [] in
+      check "many decisions" true (List.length outcomes > 200))
+    [ Pipeline.plain; Pipeline.with_premeld; Pipeline.with_both ]
+
+let test_interleaved_multiblock_intentions () =
+  (* Big payloads force multi-block intentions; blocks from different
+     servers interleave in the log and must reassemble correctly. *)
+  let d = deploy 2 ~genesis_size:50 in
+  let big = String.make 900 'p' in
+  let r0 =
+    snd (Server.txn d.servers.(0) (fun e -> Executor.write e 100 big))
+  and r1 =
+    snd (Server.txn d.servers.(1) (fun e -> Executor.write e 200 big))
+  in
+  let b0 = snd (Option.get r0) and b1 = snd (Option.get r1) in
+  check "multi-block" true (List.length b0 > 1 && List.length b1 > 1);
+  (* interleave block streams *)
+  let rec weave a b =
+    match (a, b) with
+    | [], rest | rest, [] -> rest
+    | x :: xs, y :: ys -> x :: y :: weave xs ys
+  in
+  append_blocks d (weave b0 b1);
+  pump d;
+  assert_converged d;
+  let _, _, lcs = Server.lcs d.servers.(0) in
+  check "both inserts present" true (Tree.mem lcs 100 && Tree.mem lcs 200)
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "multi-server",
+        [
+          Alcotest.test_case "sequential convergence" `Quick
+            test_two_servers_sequential;
+          Alcotest.test_case "conflicting servers" `Quick
+            test_conflicting_concurrent_servers;
+          Alcotest.test_case "random convergence" `Quick
+            test_random_multi_server_convergence;
+          Alcotest.test_case "interleaved multiblock" `Quick
+            test_interleaved_multiblock_intentions;
+        ] );
+    ]

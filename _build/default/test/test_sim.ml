@@ -1,0 +1,165 @@
+module Engine = Hyder_sim.Engine
+module Resource = Hyder_sim.Resource
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_event_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:3.0 (fun () -> log := "c" :: !log);
+  Engine.schedule e ~delay:1.0 (fun () -> log := "a" :: !log);
+  Engine.schedule e ~delay:2.0 (fun () -> log := "b" :: !log);
+  Engine.run e;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log);
+  check_float "clock at last event" 3.0 (Engine.now e)
+
+let test_tie_break_by_insertion () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    Engine.schedule e ~delay:1.0 (fun () -> log := i :: !log)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "insertion order on ties"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] (List.rev !log)
+
+let test_nested_scheduling () =
+  let e = Engine.create () in
+  let hits = ref [] in
+  Engine.schedule e ~delay:1.0 (fun () ->
+      hits := Engine.now e :: !hits;
+      Engine.schedule e ~delay:0.5 (fun () -> hits := Engine.now e :: !hits));
+  Engine.run e;
+  (match List.rev !hits with
+  | [ a; b ] ->
+      check_float "first" 1.0 a;
+      check_float "nested" 1.5 b
+  | _ -> Alcotest.fail "expected two events");
+  check_int "drained" 0 (Engine.pending e)
+
+let test_run_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    Engine.schedule e ~delay:(float_of_int i) (fun () -> incr count)
+  done;
+  Engine.run ~until:5.5 e;
+  check_int "five fired" 5 !count;
+  check_int "five left" 5 (Engine.pending e);
+  check_float "clock clamped" 5.5 (Engine.now e);
+  Engine.run e;
+  check_int "all fired" 10 !count
+
+let test_negative_delay_clamped () =
+  let e = Engine.create () in
+  Engine.schedule e ~delay:5.0 (fun () ->
+      Engine.schedule e ~delay:(-3.0) (fun () ->
+          check_float "fires now, not in the past" 5.0 (Engine.now e)));
+  Engine.run e
+
+let test_many_events_heap () =
+  let e = Engine.create () in
+  let rng = Hyder_util.Rng.create 1L in
+  let last = ref 0.0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    Engine.schedule e ~delay:(Hyder_util.Rng.float rng 100.0) (fun () ->
+        check "monotone clock" true (Engine.now e >= !last);
+        last := Engine.now e)
+  done;
+  Engine.run e;
+  check_int "all drained" 0 (Engine.pending e)
+
+(* --- resource ----------------------------------------------------------- *)
+
+let test_single_server_fifo () =
+  let e = Engine.create () in
+  let r = Resource.create e ~servers:1 in
+  let done_at = ref [] in
+  for _ = 1 to 3 do
+    Resource.request r ~service_time:2.0 (fun () ->
+        done_at := Engine.now e :: !done_at)
+  done;
+  check_int "two queued" 2 (Resource.queue_length r);
+  Engine.run e;
+  Alcotest.(check (list (float 1e-9))) "serialized" [ 2.0; 4.0; 6.0 ]
+    (List.rev !done_at);
+  check_int "completed" 3 (Resource.completed r);
+  check_float "busy time" 6.0 (Resource.busy_time r)
+
+let test_parallel_servers () =
+  let e = Engine.create () in
+  let r = Resource.create e ~servers:3 in
+  let done_at = ref [] in
+  for _ = 1 to 6 do
+    Resource.request r ~service_time:1.0 (fun () ->
+        done_at := Engine.now e :: !done_at)
+  done;
+  Engine.run e;
+  Alcotest.(check (list (float 1e-9))) "3-wide batches"
+    [ 1.0; 1.0; 1.0; 2.0; 2.0; 2.0 ] (List.rev !done_at)
+
+let test_resource_utilization () =
+  let e = Engine.create () in
+  let r = Resource.create e ~servers:2 in
+  for _ = 1 to 10 do
+    Resource.request r ~service_time:1.0 ignore
+  done;
+  Engine.run e;
+  (* 10 unit-seconds over 2 servers -> finishes at t=5. *)
+  check_float "clock" 5.0 (Engine.now e);
+  check_float "busy" 10.0 (Resource.busy_time r)
+
+let test_mmc_queueing_matches_theory () =
+  (* M/M/1 with rho = 0.5: mean number in system = rho/(1-rho) = 1, so mean
+     sojourn time = 1/(mu - lambda).  Check within 10%. *)
+  let e = Engine.create () in
+  let r = Resource.create e ~servers:1 in
+  let rng = Hyder_util.Rng.create 99L in
+  let lambda = 0.5 and mu = 1.0 in
+  let sojourn = Hyder_util.Stats.Summary.create () in
+  let rec arrival t_arr n =
+    if n > 0 then begin
+      Engine.schedule_at e ~time:t_arr (fun () ->
+          let started = Engine.now e in
+          Resource.request r
+            ~service_time:(Hyder_util.Rng.exponential rng ~mean:(1.0 /. mu))
+            (fun () ->
+              Hyder_util.Stats.Summary.add sojourn (Engine.now e -. started)));
+      arrival (t_arr +. Hyder_util.Rng.exponential rng ~mean:(1.0 /. lambda))
+        (n - 1)
+    end
+  in
+  arrival 0.0 50_000;
+  Engine.run e;
+  let mean = Hyder_util.Stats.Summary.mean sojourn in
+  let expected = 1.0 /. (mu -. lambda) in
+  check
+    (Printf.sprintf "M/M/1 sojourn %.3f vs %.3f" mean expected)
+    true
+    (abs_float (mean -. expected) /. expected < 0.1)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "event order" `Quick test_event_order;
+          Alcotest.test_case "tie break" `Quick test_tie_break_by_insertion;
+          Alcotest.test_case "nested" `Quick test_nested_scheduling;
+          Alcotest.test_case "run until" `Quick test_run_until;
+          Alcotest.test_case "negative delay" `Quick
+            test_negative_delay_clamped;
+          Alcotest.test_case "many events" `Quick test_many_events_heap;
+        ] );
+      ( "resource",
+        [
+          Alcotest.test_case "fifo" `Quick test_single_server_fifo;
+          Alcotest.test_case "parallel" `Quick test_parallel_servers;
+          Alcotest.test_case "utilization" `Quick test_resource_utilization;
+          Alcotest.test_case "M/M/1 theory" `Slow
+            test_mmc_queueing_matches_theory;
+        ] );
+    ]

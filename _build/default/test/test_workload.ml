@@ -1,0 +1,146 @@
+open Hyder_tree
+module Ycsb = Hyder_workload.Ycsb
+module Executor = Hyder_core.Executor
+module Local = Hyder_core.Local
+module I = Hyder_codec.Intention
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let small_config =
+  {
+    Ycsb.default with
+    Ycsb.record_count = 1_000;
+    payload_size = 32;
+    ops_per_txn = 10;
+    update_fraction = 0.2;
+  }
+
+let test_genesis_shape () =
+  let wl = Ycsb.create small_config in
+  let g = Ycsb.genesis wl in
+  check_int "record count" 1000 (Tree.live_size g);
+  (match Tree.validate g with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid genesis: %s" e);
+  (match Tree.lookup g 500 with
+  | Some (Payload.Value v) ->
+      check "payload size" true (String.length v = 32);
+      check "payload content" true (String.length v > 8 && String.sub v 0 4 = "val-")
+  | _ -> Alcotest.fail "missing key");
+  check "cached" true (Ycsb.genesis wl == g)
+
+let test_write_txn_composition () =
+  let wl = Ycsb.create small_config in
+  for _ = 1 to 100 do
+    let ops = Ycsb.next_write_txn wl in
+    check_int "ops per txn" 10 (List.length ops);
+    let writes = Ycsb.writes_of ops in
+    check_int "2 writes of 10 at 0.2" 2 (List.length writes);
+    check_int "8 reads" 8 (List.length (Ycsb.reads_of ops))
+  done
+
+let test_read_only_txn () =
+  let wl = Ycsb.create small_config in
+  let ops = Ycsb.next_read_only_txn wl in
+  check_int "all ops read" 10 (List.length (Ycsb.reads_of ops));
+  check_int "no writes" 0 (List.length (Ycsb.writes_of ops))
+
+let test_deterministic_given_seed () =
+  let a = Ycsb.create ~seed:9L small_config in
+  let b = Ycsb.create ~seed:9L small_config in
+  for _ = 1 to 50 do
+    check "same stream" true (Ycsb.next_write_txn a = Ycsb.next_write_txn b)
+  done;
+  let c = Ycsb.create ~seed:10L small_config in
+  check "different seed" false
+    (List.init 10 (fun _ -> Ycsb.next_write_txn a)
+    = List.init 10 (fun _ -> Ycsb.next_write_txn c))
+
+let test_update_fraction_extremes () =
+  let all_writes =
+    Ycsb.create { small_config with Ycsb.update_fraction = 1.0 }
+  in
+  let ops = Ycsb.next_write_txn all_writes in
+  check_int "all writes" 10 (List.length (Ycsb.writes_of ops));
+  let one_write =
+    Ycsb.create { small_config with Ycsb.update_fraction = 0.0 }
+  in
+  (* write transactions always carry at least one write *)
+  check_int "at least one write" 1
+    (List.length (Ycsb.writes_of (Ycsb.next_write_txn one_write)))
+
+let test_inserts_extend_keyspace () =
+  let wl =
+    Ycsb.create
+      { small_config with Ycsb.insert_fraction = 1.0; update_fraction = 0.5 }
+  in
+  let ops = Ycsb.next_write_txn wl in
+  let inserts =
+    List.filter_map
+      (function Ycsb.Insert (k, _) -> Some k | _ -> None)
+      ops
+  in
+  check "inserts beyond keyspace" true
+    (List.for_all (fun k -> k >= 1000) inserts);
+  check "fresh keys distinct" true
+    (List.length (List.sort_uniq compare inserts) = List.length inserts)
+
+let test_apply_executes () =
+  let wl = Ycsb.create small_config in
+  let h = Local.create ~genesis:(Ycsb.genesis wl) () in
+  let committed = ref 0 in
+  for _ = 1 to 50 do
+    let _, ds = Local.txn h (fun e -> Ycsb.apply (Ycsb.next_write_txn wl) e) in
+    List.iter
+      (fun (d : Hyder_core.Pipeline.decision) ->
+        if d.Hyder_core.Pipeline.committed then incr committed)
+      ds
+  done;
+  check "sequential txns all commit" true (!committed = 50)
+
+let test_scan_ops () =
+  let wl =
+    Ycsb.create { small_config with Ycsb.scan_fraction = 1.0; scan_length = 5 }
+  in
+  let ops = Ycsb.next_write_txn wl in
+  let scans =
+    List.filter (function Ycsb.Scan _ -> true | _ -> false) ops
+  in
+  check "reads became scans" true (List.length scans = 8);
+  (* scans execute through the executor *)
+  let h = Local.create ~genesis:(Ycsb.genesis wl) () in
+  let _, ds = Local.txn h (fun e -> Ycsb.apply ops e) in
+  check "scan txn decided" true (List.length ds = 1)
+
+let test_distributions_hit_configured_space () =
+  List.iter
+    (fun dist ->
+      let wl = Ycsb.create { small_config with Ycsb.distribution = dist } in
+      for _ = 1 to 50 do
+        List.iter
+          (fun k -> check "key in range" true (k >= 0 && k < 1000))
+          (Ycsb.reads_of (Ycsb.next_write_txn wl))
+      done)
+    [ Ycsb.Uniform; Ycsb.Zipfian 0.99; Ycsb.Hotspot 0.1; Ycsb.Latest ]
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "ycsb",
+        [
+          Alcotest.test_case "genesis" `Quick test_genesis_shape;
+          Alcotest.test_case "txn composition" `Quick
+            test_write_txn_composition;
+          Alcotest.test_case "read-only txn" `Quick test_read_only_txn;
+          Alcotest.test_case "deterministic" `Quick
+            test_deterministic_given_seed;
+          Alcotest.test_case "update extremes" `Quick
+            test_update_fraction_extremes;
+          Alcotest.test_case "inserts" `Quick test_inserts_extend_keyspace;
+          Alcotest.test_case "apply" `Quick test_apply_executes;
+          Alcotest.test_case "scans" `Quick test_scan_ops;
+          Alcotest.test_case "distributions" `Quick
+            test_distributions_hit_configured_space;
+        ] );
+    ]
