@@ -1,0 +1,25 @@
+.PHONY: all build test check bench-smoke bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Tier-1 gate: everything compiles and the full test suite passes.
+check:
+	dune build && dune runtest
+
+# ~5-second smoke of the benchmark harness: the runtime-backends
+# cross-check replays one premeld-bound history through the sequential
+# and domain-parallel schedulers and verifies bit-identical results.
+bench-smoke:
+	dune exec bench/main.exe -- --quick runtime
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

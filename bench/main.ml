@@ -6,6 +6,10 @@
      dune exec bench/main.exe -- fig10 fig11  -- selected figures
      dune exec bench/main.exe -- --quick      -- fast smoke of everything
      dune exec bench/main.exe -- --paper      -- larger scale (slower)
+     dune exec bench/main.exe -- --runtime=par:4 fig10
+                                              -- cluster runs use the
+                                                 domain-parallel premeld
+                                                 backend (see "runtime")
 
    Absolute numbers depend on this machine (the substrate is a calibrated
    simulation; see DESIGN.md); the SHAPES — who wins, by what factor, where
@@ -16,6 +20,9 @@ module Cluster = Hyder_cluster.Cluster
 module Ycsb = Hyder_workload.Ycsb
 module Pipeline = Hyder_core.Pipeline
 module Premeld = Hyder_core.Premeld
+module Runtime = Hyder_core.Runtime
+module Counters = Hyder_core.Counters
+module Clock = Hyder_util.Clock
 module Corfu = Hyder_log.Corfu
 module Engine = Hyder_sim.Engine
 module Stats = Hyder_util.Stats
@@ -67,6 +74,10 @@ let paper_scale =
 
 let scale = ref default_scale
 
+(* Stage runtime for the real pipeline inside cluster runs (see
+   Cluster.config.runtime); settable with --runtime=par:<n>. *)
+let runtime = ref Runtime.sequential
+
 (* ---------------------------------------------------------------------- *)
 (* Memoized cluster runs                                                    *)
 (* ---------------------------------------------------------------------- *)
@@ -96,6 +107,7 @@ let run_cluster ?(servers = 6) ?(pipeline = Pipeline.plain) ?(read_threads = 0)
       Cluster.default_config with
       Cluster.servers;
       pipeline;
+      runtime = !runtime;
       read_threads;
       write_threads;
       workload;
@@ -104,8 +116,10 @@ let run_cluster ?(servers = 6) ?(pipeline = Pipeline.plain) ?(read_threads = 0)
     }
   in
   let key =
-    Printf.sprintf "s%d|%s|r%d|w%d|%d/%d/%.2f/%.2f/%d/%s|%d" servers
-      (pipeline_name pipeline) read_threads write_threads
+    Printf.sprintf "s%d|%s|%s|r%d|w%d|%d/%d/%.2f/%.2f/%d/%s|%d" servers
+      (pipeline_name pipeline)
+      (Runtime.to_string !runtime)
+      read_threads write_threads
       workload.Ycsb.record_count workload.Ycsb.ops_per_txn
       workload.Ycsb.update_fraction workload.Ycsb.scan_fraction
       workload.Ycsb.payload_size
@@ -121,10 +135,10 @@ let run_cluster ?(servers = 6) ?(pipeline = Pipeline.plain) ?(read_threads = 0)
   | Some r -> r
   | None ->
       Printf.printf "  running %s ...%!" key;
-      let t0 = Unix.gettimeofday () in
+      let t0 = Hyder_util.Clock.now () in
       let r = Cluster.run cfg in
       Printf.printf " %.0f wtps (%.0fs)\n%!" r.Cluster.write_tps
-        (Unix.gettimeofday () -. t0);
+        (Hyder_util.Clock.elapsed t0);
       Hashtbl.replace results key r;
       r
 
@@ -753,6 +767,132 @@ let abl_index_size () =
   Table.print t
 
 (* ---------------------------------------------------------------------- *)
+(* Runtime backends: real domain-parallel premeld vs the sequential         *)
+(* scheduler on one identical intention stream                              *)
+(* ---------------------------------------------------------------------- *)
+
+let runtime_backends () =
+  let module Tree = Hyder_tree.Tree in
+  let module Payload = Hyder_tree.Payload in
+  let module Executor = Hyder_core.Executor in
+  let txns = if !scale.records <= 100_000 then 1_500 else 6_000 in
+  let n = 50_000 in
+  let config =
+    { Pipeline.premeld = Some { Premeld.threads = 5; distance = 10 };
+      group_size = 2 }
+  in
+  let genesis =
+    Tree.of_sorted_array
+      (Array.init n (fun k -> (k, Payload.value ("v" ^ string_of_int k))))
+  in
+  (* Phase 1: record a premeld-bound intention history with a sequential
+     pipeline.  Snapshots lag far enough behind the log that every
+     intention's designated input state (seq - t*d - 1) postdates its
+     snapshot, so premeld really melds. *)
+  let rng = Hyder_util.Rng.create 424242L in
+  let gen = Pipeline.create ~config ~genesis () in
+  let history = ref [ (-1, genesis) ] (* newest first *) in
+  let hist_len = ref 1 in
+  let intentions = ref [] in
+  let next_pos = ref 0 in
+  for txn_seq = 0 to txns - 1 do
+    let lag = min (60 + Hyder_util.Rng.int rng 40) (!hist_len - 1) in
+    let snapshot_pos, snapshot = List.nth !history lag in
+    let e =
+      Executor.begin_txn ~snapshot_pos ~snapshot ~server:0 ~txn_seq
+        ~isolation:I.Serializable ()
+    in
+    for _ = 1 to 2 do
+      ignore (Executor.read e (Hyder_util.Rng.int rng n))
+    done;
+    for _ = 1 to 2 do
+      Executor.write e (Hyder_util.Rng.int rng n) ("u" ^ string_of_int txn_seq)
+    done;
+    match Executor.finish e with
+    | None -> ()
+    | Some draft ->
+        next_pos := !next_pos + 2;
+        let intention = I.assign ~pos:!next_pos draft in
+        intentions := intention :: !intentions;
+        ignore (Pipeline.submit gen intention);
+        let _, pos, tree = Pipeline.lcs gen in
+        history := (pos, tree) :: !history;
+        incr hist_len
+  done;
+  ignore (Pipeline.flush gen);
+  let intentions = List.rev !intentions in
+  (* Phase 2: replay the identical stream under each backend, feeding
+     submit_batch in slabs so the parallel backend gets full premeld
+     windows to fan out. *)
+  let slab = 256 in
+  let batches =
+    let rec take k acc = function
+      | x :: tl when k > 0 -> take (k - 1) (x :: acc) tl
+      | rest -> (List.rev acc, rest)
+    in
+    let rec go = function
+      | [] -> []
+      | l ->
+          let s, rest = take slab [] l in
+          s :: go rest
+    in
+    go intentions
+  in
+  let run backend =
+    let p = Pipeline.create ~config ~runtime:backend ~genesis () in
+    let t0 = Clock.now () in
+    let decisions =
+      List.concat_map (fun b -> Pipeline.submit_batch p b) batches
+      @ Pipeline.flush p
+    in
+    let wall = Clock.elapsed t0 in
+    let pm = (Counters.premeld_total (Pipeline.counters p)).Counters.seconds in
+    let _, _, final = Pipeline.lcs p in
+    Pipeline.shutdown p;
+    (decisions, final, wall, pm)
+  in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Runtime backends: %d premeld-bound txns (t=5, d=10, groups of \
+            2) replayed through identical pipelines — the Parallel backend \
+            must be bit-identical to Sequential (Section 3.4)"
+           (List.length intentions))
+      ~columns:[ "runtime"; "wall s"; "pm busy s"; "speedup"; "same as seq" ]
+  in
+  let base = run Runtime.sequential in
+  let report name (decisions, final, wall, pm) =
+    let bd, bfinal, bwall, _ = base in
+    let same =
+      List.length decisions = List.length bd
+      && List.for_all2
+           (fun (a : Pipeline.decision) (b : Pipeline.decision) ->
+             a.Pipeline.seq = b.Pipeline.seq
+             && a.Pipeline.committed = b.Pipeline.committed
+             && a.Pipeline.decided_at = b.Pipeline.decided_at)
+           decisions bd
+      && Tree.physically_equal final bfinal
+    in
+    Table.add_row t
+      [
+        name; f wall; f pm;
+        Printf.sprintf "%.2fx" (bwall /. wall);
+        (if same then "yes" else "NO");
+      ]
+  in
+  report "seq" base;
+  List.iter
+    (fun d ->
+      report (Printf.sprintf "par:%d" d) (run (Runtime.parallel ~domains:d)))
+    [ 2; 4 ];
+  Table.print t;
+  Printf.printf
+    "(pm busy is summed across premeld shards and so stays ~constant; \
+     wall-clock speedup needs free physical cores — the load-bearing \
+     column is 'same as seq', checked down to ephemeral node ids)\n"
+
+(* ---------------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks of the meld operator                           *)
 (* ---------------------------------------------------------------------- *)
 
@@ -849,6 +989,7 @@ let figures =
     ("abl-group-size", abl_group_size);
     ("abl-admission", abl_admission);
     ("abl-index-size", abl_index_size);
+    ("runtime", runtime_backends);
     ("micro", micro);
   ]
 
@@ -860,6 +1001,13 @@ let () =
       match a with
       | "--quick" -> scale := quick_scale
       | "--paper" -> scale := paper_scale
+      | a when String.length a > 10 && String.sub a 0 10 = "--runtime=" -> (
+          let spec = String.sub a 10 (String.length a - 10) in
+          match Runtime.parse spec with
+          | Ok b -> runtime := b
+          | Error msg ->
+              Printf.eprintf "bad --runtime %S: %s\n" spec msg;
+              exit 2)
       | name when List.mem_assoc name figures ->
           if not (List.mem name !selected) then selected := name :: !selected
       | other ->
@@ -873,7 +1021,7 @@ let () =
       [ "fig9"; "fig10"; "fig11"; "fig12"; "fig13"; "tango"; "fig14";
         "fig15"; "fig16"; "fig17"; "fig18"; "fig20"; "fig21"; "fig23";
         "abl-premeld-threads"; "abl-group-size"; "abl-admission";
-        "abl-index-size"; "micro" ]
+        "abl-index-size"; "runtime"; "micro" ]
     else List.rev !selected
   in
   Printf.printf "Hyder II benchmark harness — scale: %s\n" !scale.label;

@@ -12,6 +12,13 @@ module Cluster = Hyder_cluster.Cluster
 module Ycsb = Hyder_workload.Ycsb
 module Pipeline = Hyder_core.Pipeline
 module Premeld = Hyder_core.Premeld
+module Runtime = Hyder_core.Runtime
+
+let runtime_conv =
+  let parse s =
+    match Runtime.parse s with Ok b -> Ok b | Error m -> Error (`Msg m)
+  in
+  Arg.conv (parse, fun fmt b -> Format.fprintf fmt "%s" (Runtime.to_string b))
 
 let pipeline_conv =
   let parse = function
@@ -97,13 +104,14 @@ let workload_term =
 (* --- cluster ------------------------------------------------------------ *)
 
 let cluster_cmd =
-  let run servers pipeline write_threads read_threads inflight duration warmup
-      workload seed =
+  let run servers pipeline runtime write_threads read_threads inflight duration
+      warmup workload seed =
     let cfg =
       {
         Cluster.default_config with
         Cluster.servers;
         pipeline;
+        runtime;
         write_threads;
         read_threads;
         inflight_per_thread = inflight;
@@ -124,6 +132,15 @@ let cluster_cmd =
       value & opt pipeline_conv Pipeline.plain
       & info [ "pipeline" ] ~doc:"plain | premeld | group | both")
   in
+  let runtime =
+    Arg.(
+      value & opt runtime_conv Runtime.sequential
+      & info [ "runtime" ]
+          ~doc:
+            "Stage runtime for the real meld pipeline: seq, or par:N to run \
+             premeld trial melds on N domains (identical results, measured \
+             stage times change).")
+  in
   let write_threads =
     Arg.(value & opt int 20 & info [ "write-threads" ] ~doc:"Update threads/server.")
   in
@@ -142,8 +159,8 @@ let cluster_cmd =
   Cmd.v
     (Cmd.info "cluster" ~doc:"Run a distributed Hyder II experiment")
     Term.(
-      const run $ servers $ pipeline $ write_threads $ read_threads $ inflight
-      $ duration $ warmup $ workload_term $ seed)
+      const run $ servers $ pipeline $ runtime $ write_threads $ read_threads
+      $ inflight $ duration $ warmup $ workload_term $ seed)
 
 (* --- local ([8] setup) ---------------------------------------------------- *)
 

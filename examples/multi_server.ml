@@ -105,15 +105,15 @@ let () =
   Printf.printf "all servers converged to a physically identical state: %b\n"
     all_equal;
   let c = Server.counters servers.(0) in
+  let pm_total = Hyder_core.Counters.premeld_total c in
   Printf.printf
     "per-server pipeline work: ds %d nodes, pm %d, gm %d, fm %d (premeld \
      moved %.0f%% of meld off the critical path)\n"
     c.Hyder_core.Counters.deserialize.Hyder_core.Counters.nodes_visited
-    c.Hyder_core.Counters.premeld.Hyder_core.Counters.nodes_visited
+    pm_total.Hyder_core.Counters.nodes_visited
     c.Hyder_core.Counters.group_meld.Hyder_core.Counters.nodes_visited
     c.Hyder_core.Counters.final_meld.Hyder_core.Counters.nodes_visited
-    (let pm =
-       float_of_int c.Hyder_core.Counters.premeld.Hyder_core.Counters.nodes_visited
+    (let pm = float_of_int pm_total.Hyder_core.Counters.nodes_visited
      and fm =
        float_of_int c.Hyder_core.Counters.final_meld.Hyder_core.Counters.nodes_visited
      in

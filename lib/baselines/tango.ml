@@ -112,9 +112,9 @@ let run_workload ?(seed = 11L) ~records ~txns ~window ~reads_per_txn
   let submitted = ref 0 in
   let apply_one () =
     let entry = Queue.pop pending in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Hyder_util.Clock.now () in
     ignore (apply store entry);
-    apply_seconds := !apply_seconds +. (Unix.gettimeofday () -. t0)
+    apply_seconds := !apply_seconds +. Hyder_util.Clock.elapsed t0
   in
   while !submitted < txns do
     let txn = Txn.begin_ store in

@@ -21,6 +21,11 @@ type config = {
       (** [Some _] replaces the fixed window with the AIMD controller *)
   cores_per_server : int;
   pipeline : Pipeline.config;
+  runtime : Hyder_core.Runtime.backend;
+      (** backend for the {e real} meld pipeline this simulation drives;
+          the simulator's own stage-time model is unaffected, so [par:n]
+          here lets measured parallel premeld be compared against the
+          modelled stage overlap *)
   corfu : Corfu.config;
   broadcast : Broadcast.config;
   workload : Ycsb.config;
@@ -41,6 +46,7 @@ let default_config =
        the general pool gets the rest. *)
     cores_per_server = 32;
     pipeline = Pipeline.plain;
+    runtime = Hyder_core.Runtime.sequential;
     corfu = Corfu.default_config;
     broadcast = Broadcast.default_config;
     workload = Ycsb.default;
@@ -110,7 +116,7 @@ type server = {
   threads : thread_state array;
 }
 
-let now_wall () = Unix.gettimeofday ()
+let now_wall () = Hyder_util.Clock.now ()
 
 let run cfg =
   if cfg.servers <= 0 || cfg.write_threads < 0 || cfg.read_threads < 0 then
@@ -130,7 +136,10 @@ let run cfg =
   in
   let workload = Ycsb.create ~seed:cfg.seed cfg.workload in
   let genesis = Ycsb.genesis workload in
-  let pipeline = Pipeline.create ~config:cfg.pipeline ~genesis () in
+  let pipeline =
+    Pipeline.create ~config:cfg.pipeline ~runtime:cfg.runtime ~genesis ()
+  in
+  Fun.protect ~finally:(fun () -> Pipeline.shutdown pipeline) @@ fun () ->
   let states = Pipeline.states pipeline in
   let counters = Pipeline.counters pipeline in
   let pm_threads, pm_distance =
@@ -225,16 +234,24 @@ let run cfg =
     untrack_snapshot info.snap_seq;
     info.bytes <- "";
     info.t_ds <- clamp_stage (counters.Counters.deserialize.Counters.seconds -. ds0);
-    let pm0 = counters.Counters.premeld.Counters.seconds in
-    let pm_n0 = counters.Counters.premeld.Counters.intentions in
+    let pm_before = Counters.premeld_total counters in
+    let pm0 = pm_before.Counters.seconds in
+    let pm_n0 = pm_before.Counters.intentions in
     let gm0 = counters.Counters.group_meld.Counters.seconds in
     let fm0 = counters.Counters.final_meld.Counters.seconds in
     let seq = !submit_count in
     incr submit_count;
     info.seq <- seq;
-    let decisions = Pipeline.submit pipeline intention in
-    info.t_pm <- clamp_stage (counters.Counters.premeld.Counters.seconds -. pm0);
-    info.premelded <- counters.Counters.premeld.Counters.intentions > pm_n0;
+    (* submit_batch so a [Parallel] runtime's premeld really runs on its
+       domain pool; under [Sequential] this is exactly [submit].  For any
+       given log prefix the decisions are identical across backends, but
+       the *measured* stage seconds parameterize the queueing model, so a
+       backend's real scheduling cost shows up in the modelled throughput
+       — which is what the --runtime knob exists to cross-check. *)
+    let decisions = Pipeline.submit_batch pipeline [ intention ] in
+    let pm_after = Counters.premeld_total counters in
+    info.t_pm <- clamp_stage (pm_after.Counters.seconds -. pm0);
+    info.premelded <- pm_after.Counters.intentions > pm_n0;
     info.t_gm <- clamp_stage (counters.Counters.group_meld.Counters.seconds -. gm0);
     info.t_fm <- clamp_stage (counters.Counters.final_meld.Counters.seconds -. fm0);
     info.decisions <- decisions;
@@ -543,14 +560,7 @@ let run cfg =
   (* Snapshot the work counters at the start of the measurement window so
      per-transaction statistics exclude warmup. *)
   Engine.schedule eng ~delay:cfg.warmup (fun () ->
-      let c = Counters.create () in
-      Counters.add_stage ~into:c.Counters.deserialize counters.Counters.deserialize;
-      Counters.add_stage ~into:c.Counters.premeld counters.Counters.premeld;
-      Counters.add_stage ~into:c.Counters.group_meld counters.Counters.group_meld;
-      Counters.add_stage ~into:c.Counters.final_meld counters.Counters.final_meld;
-      c.Counters.committed <- counters.Counters.committed;
-      c.Counters.aborted <- counters.Counters.aborted;
-      counters_at_window_start := Some c);
+      counters_at_window_start := Some (Counters.copy counters));
 
   Engine.run ~until:stop_time eng;
 
@@ -615,17 +625,18 @@ let run cfg =
       (if decided = 0 then 0.0
        else float_of_int !aborts /. float_of_int decided);
     fm_nodes_per_txn = per_txn counters.Counters.final_meld base.Counters.final_meld;
-    pm_nodes_per_txn = per_txn counters.Counters.premeld base.Counters.premeld;
+    pm_nodes_per_txn =
+      per_txn (Counters.premeld_total counters) (Counters.premeld_total base);
     gm_nodes_per_txn = per_txn counters.Counters.group_meld base.Counters.group_meld;
     conflict_zone_intentions = cz;
     conflict_zone_blocks = cz *. avg_blocks;
     ephemerals_per_txn =
       float_of_int
         (counters.Counters.final_meld.Counters.ephemerals
-        + counters.Counters.premeld.Counters.ephemerals
+        + (Counters.premeld_total counters).Counters.ephemerals
         + counters.Counters.group_meld.Counters.ephemerals
         - base.Counters.final_meld.Counters.ephemerals
-        - base.Counters.premeld.Counters.ephemerals
+        - (Counters.premeld_total base).Counters.ephemerals
         - base.Counters.group_meld.Counters.ephemerals)
       /. melded_f;
     intention_bytes =

@@ -32,6 +32,12 @@ type config = {
           "future work" §5.2) instead of the fixed window *)
   cores_per_server : int;  (** paper: 16 physical cores / 32 logical *)
   pipeline : Hyder_core.Pipeline.config;
+  runtime : Hyder_core.Runtime.backend;
+      (** stage runtime for the real meld pipeline driving the simulation
+          ([Sequential] by default).  [Parallel _] runs the real premeld
+          trial melds on domains; decisions are identical by construction,
+          so this knob exists to cross-check measured parallel premeld
+          time against the simulator's modelled stage overlap *)
   corfu : Hyder_log.Corfu.config;
   broadcast : Hyder_log.Broadcast.config;
   workload : Hyder_workload.Ycsb.config;

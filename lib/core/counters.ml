@@ -33,9 +33,11 @@ let add_stage ~into s =
   into.aborts <- into.aborts + s.aborts;
   into.seconds <- into.seconds +. s.seconds
 
+let copy_stage s = { s with intentions = s.intentions }
+
 type t = {
   deserialize : stage;
-  premeld : stage;
+  premeld_shards : stage array;
   group_meld : stage;
   final_meld : stage;
   mutable committed : int;
@@ -45,10 +47,11 @@ type t = {
   intention_bytes : Hyder_util.Stats.Summary.t;
 }
 
-let create () =
+let create ?(premeld_shards = 1) () =
+  if premeld_shards < 1 then invalid_arg "Counters.create: premeld_shards";
   {
     deserialize = make_stage ();
-    premeld = make_stage ();
+    premeld_shards = Array.init premeld_shards (fun _ -> make_stage ());
     group_meld = make_stage ();
     final_meld = make_stage ();
     committed = 0;
@@ -58,9 +61,27 @@ let create () =
     intention_bytes = Hyder_util.Stats.Summary.create ();
   }
 
+let premeld_total t =
+  let total = make_stage () in
+  Array.iter (fun s -> add_stage ~into:total s) t.premeld_shards;
+  total
+
+let copy t =
+  {
+    deserialize = copy_stage t.deserialize;
+    premeld_shards = Array.map copy_stage t.premeld_shards;
+    group_meld = copy_stage t.group_meld;
+    final_meld = copy_stage t.final_meld;
+    committed = t.committed;
+    aborted = t.aborted;
+    conflict_zone = Hyder_util.Stats.Summary.create ();
+    fm_nodes_per_txn = Hyder_util.Stats.Summary.create ();
+    intention_bytes = Hyder_util.Stats.Summary.create ();
+  }
+
 let reset t =
   reset_stage t.deserialize;
-  reset_stage t.premeld;
+  Array.iter reset_stage t.premeld_shards;
   reset_stage t.group_meld;
   reset_stage t.final_meld;
   t.committed <- 0;

@@ -2,7 +2,23 @@
 
     Figures 11, 13, 17, 19, 22 and 24 of the paper report exactly these
     quantities, so every stage keeps its own {!stage} record and the
-    benchmark harness reads them after a run. *)
+    benchmark harness reads them after a run.
+
+    {2 Premeld shards}
+
+    Premeld work is counted into {e per-thread shards}, one per paper
+    premeld thread id (Section 3.4), rather than one shared record.  Two
+    reasons:
+
+    - {b thread safety}: the parallel runtime runs one premeld thread's
+      trial melds per pool task, so each shard has exactly one writer at
+      any time and the hot counters need no locks or atomics;
+    - {b determinism checking}: the shard an intention's work lands in is
+      [seq mod t], identical under the sequential and parallel backends,
+      so per-shard counts must match exactly across backends (seconds, of
+      course, differ — that is the point).
+
+    Readers merge the shards on demand with {!premeld_total}. *)
 
 type stage = {
   mutable intentions : int;  (** intentions processed by this stage *)
@@ -10,16 +26,20 @@ type stage = {
   mutable ephemerals : int;  (** ephemeral nodes created *)
   mutable grafts : int;  (** subtree grafts (early terminations) *)
   mutable aborts : int;  (** conflicts detected at this stage *)
-  mutable seconds : float;  (** accumulated wall-clock time in the stage *)
+  mutable seconds : float;  (** accumulated monotonic time in the stage *)
 }
 
 val make_stage : unit -> stage
 val reset_stage : stage -> unit
 val add_stage : into:stage -> stage -> unit
+val copy_stage : stage -> stage
 
 type t = {
   deserialize : stage;
-  premeld : stage;
+  premeld_shards : stage array;
+      (** per premeld-thread work records; shard [i] belongs to paper
+          thread [i + 1] and is only ever written by the worker currently
+          acting as that thread *)
   group_meld : stage;
   final_meld : stage;
   mutable committed : int;
@@ -34,5 +54,18 @@ type t = {
           accounting in Figure 12) *)
 }
 
-val create : unit -> t
+val create : ?premeld_shards:int -> unit -> t
+(** [premeld_shards] defaults to 1; the pipeline passes its premeld
+    thread count. *)
+
+val premeld_total : t -> stage
+(** Merge the premeld shards into a fresh aggregate record (the
+    merged-on-read view; never returns a shard itself). *)
+
+val copy : t -> t
+(** Copy of the stage records and commit/abort tallies, for snapshotting
+    counters at a measurement-window edge.  The streaming summaries are
+    not duplicated (Welford state is not copyable); the copy starts with
+    fresh, empty summaries. *)
+
 val reset : t -> unit

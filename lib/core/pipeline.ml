@@ -2,6 +2,7 @@ open Hyder_tree
 module Intention = Hyder_codec.Intention
 module Codec = Hyder_codec.Codec
 module Summary = Hyder_util.Stats.Summary
+module Clock = Hyder_util.Clock
 
 type config = {
   premeld : Premeld.config option;
@@ -29,6 +30,7 @@ type decision = {
 
 type t = {
   config : config;
+  runtime : Runtime.t;
   counters : Counters.t;
   states : State_store.t;
   cache : Intention_cache.t;
@@ -40,7 +42,7 @@ type t = {
   mutable pending_members : int;
 }
 
-let create ?(config = plain) ~genesis () =
+let create ?(config = plain) ?(runtime = Runtime.sequential) ~genesis () =
   if config.group_size < 1 then invalid_arg "Pipeline.create: group_size";
   (match config.premeld with
   | Some { Premeld.threads; distance } when threads < 1 || distance < 1 ->
@@ -51,7 +53,8 @@ let create ?(config = plain) ~genesis () =
   in
   {
     config;
-    counters = Counters.create ();
+    runtime = Runtime.create runtime;
+    counters = Counters.create ~premeld_shards:(max 1 pm_threads) ();
     states = State_store.create ~genesis ();
     cache = Intention_cache.create ();
     fm_alloc = Vn.Alloc.create ~thread:0;
@@ -66,14 +69,14 @@ let create ?(config = plain) ~genesis () =
 let states t = t.states
 let counters t = t.counters
 let config t = t.config
+let runtime t = Runtime.backend t.runtime
 let lcs t = State_store.latest t.states
-
-let now () = Unix.gettimeofday ()
+let shutdown t = Runtime.shutdown t.runtime
 
 let timed (stage : Counters.stage) f =
-  let t0 = now () in
+  let t0 = Clock.now () in
   let r = f () in
-  stage.seconds <- stage.seconds +. (now () -. t0);
+  stage.seconds <- stage.seconds +. Clock.elapsed t0;
   r
 
 let decode t ~pos bytes =
@@ -174,25 +177,10 @@ let final_meld t (group : Group_meld.group) =
       })
     decided
 
-let submit t (intention : Intention.t) =
-  let seq = t.next_seq in
-  t.next_seq <- seq + 1;
-  (* Premeld stage. *)
-  let unit_group =
-    match t.config.premeld with
-    | None -> Group_meld.single ~seq intention
-    | Some pc -> (
-        match
-          timed t.counters.premeld (fun () ->
-              Premeld.run pc ~allocs:t.pm_allocs ~counters:t.counters.premeld
-                ~states:t.states ~seq intention)
-        with
-        | Premeld.Unchanged i -> Group_meld.single ~seq i
-        | Premeld.Premelded (i, m) ->
-            Group_meld.single ~premeld_input:m ~seq i
-        | Premeld.Dead reason -> Group_meld.dead ~seq intention reason)
-  in
-  (* Group meld stage. *)
+(* Group-meld + final-meld tail: sequential in log order under every
+   backend.  [unit_group] is the single-intention group produced by the
+   premeld stage (or the raw intention when premeld is off). *)
+let tail t (unit_group : Group_meld.group) =
   if t.config.group_size <= 1 then final_meld t unit_group
   else begin
     let merged =
@@ -214,6 +202,177 @@ let submit t (intention : Intention.t) =
       []
     end
   end
+
+let group_of_outcome ~seq intention = function
+  | Premeld.Unchanged i -> Group_meld.single ~seq i
+  | Premeld.Premelded (i, m) -> Group_meld.single ~premeld_input:m ~seq i
+  | Premeld.Dead reason -> Group_meld.dead ~seq intention reason
+
+let submit t (intention : Intention.t) =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  (* Premeld stage, inline (the Sequential backend's scheduler). *)
+  let unit_group =
+    match t.config.premeld with
+    | None -> Group_meld.single ~seq intention
+    | Some pc ->
+        let shard =
+          t.counters.premeld_shards.(Premeld.thread_for pc ~seq - 1)
+        in
+        let outcome =
+          timed shard (fun () ->
+              Premeld.run pc ~allocs:t.pm_allocs
+                ~shards:t.counters.premeld_shards ~states:t.states ~seq
+                intention)
+        in
+        group_of_outcome ~seq intention outcome
+  in
+  tail t unit_group
+
+(* ------------------------------------------------------------------ *)
+(* Parallel premeld windows                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Run one premeld window in parallel and then drain its tail in log
+   order.  Preconditions established by [submit_batch]: premeld is on,
+   [Array.length window <= threads * distance + 1 - pending_members]
+   (so every member's designated input state is already recorded at
+   window start — group assembly delays recording by up to
+   [group_size - 1] states), and the intentions are the next ones in
+   log order. *)
+let run_window t (pc : Premeld.config) (window : Intention.t array) =
+  let b = Array.length window in
+  let s0 = t.next_seq in
+  t.next_seq <- s0 + b;
+  let snap = State_store.snapshot t.states in
+  (* Per-member snapshot sequence numbers, exactly as the sequential
+     scheduler would compute them at each member's own submit time.  A
+     member's snapshot position may name an *earlier window member*; the
+     sequential scheduler would see that member's state recorded iff its
+     group has already completed, which is pure arithmetic on the group
+     assembly state at window start. *)
+  let g = max 1 t.config.group_size in
+  let p0 = t.pending_members in
+  (* (seq, pos) of the group members already pending at window start: the
+     first group completion inside the window records their states too. *)
+  let pending_positions =
+    match t.pending with
+    | None -> [||]
+    | Some grp ->
+        let all =
+          List.map (fun (m : Group_meld.member) -> (m.seq, m.intention.pos))
+            grp.members
+          @ List.map
+              (fun ((m : Group_meld.member), _, _) -> (m.seq, m.intention.pos))
+              grp.early_aborts
+        in
+        let arr = Array.of_list all in
+        Array.sort (fun (a, _) (b, _) -> Int.compare a b) arr;
+        arr
+  in
+  let snap_seqs = Array.make b (-1) in
+  let visible = ref (-1) in
+  (* window index of the newest member whose state is visible *)
+  for i = 0 to b - 1 do
+    let pos = window.(i).Intention.snapshot in
+    let rec member_at k =
+      if k < 0 then None
+      else if window.(k).Intention.pos <= pos then Some k
+      else member_at (k - 1)
+    in
+    let rec pending_at k =
+      if k < 0 then None
+      else if snd pending_positions.(k) <= pos then
+        Some (fst pending_positions.(k))
+      else pending_at (k - 1)
+    in
+    snap_seqs.(i) <-
+      (match member_at !visible with
+      | Some k -> s0 + k
+      | None -> (
+          (* Once any group has completed inside the window, the members
+             pending at window start are recorded as well. *)
+          match
+            if !visible >= 0 then
+              pending_at (Array.length pending_positions - 1)
+            else None
+          with
+          | Some seq -> seq
+          | None -> State_store.Snapshot.seq_of_pos snap pos));
+    if (p0 + i + 1) mod g = 0 then visible := i
+  done;
+  (* Fan the trial melds out, sharded by paper thread id: pool task [k]
+     impersonates premeld thread [threads.(k)] and owns its allocator and
+     counter shard, processing that thread's members in log order. *)
+  let outcomes = Array.make b (Premeld.Unchanged window.(0)) in
+  let by_thread = Array.make pc.Premeld.threads [] in
+  for i = b - 1 downto 0 do
+    let th = Premeld.thread_for pc ~seq:(s0 + i) in
+    by_thread.(th - 1) <- i :: by_thread.(th - 1)
+  done;
+  let active =
+    Array.of_seq
+      (Seq.filter
+         (fun k -> by_thread.(k) <> [])
+         (Seq.init pc.Premeld.threads Fun.id))
+  in
+  let lookup = State_store.Snapshot.by_seq snap in
+  Runtime.run_tasks t.runtime ~tasks:(Array.length active) (fun task ->
+      let k = active.(task) in
+      let shard = t.counters.premeld_shards.(k) in
+      let t0 = Clock.now () in
+      List.iter
+        (fun i ->
+          outcomes.(i) <-
+            Premeld.trial pc ~snap_seq:snap_seqs.(i) ~lookup
+              ~alloc:t.pm_allocs.(k) ~counters:shard ~seq:(s0 + i)
+              window.(i))
+        by_thread.(k);
+      shard.Counters.seconds <- shard.Counters.seconds +. Clock.elapsed t0);
+  (* Merge back in submission order: group meld and final meld are the
+     same sequential tail the inline scheduler uses. *)
+  let decisions = ref [] in
+  for i = 0 to b - 1 do
+    let dgroup = group_of_outcome ~seq:(s0 + i) window.(i) outcomes.(i) in
+    decisions := List.rev_append (tail t dgroup) !decisions
+  done;
+  List.rev !decisions
+
+let submit_batch t (intentions : Intention.t list) =
+  match (Runtime.is_parallel t.runtime, t.config.premeld) with
+  | false, _ | _, None ->
+      (* Sequential backend (or nothing to parallelize): the original
+         inline scheduler, one intention at a time. *)
+      List.concat_map (submit t) intentions
+  | true, Some pc ->
+      let arr = Array.of_list intentions in
+      let n = Array.length arr in
+      let decisions = ref [] in
+      let off = ref 0 in
+      while !off < n do
+        (* The designated input state of the window's last member must
+           already be recorded: states lag submissions by the group
+           members still being assembled, so the window shrinks by
+           [pending_members] (it re-widens as soon as a group inside
+           this window completes). *)
+        let cap =
+          (pc.Premeld.threads * pc.Premeld.distance) + 1 - t.pending_members
+        in
+        if cap < 1 then begin
+          (* Pathological config (group_size > threads*distance + 1):
+             no window is safe, fall back to the inline scheduler for
+             one intention and retry. *)
+          decisions := List.rev_append (submit t arr.(!off)) !decisions;
+          incr off
+        end
+        else begin
+          let b = min cap (n - !off) in
+          let window = Array.sub arr !off b in
+          decisions := List.rev_append (run_window t pc window) !decisions;
+          off := !off + b
+        end
+      done;
+      List.rev !decisions
 
 let flush t =
   match t.pending with

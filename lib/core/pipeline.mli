@@ -7,10 +7,12 @@ open Hyder_tree
     strictly in log order and produces, for every intention, the same
     commit/abort decision and the same (physically identical) sequence of
     database states on every server, whatever the physical thread
-    interleaving would be.  Physical parallelism is modeled by the cluster
-    simulator using the per-stage wall-clock timings this machine measures;
-    the paper's determinism scheme (Section 3.4) exists precisely so that
-    the stage interleaving cannot affect the results.
+    interleaving.  How stages are scheduled onto hardware is delegated to
+    {!Runtime}: the [Sequential] backend runs everything inline (the
+    cluster simulator models physical parallelism from its per-stage
+    timings), while the [Parallel] backend runs premeld trial melds on
+    real domains via {!submit_batch} — and, per the paper's Section 3.4
+    id scheme, must produce bit-identical results.
 
     Stage thread ids for ephemeral VNs: final meld = 0, premeld threads =
     1..t, group meld = t+1. *)
@@ -41,7 +43,16 @@ type decision = {
 
 type t
 
-val create : ?config:config -> genesis:Tree.t -> unit -> t
+val create :
+  ?config:config -> ?runtime:Runtime.backend -> genesis:Tree.t -> unit -> t
+(** [runtime] defaults to {!Runtime.sequential}.  A [Parallel] runtime
+    spawns its domain pool here; call {!shutdown} when done with the
+    pipeline to join it.
+
+    Retention arithmetic constraint: with premeld on, [group_size] must
+    not exceed [threads * distance + 1] — beyond that, a premeld-bound
+    intention can designate an input state its own group assembly has not
+    recorded yet, under either backend. *)
 
 val decode : t -> pos:int -> string -> Hyder_codec.Intention.t
 (** The ds stage: deserialize an encoded intention, resolving references
@@ -50,7 +61,22 @@ val decode : t -> pos:int -> string -> Hyder_codec.Intention.t
 val submit : t -> Hyder_codec.Intention.t -> decision list
 (** Feed the next intention in log order.  Returns the decisions that
     became final (possibly none while a group is filling, possibly several
-    when a group completes), in sequence order. *)
+    when a group completes), in sequence order.  Always runs the inline
+    sequential scheduler, whatever the runtime backend. *)
+
+val submit_batch : t -> Hyder_codec.Intention.t list -> decision list
+(** Feed the next intentions in log order, allowing the runtime backend
+    to overlap premeld work across them.  Under [Sequential] this is
+    exactly [List.concat_map (submit t)].  Under [Parallel] the batch is
+    cut into premeld windows of at most [threads * distance + 1 -
+    pending_group_members] intentions — the bound that guarantees every
+    member's designated input state is already recorded when the window's
+    store snapshot is taken — each window's trial melds run
+    concurrently on the domain pool (one task per paper premeld thread,
+    owning that thread's allocator and counter shard), and the group/final
+    meld tail then drains sequentially in log order.  Decisions are
+    returned in sequence order and are bit-identical to the sequential
+    backend's. *)
 
 val flush : t -> decision list
 (** Force a partially filled group through final meld (stream end). *)
@@ -61,6 +87,13 @@ val lcs : t -> int * int * Tree.t
 val states : t -> State_store.t
 val counters : t -> Counters.t
 val config : t -> config
+
+val runtime : t -> Runtime.backend
+
+val shutdown : t -> unit
+(** Join the parallel runtime's domain pool, if any.  Idempotent; the
+    pipeline remains usable for sequential [submit] afterwards but not
+    for parallel [submit_batch]. *)
 
 val prune : t -> keep:int -> unit
 (** Drop old retained states, but never below what premeld arithmetic

@@ -15,21 +15,22 @@ type outcome =
   | Premelded of Intention.t * int
   | Dead of Meld.abort_reason
 
-let run config ~allocs ~counters ~states ~seq (intention : Intention.t) =
+(* Pure trial-meld core: everything it touches is either owned by the
+   caller's premeld thread (alloc, counters shard) or immutable (the input
+   state tree, the intention), so it can run on any domain. *)
+let trial config ~snap_seq ~lookup ~alloc ~counters ~seq
+    (intention : Intention.t) =
   let m = input_seq config ~seq in
-  let snap_seq = State_store.seq_of_pos states intention.snapshot in
   if m <= snap_seq then Unchanged intention
   else begin
     let state =
-      match State_store.by_seq states m with
+      match lookup m with
       | Some s -> s
       | None ->
           failwith
-            (Printf.sprintf "Premeld.run: state %d not retained (seq %d)" m
+            (Printf.sprintf "Premeld.trial: state %d not retained (seq %d)" m
                seq)
     in
-    let thread = thread_for config ~seq in
-    let alloc = allocs.(thread - 1) in
     counters.Counters.intentions <- counters.Counters.intentions + 1;
     match
       Meld.meld
@@ -40,3 +41,13 @@ let run config ~allocs ~counters ~states ~seq (intention : Intention.t) =
     | Meld.Merged root -> Premelded ({ intention with root }, m)
     | Meld.Conflict reason -> Dead reason
   end
+
+(* Scheduling shell for the inline (sequential) path: resolve the snapshot
+   sequence number and the designated input state against the live store. *)
+let run config ~allocs ~shards ~states ~seq (intention : Intention.t) =
+  let snap_seq = State_store.seq_of_pos states intention.snapshot in
+  let thread = thread_for config ~seq in
+  trial config ~snap_seq
+    ~lookup:(State_store.by_seq states)
+    ~alloc:allocs.(thread - 1)
+    ~counters:shards.(thread - 1) ~seq intention

@@ -10,7 +10,14 @@
     intention number [v] is premelded by thread [v mod t] against the state
     produced by intention [v - t*d - 1].  Every server runs the same
     arithmetic, so every server premelds every intention against the same
-    state with the same ephemeral-id stream. *)
+    state with the same ephemeral-id stream.
+
+    The module is split into a {e pure trial-meld core} ({!trial}) that only
+    reads immutable data and writes caller-owned records — safe to run on
+    any domain — and a {e scheduling shell} ({!run}) that resolves the
+    designated input state against the live state store for the inline
+    sequential path.  The parallel runtime calls {!trial} directly with a
+    {!State_store.Snapshot} lookup and window-corrected [snap_seq]. *)
 
 type config = { threads : int; distance : int }
 
@@ -30,14 +37,31 @@ type outcome =
       (** substitute intention and the input state's sequence number *)
   | Dead of Meld.abort_reason  (** conflict found early *)
 
+val trial :
+  config ->
+  snap_seq:int ->
+  lookup:(int -> Hyder_tree.Tree.t option) ->
+  alloc:Hyder_tree.Vn.Alloc.t ->
+  counters:Counters.stage ->
+  seq:int ->
+  Hyder_codec.Intention.t ->
+  outcome
+(** The pure core.  [snap_seq] is the sequence number of the intention's
+    snapshot state (what {!State_store.seq_of_pos} of its snapshot position
+    would report at submit time); [lookup] resolves a state by sequence
+    number and must cover the designated input state.  [alloc] and
+    [counters] belong exclusively to the premeld thread [thread_for ~seq],
+    making the call free of shared mutable state. *)
+
 val run :
   config ->
   allocs:Hyder_tree.Vn.Alloc.t array ->
-  counters:Counters.stage ->
+  shards:Counters.stage array ->
   states:State_store.t ->
   seq:int ->
   Hyder_codec.Intention.t ->
   outcome
-(** [allocs.(i)] is the ephemeral allocator of premeld thread [i+1]; the
-    state store must already hold the designated input state (final meld is
-    always ahead of it). *)
+(** The inline scheduling shell: picks the thread's allocator and counter
+    shard ([allocs.(i)] and [shards.(i)] belong to premeld thread [i+1])
+    and resolves states against the live store, which must already hold
+    the designated input state (final meld is always ahead of it). *)

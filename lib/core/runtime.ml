@@ -1,0 +1,46 @@
+module Domain_pool = Hyder_util.Domain_pool
+
+type backend = Sequential | Parallel of { domains : int }
+
+let sequential = Sequential
+
+let parallel ~domains =
+  if domains < 1 then invalid_arg "Runtime.parallel: domains";
+  Parallel { domains }
+
+let parse s =
+  match String.split_on_char ':' (String.trim s) with
+  | [ "seq" ] | [ "sequential" ] -> Ok Sequential
+  | [ "par" ] | [ "parallel" ] -> Ok (Parallel { domains = 2 })
+  | [ ("par" | "parallel"); n ] -> (
+      match int_of_string_opt n with
+      | Some d when d >= 1 -> Ok (Parallel { domains = d })
+      | Some _ | None ->
+          Error (Printf.sprintf "bad domain count %S in runtime spec" n))
+  | _ -> Error (Printf.sprintf "unknown runtime %S (want seq | par:<n>)" s)
+
+let to_string = function
+  | Sequential -> "seq"
+  | Parallel { domains } -> Printf.sprintf "par:%d" domains
+
+type t = { backend : backend; pool : Domain_pool.t option }
+
+let create = function
+  | Sequential -> { backend = Sequential; pool = None }
+  | Parallel { domains } as b ->
+      if domains < 1 then invalid_arg "Runtime.create: domains";
+      { backend = b; pool = Some (Domain_pool.create ~domains) }
+
+let backend t = t.backend
+let is_parallel t = Option.is_some t.pool
+
+let run_tasks t ~tasks f =
+  match t.pool with
+  | None ->
+      for i = 0 to tasks - 1 do
+        f i
+      done
+  | Some pool -> Domain_pool.run pool ~tasks f
+
+let shutdown t =
+  match t.pool with None -> () | Some pool -> Domain_pool.shutdown pool

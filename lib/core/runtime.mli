@@ -1,0 +1,60 @@
+(** Pluggable stage runtime for the meld pipeline.
+
+    The pipeline is a deterministic semantic machine; {e how} its stages
+    are scheduled onto hardware is this module's concern.  Two backends:
+
+    - {b Sequential} — every stage runs inline on the caller, one
+      intention at a time, in log order.  This is the original scheduler,
+      preserved bit-for-bit: the cluster simulator measures its per-stage
+      wall-clock and models physical parallelism on top of it.
+    - {b Parallel} — premeld trial melds run on a pool of real OCaml 5
+      domains ({!Hyder_util.Domain_pool}).  Each pool task impersonates
+      one paper premeld thread (Section 3.4): it owns that thread's
+      ephemeral-id allocator and counter shard, so ephemeral node ids
+      [(thread, seq)] are identical to the sequential backend's no matter
+      which domain runs the task or in what order tasks finish.  Group
+      meld and final meld stay sequential in log order; results are
+      merged back in submission order.
+
+    The determinism argument, concretely: a premeld window only contains
+    intentions whose designated input states {e precede} the window
+    (window size <= t*d + 1), those states are frozen in a
+    {!State_store.Snapshot} before fan-out, and every job's inputs —
+    snapshot sequence number, input state, allocator stream — are
+    computed by log-order arithmetic, not by arrival order.  Parallelism
+    therefore changes wall-clock and nothing else; the cross-backend
+    property test in [test/test_runtime.ml] checks exactly this. *)
+
+type backend = Sequential | Parallel of { domains : int }
+
+val sequential : backend
+
+val parallel : domains:int -> backend
+(** [domains >= 1], [Invalid_argument] otherwise. *)
+
+val parse : string -> (backend, string) result
+(** ["seq"] or ["par:<n>"] (e.g. ["par:4"]); also accepts ["par"] as
+    [par:2]. *)
+
+val to_string : backend -> string
+(** Inverse of {!parse}. *)
+
+type t
+(** An instantiated runtime: the backend descriptor plus, for [Parallel],
+    the live domain pool. *)
+
+val create : backend -> t
+val backend : t -> backend
+
+val is_parallel : t -> bool
+
+val run_tasks : t -> tasks:int -> (int -> unit) -> unit
+(** Execute [tasks] independent tasks: [Sequential] runs them inline in
+    index order; [Parallel] runs them concurrently on the pool (any
+    order, any domain).  Tasks handed to this function must be pairwise
+    independent — the pipeline shards premeld work by paper thread id to
+    guarantee it. *)
+
+val shutdown : t -> unit
+(** Join the domain pool, if any.  Idempotent; a no-op for
+    [Sequential]. *)

@@ -113,6 +113,43 @@ let resolver t =
         | None -> Node.Empty
         | Some n -> Node.Node n)
 
+module Snapshot = struct
+  type nonrec t = {
+    entries : entry array;  (** oldest first, dense in seq *)
+    genesis : Tree.t;
+  }
+
+  let latest s =
+    let n = Array.length s.entries in
+    if n = 0 then (-1, -1) else (s.entries.(n - 1).seq, s.entries.(n - 1).pos)
+
+  let by_seq s seq =
+    if seq = -1 then Some s.genesis
+    else begin
+      let n = Array.length s.entries in
+      if n = 0 then None
+      else begin
+        let i = seq - s.entries.(0).seq in
+        if i < 0 || i >= n then None else Some s.entries.(i).state
+      end
+    end
+
+  let seq_of_pos s pos =
+    let n = Array.length s.entries in
+    if pos = -1 || n = 0 || s.entries.(0).pos > pos then -1
+    else begin
+      let lo = ref 0 and hi = ref (n - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi + 1) / 2 in
+        if s.entries.(mid).pos <= pos then lo := mid else hi := mid - 1
+      done;
+      s.entries.(!lo).seq
+    end
+end
+
+let snapshot t =
+  { Snapshot.entries = Array.init t.count (nth t); genesis = t.genesis }
+
 let prune t ~keep =
   if keep < 0 then invalid_arg "State_store.prune";
   if t.count > keep then t.pruned_any <- true;

@@ -40,6 +40,32 @@ val resolver : t -> Hyder_codec.Codec.resolver
 (** Resolver for the deserializer: looks the key up in the state at the
     intention's snapshot position. *)
 
+(** An immutable view of the retained states at a moment in time.
+
+    {b Thread safety}: the store itself is single-writer, single-reader
+    (the meld driver); a snapshot, by contrast, is a frozen copy of the
+    retention window and may be read concurrently from any number of
+    domains without synchronization.  The trees it hands out are
+    immutable, so they are likewise safe to traverse in parallel.  The
+    parallel premeld backend takes one snapshot per premeld window,
+    before any trial meld is fanned out, and workers only ever read
+    through it. *)
+module Snapshot : sig
+  type t
+
+  val latest : t -> int * int
+  (** [(seq, pos)] of the newest retained entry; [(-1, -1)] if none. *)
+
+  val by_seq : t -> int -> Hyder_tree.Tree.t option
+  (** Same contract as {!val:by_seq} on the live store, frozen. *)
+
+  val seq_of_pos : t -> int -> int
+  (** Same contract as {!val:seq_of_pos} on the live store, frozen. *)
+end
+
+val snapshot : t -> Snapshot.t
+(** O(retained) copy of the current retention window. *)
+
 val prune : t -> keep:int -> unit
 (** Drop states older than the newest [keep] (genesis is always kept as the
     oldest retained state's stand-in). *)

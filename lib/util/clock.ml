@@ -1,0 +1,3 @@
+external now : unit -> float = "hyder_clock_monotonic_seconds"
+
+let elapsed t0 = Float.max 0.0 (now () -. t0)

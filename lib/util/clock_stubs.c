@@ -1,0 +1,21 @@
+/* Monotonic clock binding for Hyder_util.Clock.
+
+   CLOCK_MONOTONIC never jumps backwards under NTP slew or manual
+   wall-clock adjustment, so stage durations derived from differences of
+   this clock are always non-negative. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value hyder_clock_monotonic_seconds(value unit)
+{
+  struct timespec ts;
+#ifdef CLOCK_MONOTONIC
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  (void)unit;
+  return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+}

@@ -1,0 +1,100 @@
+type t = {
+  mutex : Mutex.t;
+  work : Condition.t;  (** signalled when a batch is published or on stop *)
+  done_ : Condition.t;  (** signalled when the last task of a batch ends *)
+  mutable task : int -> unit;
+  mutable count : int;  (** tasks in the current batch *)
+  mutable next : int;  (** next unclaimed task index *)
+  mutable finished : int;  (** tasks completed in the current batch *)
+  mutable generation : int;  (** bumped per batch so idle workers wake once *)
+  mutable failure : (exn * Printexc.raw_backtrace) option;
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;  (** set once, right after spawn *)
+}
+
+let worker pool () =
+  let seen = ref 0 in
+  Mutex.lock pool.mutex;
+  while not pool.stop do
+    if pool.generation <> !seen then
+      if pool.next < pool.count then begin
+        let i = pool.next in
+        pool.next <- i + 1;
+        Mutex.unlock pool.mutex;
+        let failed =
+          try
+            pool.task i;
+            None
+          with e -> Some (e, Printexc.get_raw_backtrace ())
+        in
+        Mutex.lock pool.mutex;
+        (match failed with
+        | Some _ when pool.failure = None -> pool.failure <- failed
+        | _ -> ());
+        pool.finished <- pool.finished + 1;
+        if pool.finished = pool.count then Condition.broadcast pool.done_
+      end
+      else
+        (* Batch drained by others; remember it so we sleep until the
+           next one instead of spinning. *)
+        seen := pool.generation
+    else Condition.wait pool.work pool.mutex
+  done;
+  Mutex.unlock pool.mutex
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Domain_pool.create: domains";
+  let pool =
+    {
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      done_ = Condition.create ();
+      task = ignore;
+      count = 0;
+      next = 0;
+      finished = 0;
+      generation = 0;
+      failure = None;
+      stop = false;
+      workers = [||];
+    }
+  in
+  pool.workers <- Array.init domains (fun _ -> Domain.spawn (worker pool));
+  pool
+
+let size pool = Array.length pool.workers
+
+let run pool ~tasks f =
+  if tasks < 0 then invalid_arg "Domain_pool.run: tasks";
+  if tasks > 0 then begin
+    Mutex.lock pool.mutex;
+    if pool.stop then begin
+      Mutex.unlock pool.mutex;
+      invalid_arg "Domain_pool.run: pool is shut down"
+    end;
+    pool.task <- f;
+    pool.count <- tasks;
+    pool.next <- 0;
+    pool.finished <- 0;
+    pool.failure <- None;
+    pool.generation <- pool.generation + 1;
+    Condition.broadcast pool.work;
+    while pool.finished < pool.count do
+      Condition.wait pool.done_ pool.mutex
+    done;
+    let failure = pool.failure in
+    pool.task <- ignore;
+    pool.count <- 0;
+    Mutex.unlock pool.mutex;
+    match failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  let was_stopped = pool.stop in
+  pool.stop <- true;
+  Condition.broadcast pool.work;
+  Mutex.unlock pool.mutex;
+  if not was_stopped then Array.iter Domain.join pool.workers

@@ -1,0 +1,37 @@
+(** A small persistent pool of OCaml 5 domains for fork/join batches.
+
+    The pool owns [size] worker domains that sleep on a condition variable
+    between batches.  {!run} publishes an indexed batch of tasks; workers
+    self-schedule by claiming the next unclaimed index under the pool lock
+    (a shared-queue variant of work stealing: the queue is the single
+    index counter, and whichever worker is free steals the next task).
+    [run] returns once every task has finished.
+
+    Guarantees:
+    - every task index in [0 .. n-1] is executed exactly once;
+    - tasks may run concurrently on distinct domains, in any order, so
+      they must be pairwise independent (the premeld scheduler gives each
+      task its own allocator and counter shard to satisfy this);
+    - if a task raises, the batch still drains, and [run] re-raises the
+      first exception in the caller's domain.
+
+    [run] is not reentrant: one batch at a time, driven by one owner
+    domain.  This matches the meld pipeline, where a single log-order
+    driver fans premeld windows out and joins before final meld. *)
+
+type t
+
+val create : domains:int -> t
+(** Spawn [domains] worker domains (>= 1, [Invalid_argument] otherwise).
+    The workers idle until the first {!run}. *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val run : t -> tasks:int -> (int -> unit) -> unit
+(** [run pool ~tasks f] executes [f 0 .. f (tasks - 1)] on the pool and
+    blocks until all calls have returned.  [tasks = 0] is a no-op. *)
+
+val shutdown : t -> unit
+(** Stop and join the workers.  Idempotent; [run] after [shutdown]
+    raises [Invalid_argument]. *)

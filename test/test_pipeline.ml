@@ -360,7 +360,7 @@ let test_premeld_actually_runs_and_helps () =
   let c_pre = Pipeline.counters p_pre in
   let c_plain = Pipeline.counters p_plain in
   check "premeld processed intentions" true
-    (c_pre.Counters.premeld.Counters.intentions > 100);
+    ((Counters.premeld_total c_pre).Counters.intentions > 100);
   let fm_pre = Hyder_util.Stats.Summary.mean c_pre.Counters.fm_nodes_per_txn in
   let fm_plain =
     Hyder_util.Stats.Summary.mean c_plain.Counters.fm_nodes_per_txn

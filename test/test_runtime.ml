@@ -1,0 +1,299 @@
+(* The Runtime contract (Section 3.4): scheduling premeld onto domains
+   changes wall-clock and nothing else.  Sequential and Parallel backends
+   must produce identical commit/abort decisions, identical ephemeral node
+   identities (checked via physical tree equality), and identical premeld
+   work counts, over randomized histories including group_size > 1 and
+   premeld distance > 1.  Also unit-tests the Domain_pool and Clock
+   utilities the Parallel backend is built from. *)
+
+module Tree = Hyder_tree.Tree
+module Pipeline = Hyder_core.Pipeline
+module Premeld = Hyder_core.Premeld
+module Runtime = Hyder_core.Runtime
+module Counters = Hyder_core.Counters
+module Executor = Hyder_core.Executor
+module I = Hyder_codec.Intention
+module Domain_pool = Hyder_util.Domain_pool
+module Clock = Hyder_util.Clock
+module Rng = Hyder_util.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let genesis_n = 2000
+
+(* Record a deterministic intention stream by running a sequential
+   pipeline.  Snapshots lag 0..79 states behind the LCS, so the stream
+   mixes premeld-skipped (designated state predates snapshot) with
+   genuinely premeld-bound intentions; writes land in a small key range
+   so real conflicts and aborts occur. *)
+let make_stream ~config ~txns ~seed =
+  let genesis = Helpers.genesis genesis_n in
+  let rng = Rng.create (Int64.of_int seed) in
+  let gen = Pipeline.create ~config ~genesis () in
+  let history = ref [ (-1, genesis) ] (* newest first *) in
+  let hist_len = ref 1 in
+  let intentions = ref [] in
+  let next_pos = ref 0 in
+  for txn_seq = 0 to txns - 1 do
+    let lag = min (Rng.int rng 80) (!hist_len - 1) in
+    let snapshot_pos, snapshot = List.nth !history lag in
+    let isolation =
+      if Rng.int rng 4 = 0 then I.Snapshot_isolation else I.Serializable
+    in
+    let e =
+      Executor.begin_txn ~snapshot_pos ~snapshot ~server:0 ~txn_seq ~isolation
+        ()
+    in
+    for _ = 1 to Rng.int rng 3 do
+      ignore (Executor.read e (Rng.int rng genesis_n))
+    done;
+    for _ = 1 to 1 + Rng.int rng 2 do
+      Executor.write e (Rng.int rng genesis_n) (Printf.sprintf "w%d" txn_seq)
+    done;
+    match Executor.finish e with
+    | None -> ()
+    | Some draft ->
+        next_pos := !next_pos + 1 + Rng.int rng 2;
+        let intention = I.assign ~pos:!next_pos draft in
+        intentions := intention :: !intentions;
+        ignore (Pipeline.submit gen intention);
+        let _, pos, tree = Pipeline.lcs gen in
+        history := (pos, tree) :: !history;
+        incr hist_len
+  done;
+  ignore (Pipeline.flush gen);
+  (genesis, List.rev !intentions)
+
+(* Replay a recorded stream through a fresh pipeline, feeding
+   [submit_batch] in slabs of [slab] intentions. *)
+let replay ~config ~runtime ~slab genesis intentions =
+  let p = Pipeline.create ~config ~runtime ~genesis () in
+  let rec take k acc = function
+    | x :: tl when k > 0 -> take (k - 1) (x :: acc) tl
+    | rest -> (List.rev acc, rest)
+  in
+  let rec go acc = function
+    | [] -> acc
+    | l ->
+        let batch, rest = take slab [] l in
+        go (List.rev_append (Pipeline.submit_batch p batch) acc) rest
+  in
+  let decisions = List.rev (go [] intentions) @ Pipeline.flush p in
+  let _, _, final = Pipeline.lcs p in
+  let pm_counts =
+    Array.map
+      (fun (s : Counters.stage) -> (s.Counters.intentions, s.Counters.nodes_visited))
+      (Pipeline.counters p).Counters.premeld_shards
+  in
+  Pipeline.shutdown p;
+  (decisions, final, pm_counts)
+
+let same_decision (a : Pipeline.decision) (b : Pipeline.decision) =
+  a.Pipeline.seq = b.Pipeline.seq
+  && a.Pipeline.pos = b.Pipeline.pos
+  && a.Pipeline.committed = b.Pipeline.committed
+  && a.Pipeline.reason = b.Pipeline.reason
+  && a.Pipeline.decided_at = b.Pipeline.decided_at
+
+let check_backends ~config ~txns ~seed ~runs () =
+  let genesis, intentions = make_stream ~config ~txns ~seed in
+  check "stream not trivial" true (List.length intentions > txns / 2);
+  let bd, bfinal, bcounts =
+    replay ~config ~runtime:Runtime.sequential ~slab:max_int genesis intentions
+  in
+  check_int "every intention decided" (List.length intentions)
+    (List.length bd);
+  if config.Pipeline.premeld <> None then
+    check "premeld actually ran" true
+      (Array.exists (fun (n, _) -> n > 0) bcounts);
+  List.iter
+    (fun (name, runtime, slab) ->
+      let d, final, counts =
+        replay ~config ~runtime ~slab genesis intentions
+      in
+      check (name ^ ": decision count") true
+        (List.length d = List.length bd);
+      check (name ^ ": decisions identical") true
+        (List.for_all2 same_decision d bd);
+      check (name ^ ": final state physically identical") true
+        (Tree.physically_equal final bfinal);
+      check (name ^ ": per-thread premeld work identical") true
+        (counts = bcounts))
+    runs
+
+(* The paper's configuration: 5 premeld threads, distance 10, groups of
+   2 — windows span group boundaries and the snapshot-visibility
+   arithmetic inside a window is fully exercised. *)
+let test_paper_config () =
+  check_backends
+    ~config:
+      {
+        Pipeline.premeld = Some { Premeld.threads = 5; distance = 10 };
+        group_size = 2;
+      }
+    ~txns:400 ~seed:7
+    ~runs:
+      [
+        ("seq slab 1", Runtime.sequential, 1);
+        ("par:2", Runtime.parallel ~domains:2, max_int);
+        ("par:3 slab 37", Runtime.parallel ~domains:3, 37);
+        ("par:2 slab 1", Runtime.parallel ~domains:2, 1);
+      ]
+    ()
+
+let test_small_distance () =
+  check_backends
+    ~config:
+      {
+        Pipeline.premeld = Some { Premeld.threads = 2; distance = 1 };
+        group_size = 1;
+      }
+    ~txns:300 ~seed:21
+    ~runs:
+      [
+        ("par:2", Runtime.parallel ~domains:2, max_int);
+        ("par:4 slab 5", Runtime.parallel ~domains:4, 5);
+      ]
+    ()
+
+let test_big_groups () =
+  check_backends
+    ~config:
+      {
+        Pipeline.premeld = Some { Premeld.threads = 3; distance = 2 };
+        group_size = 4;
+      }
+    ~txns:300 ~seed:33
+    ~runs:
+      [
+        ("par:2", Runtime.parallel ~domains:2, max_int);
+        ("par:3 slab 11", Runtime.parallel ~domains:3, 11);
+      ]
+    ()
+
+(* group_size = threads*distance + 1, the boundary of the retention
+   arithmetic: just before a group completes, every state a premeld
+   could designate is still pending, so parallel windows shrink all the
+   way down to a single intention — and must still match the inline
+   scheduler bit for bit.  (group_size beyond this bound is unsupported:
+   premeld-bound intentions would designate states the group assembly
+   has not recorded yet, under either backend.) *)
+let test_group_at_window_bound () =
+  check_backends
+    ~config:
+      {
+        Pipeline.premeld = Some { Premeld.threads = 2; distance = 2 };
+        group_size = 5;
+      }
+    ~txns:200 ~seed:55
+    ~runs:
+      [
+        ("par:2", Runtime.parallel ~domains:2, max_int);
+        ("par:2 slab 3", Runtime.parallel ~domains:2, 3);
+      ]
+    ()
+
+let test_premeld_off () =
+  check_backends
+    ~config:{ Pipeline.premeld = None; group_size = 2 }
+    ~txns:200 ~seed:77
+    ~runs:[ ("par:2", Runtime.parallel ~domains:2, max_int) ]
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Domain_pool                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_runs_every_task () =
+  let pool = Domain_pool.create ~domains:3 in
+  Fun.protect ~finally:(fun () -> Domain_pool.shutdown pool) @@ fun () ->
+  check_int "size" 3 (Domain_pool.size pool);
+  let n = 200 in
+  let hits = Array.make n 0 in
+  Domain_pool.run pool ~tasks:n (fun i -> hits.(i) <- hits.(i) + 1);
+  check "each task ran exactly once" true
+    (Array.for_all (fun h -> h = 1) hits);
+  (* the pool is persistent: a second round reuses the same domains *)
+  Domain_pool.run pool ~tasks:n (fun i -> hits.(i) <- hits.(i) + 1);
+  check "reusable" true (Array.for_all (fun h -> h = 2) hits)
+
+let test_pool_propagates_exception () =
+  let pool = Domain_pool.create ~domains:2 in
+  Fun.protect ~finally:(fun () -> Domain_pool.shutdown pool) @@ fun () ->
+  (match Domain_pool.run pool ~tasks:8 (fun i -> if i = 5 then failwith "boom")
+   with
+  | () -> Alcotest.fail "expected the task's exception to propagate"
+  | exception Failure m -> check "message" true (m = "boom"));
+  (* a failed round must not poison the pool *)
+  let c = Atomic.make 0 in
+  Domain_pool.run pool ~tasks:4 (fun _ -> Atomic.incr c);
+  check_int "usable after failure" 4 (Atomic.get c)
+
+let test_pool_single_domain_and_shutdown () =
+  let pool = Domain_pool.create ~domains:1 in
+  let c = Atomic.make 0 in
+  Domain_pool.run pool ~tasks:10 (fun _ -> Atomic.incr c);
+  check_int "ran" 10 (Atomic.get c);
+  Domain_pool.shutdown pool;
+  Domain_pool.shutdown pool (* idempotent *)
+
+(* ------------------------------------------------------------------ *)
+(* Clock and Runtime descriptors                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_clock_monotonic () =
+  let prev = ref (Clock.now ()) in
+  for _ = 1 to 1000 do
+    let t = Clock.now () in
+    check "never goes backwards" true (t >= !prev);
+    prev := t
+  done;
+  check "elapsed is non-negative" true (Clock.elapsed (Clock.now ()) >= 0.0)
+
+let test_runtime_parse () =
+  check "seq" true (Runtime.parse "seq" = Ok Runtime.sequential);
+  check "sequential" true
+    (Runtime.parse "sequential" = Ok Runtime.sequential);
+  check "par:3" true (Runtime.parse "par:3" = Ok (Runtime.parallel ~domains:3));
+  check "bare par" true (Runtime.parse "par" = Ok (Runtime.parallel ~domains:2));
+  (match Runtime.parse "nope" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "parse accepted garbage");
+  (match Runtime.parse "par:0" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "parse accepted par:0");
+  check "round-trip" true
+    (Runtime.to_string (Runtime.parallel ~domains:4) = "par:4"
+    && Runtime.to_string Runtime.sequential = "seq");
+  match Runtime.parallel ~domains:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "parallel ~domains:0 accepted"
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "cross-backend determinism",
+        [
+          Alcotest.test_case "paper config (t=5 d=10 g=2)" `Quick
+            test_paper_config;
+          Alcotest.test_case "small distance" `Quick test_small_distance;
+          Alcotest.test_case "big groups" `Quick test_big_groups;
+          Alcotest.test_case "group at the window bound" `Quick
+            test_group_at_window_bound;
+          Alcotest.test_case "premeld off" `Quick test_premeld_off;
+        ] );
+      ( "domain pool",
+        [
+          Alcotest.test_case "runs every task once" `Quick
+            test_pool_runs_every_task;
+          Alcotest.test_case "propagates exceptions" `Quick
+            test_pool_propagates_exception;
+          Alcotest.test_case "single domain, shutdown idempotent" `Quick
+            test_pool_single_domain_and_shutdown;
+        ] );
+      ( "clock and descriptors",
+        [
+          Alcotest.test_case "monotonic clock" `Quick test_clock_monotonic;
+          Alcotest.test_case "runtime parse/print" `Quick test_runtime_parse;
+        ] );
+    ]
