@@ -12,11 +12,14 @@ test:
 check:
 	dune build && dune runtest
 
-# ~5-second smoke of the benchmark harness: the runtime-backends
+# ~30-second smoke of the benchmark harness: the runtime-backends
 # cross-check replays one premeld-bound history through the sequential
-# and domain-parallel schedulers and verifies bit-identical results.
+# and domain-parallel schedulers and verifies bit-identical results, and
+# fig11 (nodes visited by final meld per optimization) contributes four
+# cluster runs so BENCH_SMOKE.json carries real perf data (write_tps,
+# stage_us, conflict-zone stats) for the trajectory.
 bench-smoke:
-	dune exec bench/main.exe -- --quick runtime
+	dune exec bench/main.exe -- --json=BENCH_SMOKE.json --quick runtime fig11
 
 bench:
 	dune exec bench/main.exe

@@ -10,6 +10,9 @@
                                               -- cluster runs use the
                                                  domain-parallel premeld
                                                  backend (see "runtime")
+     dune exec bench/main.exe -- --json=report.json --quick runtime
+                                              -- also write a machine-readable
+                                                 JSON run report
 
    Absolute numbers depend on this machine (the substrate is a calibrated
    simulation; see DESIGN.md); the SHAPES — who wins, by what factor, where
@@ -28,6 +31,7 @@ module Engine = Hyder_sim.Engine
 module Stats = Hyder_util.Stats
 module Table = Hyder_util.Table
 module I = Hyder_codec.Intention
+module Json = Hyder_obs.Json
 
 (* ---------------------------------------------------------------------- *)
 (* Scale                                                                    *)
@@ -77,6 +81,35 @@ let scale = ref default_scale
 (* Stage runtime for the real pipeline inside cluster runs (see
    Cluster.config.runtime); settable with --runtime=par:<n>. *)
 let runtime = ref Runtime.sequential
+
+(* ---------------------------------------------------------------------- *)
+(* Machine-readable run report (--json=FILE)                                *)
+(* ---------------------------------------------------------------------- *)
+
+let json_path : string option ref = ref None
+let current_figure = ref ""
+let report_runs : Json.t list ref = ref [] (* newest first *)
+let report_seen : (string * string, unit) Hashtbl.t = Hashtbl.create 64
+
+(* One entry per (figure, cluster-config key): the figure name ties a run
+   back to the table it fed, the key is the memoization key (a stable
+   fingerprint of the full cluster config), and the result carries
+   write_tps, stage_us, the conflict-zone stats and the abort breakdown. *)
+let note_run key r =
+  if !json_path <> None then begin
+    let id = (!current_figure, key) in
+    if not (Hashtbl.mem report_seen id) then begin
+      Hashtbl.add report_seen id ();
+      report_runs :=
+        Json.Obj
+          [
+            ("figure", Json.String !current_figure);
+            ("config_key", Json.String key);
+            ("result", Cluster.result_to_json r);
+          ]
+        :: !report_runs
+    end
+  end
 
 (* ---------------------------------------------------------------------- *)
 (* Memoized cluster runs                                                    *)
@@ -131,16 +164,20 @@ let run_cluster ?(servers = 6) ?(pipeline = Pipeline.plain) ?(read_threads = 0)
       | Ycsb.Hotspot x -> 100 + int_of_float (x *. 1000.)
       | Ycsb.Latest -> 3)
   in
-  match Hashtbl.find_opt results key with
-  | Some r -> r
-  | None ->
-      Printf.printf "  running %s ...%!" key;
-      let t0 = Hyder_util.Clock.now () in
-      let r = Cluster.run cfg in
-      Printf.printf " %.0f wtps (%.0fs)\n%!" r.Cluster.write_tps
-        (Hyder_util.Clock.elapsed t0);
-      Hashtbl.replace results key r;
-      r
+  let r =
+    match Hashtbl.find_opt results key with
+    | Some r -> r
+    | None ->
+        Printf.printf "  running %s ...%!" key;
+        let t0 = Hyder_util.Clock.now () in
+        let r = Cluster.run cfg in
+        Printf.printf " %.0f wtps (%.0fs)\n%!" r.Cluster.write_tps
+          (Hyder_util.Clock.elapsed t0);
+        Hashtbl.replace results key r;
+        r
+  in
+  note_run key r;
+  r
 
 let all_pipelines =
   [
@@ -695,6 +732,7 @@ let abl_admission () =
         }
       in
       let r = Cluster.run cfg in
+      note_run ("admission=" ^ name) r;
       Table.add_row t
         [ name; f r.Cluster.write_tps; f (100.0 *. r.Cluster.abort_rate) ])
     [
@@ -1008,6 +1046,8 @@ let () =
           | Error msg ->
               Printf.eprintf "bad --runtime %S: %s\n" spec msg;
               exit 2)
+      | a when String.length a > 7 && String.sub a 0 7 = "--json=" ->
+          json_path := Some (String.sub a 7 (String.length a - 7))
       | name when List.mem_assoc name figures ->
           if not (List.mem name !selected) then selected := name :: !selected
       | other ->
@@ -1032,5 +1072,25 @@ let () =
     (fun name ->
       print_newline ();
       Printf.printf "### %s\n%!" name;
+      current_figure := name;
       (List.assoc name figures) ())
-    to_run
+    to_run;
+  match !json_path with
+  | None -> ()
+  | Some path ->
+      let report =
+        Json.Obj
+          [
+            ("harness", Json.String "hyder-bench");
+            ("scale", Json.String !scale.label);
+            ("runtime", Json.String (Runtime.to_string !runtime));
+            ( "figures_run",
+              Json.List (List.map (fun n -> Json.String n) to_run) );
+            ("runs", Json.List (List.rev !report_runs));
+          ]
+      in
+      let oc = open_out path in
+      Json.to_channel oc report;
+      close_out oc;
+      Printf.printf "\nwrote run report (%d cluster runs) to %s\n"
+        (List.length !report_runs) path

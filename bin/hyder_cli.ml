@@ -13,6 +13,22 @@ module Ycsb = Hyder_workload.Ycsb
 module Pipeline = Hyder_core.Pipeline
 module Premeld = Hyder_core.Premeld
 module Runtime = Hyder_core.Runtime
+module Trace = Hyder_obs.Trace
+module Metrics = Hyder_obs.Metrics
+module Json = Hyder_obs.Json
+
+let write_file path content =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc content)
+
+let pipeline_to_string (c : Pipeline.config) =
+  match (c.Pipeline.premeld, c.Pipeline.group_size) with
+  | None, 1 -> "plain"
+  | Some _, 1 -> "premeld"
+  | None, _ -> "group"
+  | Some _, _ -> "both"
 
 let runtime_conv =
   let parse s =
@@ -28,14 +44,7 @@ let pipeline_conv =
     | "both" | "opt" -> Ok Pipeline.with_both
     | s -> Error (`Msg (Printf.sprintf "unknown pipeline %S" s))
   in
-  let print fmt (c : Pipeline.config) =
-    Format.fprintf fmt "%s"
-      (match (c.Pipeline.premeld, c.Pipeline.group_size) with
-      | None, 1 -> "plain"
-      | Some _, 1 -> "premeld"
-      | None, _ -> "group"
-      | Some _, _ -> "both")
-  in
+  let print fmt c = Format.fprintf fmt "%s" (pipeline_to_string c) in
   Arg.conv (parse, print)
 
 let isolation_conv =
@@ -105,7 +114,22 @@ let workload_term =
 
 let cluster_cmd =
   let run servers pipeline runtime write_threads read_threads inflight duration
-      warmup workload seed =
+      warmup workload seed trace_file metrics_file json_file =
+    let trace =
+      match trace_file with
+      | None -> Trace.disabled
+      | Some _ ->
+          let shards =
+            match pipeline.Pipeline.premeld with
+            | Some c -> c.Premeld.threads
+            | None -> 0
+          in
+          Trace.create ~shards ()
+    in
+    let metrics =
+      if metrics_file <> None || json_file <> None then Some (Metrics.create ())
+      else None
+    in
     let cfg =
       {
         Cluster.default_config with
@@ -119,10 +143,53 @@ let cluster_cmd =
         warmup;
         workload;
         seed = Int64.of_int seed;
+        trace;
+        metrics;
       }
     in
     let r = Cluster.run cfg in
-    Format.printf "%a@." Cluster.pp_result r
+    Format.printf "%a@." Cluster.pp_result r;
+    (match trace_file with
+    | None -> ()
+    | Some path ->
+        write_file path (Trace.to_chrome_string trace);
+        Printf.eprintf "trace: %d spans (%d dropped) -> %s\n%!"
+          (Trace.recorded trace) (Trace.dropped trace) path);
+    (match metrics_file with
+    | None -> ()
+    | Some path ->
+        let m = Option.get metrics in
+        write_file path (Metrics.to_prometheus (Metrics.snapshot m));
+        Printf.eprintf "metrics -> %s\n%!" path);
+    match json_file with
+    | None -> ()
+    | Some path ->
+        let report =
+          Json.Obj
+            ([
+               ("experiment", Json.String "cluster");
+               ( "config",
+                 Json.Obj
+                   [
+                     ("servers", Json.Int servers);
+                     ("pipeline", Json.String (pipeline_to_string pipeline));
+                     ("runtime", Json.String (Runtime.to_string runtime));
+                     ("write_threads", Json.Int write_threads);
+                     ("read_threads", Json.Int read_threads);
+                     ("inflight_per_thread", Json.Int inflight);
+                     ("duration", Json.Float duration);
+                     ("warmup", Json.Float warmup);
+                     ("seed", Json.Int seed);
+                   ] );
+               ("result", Cluster.result_to_json r);
+             ]
+            @
+            match metrics with
+            | Some m -> [ ("metrics", Metrics.to_json (Metrics.snapshot m)) ]
+            | None -> [])
+        in
+        write_file path (Json.to_string report);
+        Printf.eprintf "run report -> %s\n%!" path
   in
   let servers =
     Arg.(value & opt int 6 & info [ "servers" ] ~doc:"Transaction servers.")
@@ -156,11 +223,38 @@ let cluster_cmd =
   let warmup =
     Arg.(value & opt float 0.15 & info [ "warmup" ] ~doc:"Warmup simulated seconds.")
   in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event JSON of the real meld pipeline's \
+             stage spans to $(docv) (load it in Perfetto or \
+             chrome://tracing).")
+  in
+  let metrics_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"Write Prometheus text-format metrics to $(docv).")
+  in
+  let json_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write a machine-readable JSON run report (config, result, \
+             metrics) to $(docv).")
+  in
   Cmd.v
     (Cmd.info "cluster" ~doc:"Run a distributed Hyder II experiment")
     Term.(
       const run $ servers $ pipeline $ runtime $ write_threads $ read_threads
-      $ inflight $ duration $ warmup $ workload_term $ seed)
+      $ inflight $ duration $ warmup $ workload_term $ seed $ trace_file
+      $ metrics_file $ json_file)
 
 (* --- local ([8] setup) ---------------------------------------------------- *)
 

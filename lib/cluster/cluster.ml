@@ -7,10 +7,14 @@ module Premeld = Hyder_core.Premeld
 module Executor = Hyder_core.Executor
 module State_store = Hyder_core.State_store
 module Counters = Hyder_core.Counters
+module Meld = Hyder_core.Meld
 module I = Hyder_codec.Intention
 module Codec = Hyder_codec.Codec
 module Ycsb = Hyder_workload.Ycsb
 module Summary = Hyder_util.Stats.Summary
+module Trace = Hyder_obs.Trace
+module Metrics = Hyder_obs.Metrics
+module Json = Hyder_obs.Json
 
 type config = {
   servers : int;
@@ -32,6 +36,12 @@ type config = {
   duration : float;
   warmup : float;
   seed : int64;
+  trace : Trace.t;
+      (** span recorder threaded into the real pipeline; {!Trace.disabled}
+          (the default) costs one branch per stage *)
+  metrics : Metrics.t option;
+      (** registry for pipeline/runtime instruments, the commit-latency
+          histogram and the simulated queue-depth sampler *)
 }
 
 let default_config =
@@ -53,6 +63,8 @@ let default_config =
     duration = 1.0;
     warmup = 0.3;
     seed = 0x5EEDL;
+    trace = Trace.disabled;
+    metrics = None;
   }
 
 type result = {
@@ -72,6 +84,7 @@ type result = {
   blocks_per_intention : float;
   appends_per_sec : float;
   stage_us : float * float * float * float;
+  abort_reasons : (string * int) list;
 }
 
 (* Per-intention bookkeeping shared between the real pipeline and the
@@ -79,6 +92,7 @@ type result = {
 type info = {
   origin : int;
   thread : int;
+  t_created : float;  (** simulated time the executor produced the draft *)
   snap_seq : int;  (** tracked so the snapshot state survives until decode *)
   mutable bytes : string;  (** encoded intention; dropped after decode *)
   byte_size : int;
@@ -94,6 +108,13 @@ type info = {
 }
 
 type thread_state = { mutable inflight : int; mutable blocked : bool }
+
+(* Cluster-level instruments, resolved once per run. *)
+type cluster_inst = {
+  h_commit_latency : Metrics.Histogram.t;
+      (** simulated seconds from draft to origin-server commit delivery *)
+  c_appends : Metrics.Counter.t;
+}
 
 type group_progress = {
   mutable done_members : int;
@@ -137,7 +158,17 @@ let run cfg =
   let workload = Ycsb.create ~seed:cfg.seed cfg.workload in
   let genesis = Ycsb.genesis workload in
   let pipeline =
-    Pipeline.create ~config:cfg.pipeline ~runtime:cfg.runtime ~genesis ()
+    Pipeline.create ~config:cfg.pipeline ~runtime:cfg.runtime ~trace:cfg.trace
+      ?metrics:cfg.metrics ~genesis ()
+  in
+  let inst =
+    Option.map
+      (fun m ->
+        {
+          h_commit_latency = Metrics.histogram m "cluster_commit_latency_seconds";
+          c_appends = Metrics.counter m "cluster_log_appends";
+        })
+      cfg.metrics
   in
   Fun.protect ~finally:(fun () -> Pipeline.shutdown pipeline) @@ fun () ->
   let states = Pipeline.states pipeline in
@@ -211,6 +242,18 @@ let run cfg =
     t >= cfg.warmup && t < stop_time
   in
   let commits = ref 0 and aborts = ref 0 and reads_done = ref 0 in
+  let abort_reasons_tbl : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let note_abort reason =
+    let k =
+      match reason with
+      | None -> "unknown"
+      | Some (Meld.Write_conflict _) -> "write_conflict"
+      | Some (Meld.Read_conflict _) -> "read_conflict"
+      | Some (Meld.Phantom_conflict _) -> "phantom_conflict"
+    in
+    Hashtbl.replace abort_reasons_tbl k
+      (1 + Option.value ~default:0 (Hashtbl.find_opt abort_reasons_tbl k))
+  in
   let appends = ref 0 and appends_in_window = ref 0 in
   let counters_at_window_start = ref None in
   let stage_sums = Array.make 4 0.0 in
@@ -305,7 +348,16 @@ let run cfg =
             match member with
             | Some m when m.origin = s_idx ->
                 if in_window () then
-                  if d.Pipeline.committed then incr commits else incr aborts;
+                  if d.Pipeline.committed then incr commits
+                  else begin
+                    incr aborts;
+                    note_abort d.Pipeline.reason
+                  end;
+                (match inst with
+                | Some i when d.Pipeline.committed ->
+                    Metrics.Histogram.observe i.h_commit_latency
+                      (Engine.now eng -. m.t_created)
+                | _ -> ());
                 (match servers.(s_idx).admission with
                 | Some a -> Admission.observe a ~committed:d.Pipeline.committed
                 | None -> ());
@@ -452,6 +504,9 @@ let run cfg =
     else
       Corfu.append corfu "" (fun pos ->
           incr appends;
+          (match inst with
+          | Some i -> Metrics.Counter.incr i.c_appends
+          | None -> ());
           if in_window () then incr appends_in_window;
           if remaining = 1 then begin
             (* Last block: its position names the intention. *)
@@ -514,6 +569,7 @@ let run cfg =
               {
                 origin = s_idx;
                 thread = th_idx;
+                t_created = Engine.now eng;
                 snap_seq;
                 bytes;
                 byte_size;
@@ -556,6 +612,43 @@ let run cfg =
           (fun () -> read_thread_loop s_idx ())
       done)
     servers;
+
+  (* Periodic queue-depth sampler (simulated time): gauges hold the last
+     sample, histograms the distribution over the measurement window. *)
+  (match cfg.metrics with
+  | None -> ()
+  | Some m ->
+      let g_seq = Metrics.gauge m "corfu_sequencer_queue" in
+      let g_unit = Metrics.gauge m "corfu_unit_queue_max" in
+      let g_nic = Metrics.gauge m "broadcast_nic_queue_max" in
+      let g_inflight = Metrics.gauge m "corfu_appends_inflight" in
+      let g_blocked = Metrics.gauge m "cluster_blocked_threads" in
+      let h_seq = Metrics.histogram m "corfu_sequencer_queue_depth" in
+      let h_unit = Metrics.histogram m "corfu_unit_queue_depth_max" in
+      let period = Float.max 1e-4 (cfg.duration /. 200.0) in
+      let rec sample () =
+        let sq = Corfu.sequencer_queue corfu in
+        let uq = Corfu.max_unit_queue corfu in
+        Metrics.Gauge.set g_seq (float_of_int sq);
+        Metrics.Gauge.set g_unit (float_of_int uq);
+        Metrics.Gauge.set g_nic (float_of_int (Broadcast.max_nic_queue bcast));
+        Metrics.Gauge.set g_inflight
+          (float_of_int (Corfu.appends_inflight corfu));
+        let blocked =
+          Array.fold_left
+            (fun acc s ->
+              Array.fold_left
+                (fun a th -> if th.blocked then a + 1 else a)
+                acc s.threads)
+            0 servers
+        in
+        Metrics.Gauge.set g_blocked (float_of_int blocked);
+        Metrics.Histogram.observe h_seq (float_of_int sq);
+        Metrics.Histogram.observe h_unit (float_of_int uq);
+        if Engine.now eng +. period < stop_time then
+          Engine.schedule eng ~delay:period sample
+      in
+      Engine.schedule eng ~delay:cfg.warmup sample);
 
   (* Snapshot the work counters at the start of the measurement window so
      per-transaction statistics exclude warmup. *)
@@ -606,10 +699,15 @@ let run cfg =
     if !blocks_count = 0 then 0.0
     else float_of_int !blocks_sum /. float_of_int !blocks_count
   in
+  let windowed_mean live base_summary =
+    (* Counters.copy preserves the streaming summaries, so the window's
+       own mean is the difference of the two accumulators. *)
+    let n = Summary.count live - Summary.count base_summary in
+    if n <= 0 then Summary.mean live
+    else (Summary.total live -. Summary.total base_summary) /. float_of_int n
+  in
   let cz =
-    (* conflict zone is cumulative in the pipeline; approximate the window
-       value with the overall mean (dominated by steady state) *)
-    Summary.mean counters.Counters.conflict_zone
+    windowed_mean counters.Counters.conflict_zone base.Counters.conflict_zone
   in
   let stage_mean i =
     if stage_counts.(i) = 0 then 0.0
@@ -645,6 +743,12 @@ let run cfg =
     blocks_per_intention = avg_blocks;
     appends_per_sec = float_of_int !appends_in_window /. cfg.duration;
     stage_us = (stage_mean 0, stage_mean 1, stage_mean 2, stage_mean 3);
+    abort_reasons =
+      Hashtbl.fold (fun k n acc -> (k, n) :: acc) abort_reasons_tbl []
+      |> List.sort (fun (ka, na) (kb, nb) ->
+             match Int.compare nb na with
+             | 0 -> String.compare ka kb
+             | c -> c);
   }
 
 let pp_result fmt r =
@@ -658,4 +762,40 @@ let pp_result fmt r =
     (100.0 *. r.abort_rate)
     r.fm_nodes_per_txn r.conflict_zone_intentions r.conflict_zone_blocks
     r.ephemerals_per_txn r.intention_bytes r.blocks_per_intention
-    r.appends_per_sec ds pm gm fm
+    r.appends_per_sec ds pm gm fm;
+  match r.abort_reasons with
+  | [] -> ()
+  | reasons ->
+      Format.fprintf fmt "; abort reasons:";
+      List.iter (fun (k, n) -> Format.fprintf fmt " %s=%d" k n) reasons
+
+let result_to_json r =
+  let ds, pm, gm, fm = r.stage_us in
+  Json.Obj
+    [
+      ("write_tps", Json.Float r.write_tps);
+      ("read_tps", Json.Float r.read_tps);
+      ("total_tps", Json.Float r.total_tps);
+      ("commit_count", Json.Int r.commit_count);
+      ("abort_count", Json.Int r.abort_count);
+      ("abort_rate", Json.Float r.abort_rate);
+      ( "abort_reasons",
+        Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) r.abort_reasons) );
+      ("fm_nodes_per_txn", Json.Float r.fm_nodes_per_txn);
+      ("pm_nodes_per_txn", Json.Float r.pm_nodes_per_txn);
+      ("gm_nodes_per_txn", Json.Float r.gm_nodes_per_txn);
+      ("conflict_zone_intentions", Json.Float r.conflict_zone_intentions);
+      ("conflict_zone_blocks", Json.Float r.conflict_zone_blocks);
+      ("ephemerals_per_txn", Json.Float r.ephemerals_per_txn);
+      ("intention_bytes", Json.Float r.intention_bytes);
+      ("blocks_per_intention", Json.Float r.blocks_per_intention);
+      ("appends_per_sec", Json.Float r.appends_per_sec);
+      ( "stage_us",
+        Json.Obj
+          [
+            ("ds", Json.Float ds);
+            ("pm", Json.Float pm);
+            ("gm", Json.Float gm);
+            ("fm", Json.Float fm);
+          ] );
+    ]

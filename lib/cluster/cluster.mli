@@ -44,6 +44,18 @@ type config = {
   duration : float;  (** simulated seconds of measurement *)
   warmup : float;  (** simulated seconds before measurement starts *)
   seed : int64;
+  trace : Hyder_obs.Trace.t;
+      (** span recorder for the real pipeline's stages
+          ({!Hyder_obs.Trace.disabled} by default — one branch per stage).
+          Spans are timestamped in wall-clock seconds, the pipeline's own
+          time base. *)
+  metrics : Hyder_obs.Metrics.t option;
+      (** when set, registers pipeline/runtime instruments, a
+          [cluster_commit_latency_seconds] histogram (simulated seconds,
+          draft to origin-server decision), a [cluster_log_appends]
+          counter, and a periodic sampler of simulated queue depths
+          (CORFU sequencer / storage units, broadcast NICs, blocked
+          executor threads) *)
 }
 
 val default_config : config
@@ -67,6 +79,10 @@ type result = {
   appends_per_sec : float;
   stage_us : float * float * float * float;
       (** mean (ds, pm, gm, fm) CPU microseconds per intention *)
+  abort_reasons : (string * int) list;
+      (** in-window aborts at their origin server, keyed by conflict kind
+          ([write_conflict] / [read_conflict] / [phantom_conflict]),
+          most frequent first *)
 }
 
 val run : config -> result
@@ -74,3 +90,7 @@ val run : config -> result
     the write transactions and really melding their intentions once. *)
 
 val pp_result : Format.formatter -> result -> unit
+
+val result_to_json : result -> Hyder_obs.Json.t
+(** Machine-readable form of {!result}, one key per field ([stage_us] and
+    [abort_reasons] become nested objects). *)

@@ -74,9 +74,9 @@ let copy t =
     final_meld = copy_stage t.final_meld;
     committed = t.committed;
     aborted = t.aborted;
-    conflict_zone = Hyder_util.Stats.Summary.create ();
-    fm_nodes_per_txn = Hyder_util.Stats.Summary.create ();
-    intention_bytes = Hyder_util.Stats.Summary.create ();
+    conflict_zone = Hyder_util.Stats.Summary.copy t.conflict_zone;
+    fm_nodes_per_txn = Hyder_util.Stats.Summary.copy t.fm_nodes_per_txn;
+    intention_bytes = Hyder_util.Stats.Summary.copy t.intention_bytes;
   }
 
 let reset t =

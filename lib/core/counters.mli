@@ -63,9 +63,9 @@ val premeld_total : t -> stage
     merged-on-read view; never returns a shard itself). *)
 
 val copy : t -> t
-(** Copy of the stage records and commit/abort tallies, for snapshotting
-    counters at a measurement-window edge.  The streaming summaries are
-    not duplicated (Welford state is not copyable); the copy starts with
-    fresh, empty summaries. *)
+(** Independent copy of the stage records, commit/abort tallies {e and}
+    the streaming summaries, for snapshotting counters at a
+    measurement-window edge: window statistics are the difference between
+    the live counters and the copy. *)
 
 val reset : t -> unit

@@ -3,6 +3,8 @@ module Intention = Hyder_codec.Intention
 module Codec = Hyder_codec.Codec
 module Summary = Hyder_util.Stats.Summary
 module Clock = Hyder_util.Clock
+module Trace = Hyder_obs.Trace
+module Metrics = Hyder_obs.Metrics
 
 type config = {
   premeld : Premeld.config option;
@@ -28,9 +30,20 @@ type decision = {
   decided_at : decided_at;
 }
 
+(* Pipeline-level metrics, resolved once at create time so the hot path
+   never does a registry lookup. *)
+type instruments = {
+  m_conflict_zone : Metrics.Histogram.t;
+  m_fm_nodes : Metrics.Histogram.t;
+  m_commits : Metrics.Counter.t;
+  m_aborts : Metrics.Counter.t;
+}
+
 type t = {
   config : config;
   runtime : Runtime.t;
+  trace : Trace.t;
+  inst : instruments option;
   counters : Counters.t;
   states : State_store.t;
   cache : Intention_cache.t;
@@ -42,7 +55,8 @@ type t = {
   mutable pending_members : int;
 }
 
-let create ?(config = plain) ?(runtime = Runtime.sequential) ~genesis () =
+let create ?(config = plain) ?(runtime = Runtime.sequential)
+    ?(trace = Trace.disabled) ?metrics ~genesis () =
   if config.group_size < 1 then invalid_arg "Pipeline.create: group_size";
   (match config.premeld with
   | Some { Premeld.threads; distance } when threads < 1 || distance < 1 ->
@@ -51,9 +65,25 @@ let create ?(config = plain) ?(runtime = Runtime.sequential) ~genesis () =
   let pm_threads =
     match config.premeld with Some c -> c.Premeld.threads | None -> 0
   in
+  if Trace.enabled trace && Trace.shards trace < pm_threads then
+    invalid_arg "Pipeline.create: trace has fewer shards than premeld threads";
+  let inst =
+    Option.map
+      (fun m ->
+        {
+          m_conflict_zone =
+            Metrics.histogram m "pipeline_conflict_zone_intentions";
+          m_fm_nodes = Metrics.histogram m "pipeline_fm_nodes_per_txn";
+          m_commits = Metrics.counter m "pipeline_commits";
+          m_aborts = Metrics.counter m "pipeline_aborts";
+        })
+      metrics
+  in
   {
     config;
-    runtime = Runtime.create runtime;
+    runtime = Runtime.create ?metrics runtime;
+    trace;
+    inst;
     counters = Counters.create ~premeld_shards:(max 1 pm_threads) ();
     states = State_store.create ~genesis ();
     cache = Intention_cache.create ();
@@ -73,34 +103,37 @@ let runtime t = Runtime.backend t.runtime
 let lcs t = State_store.latest t.states
 let shutdown t = Runtime.shutdown t.runtime
 
-let timed (stage : Counters.stage) f =
-  let t0 = Clock.now () in
-  let r = f () in
-  stage.seconds <- stage.seconds +. Clock.elapsed t0;
-  r
-
 let decode t ~pos bytes =
   let ds = t.counters.deserialize in
-  timed ds (fun () ->
-      ds.intentions <- ds.intentions + 1;
-      (* References resolve O(1) through the intention cache when they name
-         a recently logged node, and fall back to a key lookup in the
-         retained snapshot otherwise (genesis data, ephemeral nodes, or
-         intentions beyond the cache horizon). *)
-      let fallback = State_store.resolver t.states in
-      let resolve ~snapshot ~key ~vn =
-        match vn with
-        | Vn.Logged { pos = p; idx } -> (
-            match Intention_cache.find t.cache ~pos:p ~idx with
-            | Some (Node.Node n as tree) when Key.equal n.Node.key key -> tree
-            | Some _ | None -> fallback ~snapshot ~key ~vn)
-        | Vn.Ephemeral _ -> fallback ~snapshot ~key ~vn
-      in
-      let i, nodes = Codec.decode_indexed ~pos ~resolve bytes in
-      Intention_cache.add t.cache ~pos nodes;
-      ds.nodes_visited <- ds.nodes_visited + i.Intention.node_count;
-      Summary.add t.counters.intention_bytes (float_of_int i.Intention.byte_size);
-      i)
+  let t0 = Clock.now () in
+  ds.intentions <- ds.intentions + 1;
+  (* References resolve O(1) through the intention cache when they name
+     a recently logged node, and fall back to a key lookup in the
+     retained snapshot otherwise (genesis data, ephemeral nodes, or
+     intentions beyond the cache horizon). *)
+  let fallback = State_store.resolver t.states in
+  let resolve ~snapshot ~key ~vn =
+    match vn with
+    | Vn.Logged { pos = p; idx } -> (
+        match Intention_cache.find t.cache ~pos:p ~idx with
+        | Some (Node.Node n as tree) when Key.equal n.Node.key key -> tree
+        | Some _ | None -> fallback ~snapshot ~key ~vn)
+    | Vn.Ephemeral _ -> fallback ~snapshot ~key ~vn
+  in
+  let i, nodes = Codec.decode_indexed ~pos ~resolve bytes in
+  Intention_cache.add t.cache ~pos nodes;
+  ds.nodes_visited <- ds.nodes_visited + i.Intention.node_count;
+  Summary.add t.counters.intention_bytes (float_of_int i.Intention.byte_size);
+  let t1 = Clock.now () in
+  ds.seconds <- ds.seconds +. (t1 -. t0);
+  (* [next_seq] is the sequence number this intention receives if it is
+     the next one submitted — true for the decode-then-submit loops the
+     cluster and bench drivers run; batch decoding tags all spans with
+     the batch's first seq, which is still a faithful timeline. *)
+  if Trace.enabled t.trace then
+    Trace.record t.trace ~track:0 ~stage:Trace.Deserialize ~seq:t.next_seq ~t0
+      ~t1 ~nodes:i.Intention.node_count ~detail:i.Intention.byte_size;
+  i
 
 (* Run final meld on a completed group and emit its decisions. *)
 let final_meld t (group : Group_meld.group) =
@@ -110,12 +143,29 @@ let final_meld t (group : Group_meld.group) =
   let nodes_before = fm.nodes_visited in
   let result =
     if alive = 0 then Meld.Merged lcs_tree
-    else
-      timed fm (fun () ->
-          fm.intentions <- fm.intentions + alive;
-          Meld.meld ~mode:Meld.Final ~members:group.member_positions
-            ~alloc:t.fm_alloc ~counters:fm ~intention:group.root
-            ~state:lcs_tree ())
+    else begin
+      let t0 = Clock.now () in
+      fm.intentions <- fm.intentions + alive;
+      let r =
+        Meld.meld ~mode:Meld.Final ~members:group.member_positions
+          ~alloc:t.fm_alloc ~counters:fm ~intention:group.root ~state:lcs_tree
+          ()
+      in
+      let t1 = Clock.now () in
+      fm.seconds <- fm.seconds +. (t1 -. t0);
+      if Trace.enabled t.trace then begin
+        let first_seq =
+          List.fold_left
+            (fun acc (m : Group_meld.member) -> min acc m.seq)
+            max_int group.members
+        in
+        Trace.record t.trace ~track:0 ~stage:Trace.Final_meld ~seq:first_seq
+          ~t0 ~t1
+          ~nodes:(fm.nodes_visited - nodes_before)
+          ~detail:(match r with Meld.Merged _ -> 1 | Meld.Conflict _ -> 0)
+      end;
+      r
+    end
   in
   let new_state, fate =
     match result with
@@ -134,8 +184,13 @@ let final_meld t (group : Group_meld.group) =
           | Some s -> s
           | None -> State_store.seq_of_pos t.states m.intention.snapshot
         in
-        Summary.add t.counters.conflict_zone
-          (float_of_int (max 0 (lcs_seq - effective_snap))))
+        let cz = float_of_int (max 0 (lcs_seq - effective_snap)) in
+        Summary.add t.counters.conflict_zone cz;
+        match t.inst with
+        | None -> ()
+        | Some i ->
+            Metrics.Histogram.observe i.m_fm_nodes per_member;
+            Metrics.Histogram.observe i.m_conflict_zone cz)
       group.members
   end;
   (* Decisions for every member, in sequence order; states recorded at each
@@ -166,6 +221,10 @@ let final_meld t (group : Group_meld.group) =
       State_store.record t.states ~seq:m.seq ~pos:m.intention.pos new_state;
       if committed then t.counters.committed <- t.counters.committed + 1
       else t.counters.aborted <- t.counters.aborted + 1;
+      (match t.inst with
+      | None -> ()
+      | Some i ->
+          Metrics.Counter.incr (if committed then i.m_commits else i.m_aborts));
       {
         seq = m.seq;
         pos = m.intention.pos;
@@ -180,16 +239,26 @@ let final_meld t (group : Group_meld.group) =
 (* Group-meld + final-meld tail: sequential in log order under every
    backend.  [unit_group] is the single-intention group produced by the
    premeld stage (or the raw intention when premeld is off). *)
-let tail t (unit_group : Group_meld.group) =
+let tail t ~seq (unit_group : Group_meld.group) =
   if t.config.group_size <= 1 then final_meld t unit_group
   else begin
     let merged =
       match t.pending with
       | None -> unit_group
       | Some g ->
-          timed t.counters.group_meld (fun () ->
-              Group_meld.combine ~alloc:t.gm_alloc
-                ~counters:t.counters.group_meld g unit_group)
+          let gm = t.counters.group_meld in
+          let nodes_before = gm.nodes_visited in
+          let t0 = Clock.now () in
+          let merged =
+            Group_meld.combine ~alloc:t.gm_alloc ~counters:gm g unit_group
+          in
+          let t1 = Clock.now () in
+          gm.seconds <- gm.seconds +. (t1 -. t0);
+          if Trace.enabled t.trace then
+            Trace.record t.trace ~track:0 ~stage:Trace.Group_meld ~seq ~t0 ~t1
+              ~nodes:(gm.nodes_visited - nodes_before)
+              ~detail:(t.pending_members + 1);
+          merged
     in
     t.pending_members <- t.pending_members + 1;
     if t.pending_members >= t.config.group_size then begin
@@ -219,15 +288,15 @@ let submit t (intention : Intention.t) =
         let shard =
           t.counters.premeld_shards.(Premeld.thread_for pc ~seq - 1)
         in
+        let t0 = Clock.now () in
         let outcome =
-          timed shard (fun () ->
-              Premeld.run pc ~allocs:t.pm_allocs
-                ~shards:t.counters.premeld_shards ~states:t.states ~seq
-                intention)
+          Premeld.run ~trace:t.trace pc ~allocs:t.pm_allocs
+            ~shards:t.counters.premeld_shards ~states:t.states ~seq intention
         in
+        shard.Counters.seconds <- shard.Counters.seconds +. Clock.elapsed t0;
         group_of_outcome ~seq intention outcome
   in
-  tail t unit_group
+  tail t ~seq unit_group
 
 (* ------------------------------------------------------------------ *)
 (* Parallel premeld windows                                             *)
@@ -324,17 +393,26 @@ let run_window t (pc : Premeld.config) (window : Intention.t array) =
       List.iter
         (fun i ->
           outcomes.(i) <-
-            Premeld.trial pc ~snap_seq:snap_seqs.(i) ~lookup
+            Premeld.trial ~trace:t.trace pc ~snap_seq:snap_seqs.(i) ~lookup
               ~alloc:t.pm_allocs.(k) ~counters:shard ~seq:(s0 + i)
               window.(i))
         by_thread.(k);
-      shard.Counters.seconds <- shard.Counters.seconds +. Clock.elapsed t0);
+      let t1 = Clock.now () in
+      shard.Counters.seconds <- shard.Counters.seconds +. (t1 -. t0);
+      (* Envelope span for the whole pool task, on the same ring the
+         task's trial melds write to (same impersonated thread = same
+         single writer). *)
+      if Trace.enabled t.trace then
+        Trace.record t.trace ~track:(k + 1) ~stage:Trace.Premeld_window
+          ~seq:s0 ~t0 ~t1
+          ~nodes:(List.length by_thread.(k))
+          ~detail:task);
   (* Merge back in submission order: group meld and final meld are the
      same sequential tail the inline scheduler uses. *)
   let decisions = ref [] in
   for i = 0 to b - 1 do
     let dgroup = group_of_outcome ~seq:(s0 + i) window.(i) outcomes.(i) in
-    decisions := List.rev_append (tail t dgroup) !decisions
+    decisions := List.rev_append (tail t ~seq:(s0 + i) dgroup) !decisions
   done;
   List.rev !decisions
 

@@ -44,10 +44,28 @@ type decision = {
 type t
 
 val create :
-  ?config:config -> ?runtime:Runtime.backend -> genesis:Tree.t -> unit -> t
+  ?config:config ->
+  ?runtime:Runtime.backend ->
+  ?trace:Hyder_obs.Trace.t ->
+  ?metrics:Hyder_obs.Metrics.t ->
+  genesis:Tree.t ->
+  unit ->
+  t
 (** [runtime] defaults to {!Runtime.sequential}.  A [Parallel] runtime
     spawns its domain pool here; call {!shutdown} when done with the
     pipeline to join it.
+
+    [trace] (default {!Hyder_obs.Trace.disabled}) records per-stage spans:
+    deserialize, group meld and final meld on ring 0 (the sequential
+    tail), each premeld trial on its paper thread's ring, plus one
+    envelope span per parallel pool task.  The recorder must have at
+    least as many shard rings as premeld threads ([Invalid_argument]
+    otherwise).  [metrics], when given, registers pipeline instruments
+    ([pipeline_commits], [pipeline_aborts], [pipeline_conflict_zone_intentions],
+    [pipeline_fm_nodes_per_txn]) and is forwarded to {!Runtime.create}.
+    Both are provably observational: decisions, ephemeral node ids and
+    integer counter values are bit-identical with them on or off (see
+    [test/test_obs.ml]).
 
     Retention arithmetic constraint: with premeld on, [group_size] must
     not exceed [threads * distance + 1] — beyond that, a premeld-bound

@@ -1,4 +1,6 @@
 module Intention = Hyder_codec.Intention
+module Trace = Hyder_obs.Trace
+module Clock = Hyder_util.Clock
 
 type config = { threads : int; distance : int }
 
@@ -18,8 +20,8 @@ type outcome =
 (* Pure trial-meld core: everything it touches is either owned by the
    caller's premeld thread (alloc, counters shard) or immutable (the input
    state tree, the intention), so it can run on any domain. *)
-let trial config ~snap_seq ~lookup ~alloc ~counters ~seq
-    (intention : Intention.t) =
+let trial ?(trace = Trace.disabled) config ~snap_seq ~lookup ~alloc ~counters
+    ~seq (intention : Intention.t) =
   let m = input_seq config ~seq in
   if m <= snap_seq then Unchanged intention
   else begin
@@ -32,22 +34,36 @@ let trial config ~snap_seq ~lookup ~alloc ~counters ~seq
                seq)
     in
     counters.Counters.intentions <- counters.Counters.intentions + 1;
-    match
-      Meld.meld
-        ~mode:(Meld.Transaction { out_owner = intention.pos })
-        ~members:[ intention.pos ] ~alloc ~counters ~intention:intention.root
-        ~state ()
-    with
-    | Meld.Merged root -> Premelded ({ intention with root }, m)
-    | Meld.Conflict reason -> Dead reason
+    (* Tracing is observational only: it reads the clock and the counter
+       shard, never the meld inputs, so the outcome is unchanged. *)
+    let traced = Trace.enabled trace in
+    let t0 = if traced then Clock.now () else 0.0 in
+    let nodes_before = counters.Counters.nodes_visited in
+    let outcome =
+      match
+        Meld.meld
+          ~mode:(Meld.Transaction { out_owner = intention.pos })
+          ~members:[ intention.pos ] ~alloc ~counters ~intention:intention.root
+          ~state ()
+      with
+      | Meld.Merged root -> Premelded ({ intention with root }, m)
+      | Meld.Conflict reason -> Dead reason
+    in
+    if traced then
+      Trace.record trace
+        ~track:(thread_for config ~seq)
+        ~stage:Trace.Premeld ~seq ~t0 ~t1:(Clock.now ())
+        ~nodes:(counters.Counters.nodes_visited - nodes_before)
+        ~detail:(match outcome with Premelded _ -> 1 | Dead _ | Unchanged _ -> 2);
+    outcome
   end
 
 (* Scheduling shell for the inline (sequential) path: resolve the snapshot
    sequence number and the designated input state against the live store. *)
-let run config ~allocs ~shards ~states ~seq (intention : Intention.t) =
+let run ?trace config ~allocs ~shards ~states ~seq (intention : Intention.t) =
   let snap_seq = State_store.seq_of_pos states intention.snapshot in
   let thread = thread_for config ~seq in
-  trial config ~snap_seq
+  trial ?trace config ~snap_seq
     ~lookup:(State_store.by_seq states)
     ~alloc:allocs.(thread - 1)
     ~counters:shards.(thread - 1) ~seq intention

@@ -38,6 +38,7 @@ type outcome =
   | Dead of Meld.abort_reason  (** conflict found early *)
 
 val trial :
+  ?trace:Hyder_obs.Trace.t ->
   config ->
   snap_seq:int ->
   lookup:(int -> Hyder_tree.Tree.t option) ->
@@ -51,9 +52,16 @@ val trial :
     would report at submit time); [lookup] resolves a state by sequence
     number and must cover the designated input state.  [alloc] and
     [counters] belong exclusively to the premeld thread [thread_for ~seq],
-    making the call free of shared mutable state. *)
+    making the call free of shared mutable state.
+
+    [trace] (default {!Hyder_obs.Trace.disabled}) records one span per
+    trial meld into ring [thread_for ~seq] — the thread that owns
+    [counters], preserving the recorder's single-writer invariant.
+    Tracing is observational: it never changes the outcome, the
+    ephemeral-id stream or the integer counter fields. *)
 
 val run :
+  ?trace:Hyder_obs.Trace.t ->
   config ->
   allocs:Hyder_tree.Vn.Alloc.t array ->
   shards:Counters.stage array ->

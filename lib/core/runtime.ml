@@ -1,4 +1,5 @@
 module Domain_pool = Hyder_util.Domain_pool
+module Metrics = Hyder_obs.Metrics
 
 type backend = Sequential | Parallel of { domains : int }
 
@@ -23,18 +24,45 @@ let to_string = function
   | Sequential -> "seq"
   | Parallel { domains } -> Printf.sprintf "par:%d" domains
 
-type t = { backend : backend; pool : Domain_pool.t option }
+(* Scheduling metrics, resolved once at create time so the per-batch cost
+   is two counter bumps (and zero when no registry is wired). *)
+type instruments = {
+  batches : Metrics.Counter.t;  (** [run_tasks] invocations (fan-outs) *)
+  tasks : Metrics.Counter.t;  (** tasks executed across all batches *)
+}
 
-let create = function
-  | Sequential -> { backend = Sequential; pool = None }
+type t = { backend : backend; pool : Domain_pool.t option; inst : instruments option }
+
+let create ?metrics backend =
+  let inst =
+    Option.map
+      (fun m ->
+        let g = Metrics.gauge m "runtime_domains" in
+        Metrics.Gauge.set g
+          (match backend with
+          | Sequential -> 0.0
+          | Parallel { domains } -> float_of_int domains);
+        {
+          batches = Metrics.counter m "runtime_task_batches";
+          tasks = Metrics.counter m "runtime_tasks";
+        })
+      metrics
+  in
+  match backend with
+  | Sequential -> { backend = Sequential; pool = None; inst }
   | Parallel { domains } as b ->
       if domains < 1 then invalid_arg "Runtime.create: domains";
-      { backend = b; pool = Some (Domain_pool.create ~domains) }
+      { backend = b; pool = Some (Domain_pool.create ~domains); inst }
 
 let backend t = t.backend
 let is_parallel t = Option.is_some t.pool
 
 let run_tasks t ~tasks f =
+  (match t.inst with
+  | None -> ()
+  | Some i ->
+      Metrics.Counter.incr i.batches;
+      Metrics.Counter.incr ~by:tasks i.tasks);
   match t.pool with
   | None ->
       for i = 0 to tasks - 1 do

@@ -43,7 +43,11 @@ type t
 (** An instantiated runtime: the backend descriptor plus, for [Parallel],
     the live domain pool. *)
 
-val create : backend -> t
+val create : ?metrics:Hyder_obs.Metrics.t -> backend -> t
+(** [metrics], when given, registers scheduling instruments
+    ([runtime_domains] gauge, [runtime_task_batches] and [runtime_tasks]
+    counters) that {!run_tasks} updates; purely observational. *)
+
 val backend : t -> backend
 
 val is_parallel : t -> bool

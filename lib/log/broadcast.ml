@@ -50,3 +50,6 @@ let send t ~from ~size k =
   done
 
 let messages_sent t = t.sent
+
+let max_nic_queue t =
+  Array.fold_left (fun acc nic -> max acc (Resource.queue_length nic)) 0 t.nics

@@ -28,3 +28,6 @@ val send :
     every server observes the same stream). *)
 
 val messages_sent : t -> int
+
+val max_nic_queue : t -> int
+(** Deepest egress-NIC queue at the current simulated time. *)

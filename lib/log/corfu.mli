@@ -44,3 +44,12 @@ val append_latencies : t -> Hyder_util.Stats.Sample.t
 (** Completed-append latencies (simulated seconds), for Figure 9. *)
 
 val appends_completed : t -> int
+
+val appends_inflight : t -> int
+(** Positions assigned whose durability callback has not fired yet. *)
+
+val sequencer_queue : t -> int
+(** Requests queued at the sequencer at the current simulated time. *)
+
+val max_unit_queue : t -> int
+(** Deepest storage-unit queue at the current simulated time. *)

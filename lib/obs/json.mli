@@ -1,0 +1,22 @@
+(** Minimal JSON document builder and serializer.
+
+    The observability exporters (Chrome trace events, run reports, metric
+    dumps) need to {e emit} JSON, never parse it, so a tiny value type and
+    a writer keep the repository free of external JSON dependencies. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+      (** non-finite floats serialize as [null] (JSON has no NaN/infinity) *)
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+(** Compact (single-line) serialization. *)
+
+val to_string : t -> string
+
+val to_channel : out_channel -> t -> unit

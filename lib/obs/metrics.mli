@@ -1,0 +1,87 @@
+(** Metrics registry: named counters, gauges and log₂-bucketed histograms.
+
+    Instruments are resolved {e once} by name (at wiring time) and then
+    updated through direct record mutation, so the hot path never touches
+    the registry's table.  Snapshots are immutable copies with
+    subtraction semantics, which is how the cluster harness scopes
+    measurements to a warmed-up window: snapshot at window start, snapshot
+    at window end, {!diff}.
+
+    Histograms bucket by powers of two ([2^i, 2^{i+1})), covering
+    [2^-16 .. 2^48) — microsecond-scale latencies in seconds up to large
+    queue depths — with clamping at both ends.  Observation is a
+    [frexp] plus two array writes. *)
+
+module Counter : sig
+  type t
+
+  val incr : ?by:int -> t -> unit
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val set : t -> float -> unit
+  val value : t -> float
+end
+
+module Histogram : sig
+  type t
+
+  val n_buckets : int
+  (** 64 *)
+
+  val bucket_of : float -> int
+  (** Bucket index of a value: [i] such that
+      [lower_bound i <= x < lower_bound (i+1)], clamped to
+      [\[0, n_buckets)]; non-positive values land in bucket 0. *)
+
+  val lower_bound : int -> float
+  (** [lower_bound i = 2^(i - 16)]. *)
+
+  val observe : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+
+  val bucket_counts : t -> int array
+  (** A copy. *)
+end
+
+type t
+
+val create : unit -> t
+
+val counter : t -> string -> Counter.t
+val gauge : t -> string -> Gauge.t
+val histogram : t -> string -> Histogram.t
+(** Find-or-create by name.  Raises [Invalid_argument] if the name is
+    already registered as a different instrument kind. *)
+
+(** {2 Snapshots} *)
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of { counts : int array; count : int; sum : float }
+
+type snapshot = (string * value) list
+(** Sorted by name; immutable. *)
+
+val snapshot : t -> snapshot
+
+val diff : base:snapshot -> snapshot -> snapshot
+(** Per-name subtraction of counters and histograms (a name missing from
+    [base] subtracts zero); gauges keep the current reading.  Names only
+    in [base] are dropped. *)
+
+(** {2 Exporters} *)
+
+val to_prometheus : snapshot -> string
+(** Prometheus text exposition format v0.0.4: [# TYPE] headers, cumulative
+    [_bucket{le="..."}] series with a [+Inf] bucket, [_sum] and [_count]
+    for histograms.  Metric names are sanitized to [[a-zA-Z0-9_:]]. *)
+
+val to_json : snapshot -> Json.t
+(** One object keyed by metric name; histograms carry count/sum/mean and
+    the non-empty buckets as [[lower_bound, count]] pairs. *)

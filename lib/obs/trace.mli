@@ -1,0 +1,94 @@
+(** Sharded span recorder for the meld pipeline.
+
+    {2 Sharding invariant}
+
+    Span records live in per-writer fixed-capacity ring buffers, sharded
+    exactly like [Hyder_core.Counters.premeld_shards]: ring 0 belongs to
+    the pipeline's sequential tail (deserialize, group meld, final meld —
+    always written by the submitting thread), and ring [i] (1-based)
+    belongs to paper premeld thread [i], written only by whichever worker
+    is currently impersonating that thread.  Recording is therefore
+    lock-free and atomics-free on the hot path under both the [Sequential]
+    and [Parallel] runtime backends.
+
+    {2 Inertness}
+
+    A disabled recorder ({!disabled}) makes {!record} a single branch.
+    Call sites gate their own timestamp collection on {!enabled} so a
+    traced-off run performs no extra clock reads.  Recording never feeds
+    back into pipeline decisions: spans only {e read} counters and clocks,
+    so decisions, ephemeral node identities and per-shard counter values
+    are bit-identical with tracing on or off (asserted by
+    [test/test_obs.ml]).
+
+    {2 Overflow}
+
+    When a ring wraps, the oldest spans are overwritten and counted in
+    {!dropped}; accounting is exact. *)
+
+type stage =
+  | Deserialize
+  | Premeld  (** one trial meld; [detail]: 1 = premelded, 2 = dead *)
+  | Premeld_window
+      (** a parallel backend pool task: one thread's slice of a premeld
+          window; [nodes] carries the member count, [detail] the task
+          index *)
+  | Group_meld
+  | Final_meld  (** [detail]: 1 = group committed, 0 = aborted *)
+
+val stage_to_string : stage -> string
+
+type span = {
+  track : int;  (** ring index: 0 = pipeline tail, i >= 1 = premeld shard *)
+  stage : stage;
+  seq : int;  (** intention sequence number (first of the group for fm) *)
+  t0 : float;  (** [Hyder_util.Clock] seconds *)
+  t1 : float;
+  nodes : int;  (** tree nodes visited (stage-specific; see {!stage}) *)
+  detail : int;  (** stage-specific decision/annotation code *)
+}
+
+type t
+
+val disabled : t
+(** The no-op recorder: {!enabled} is [false], {!record} is one branch. *)
+
+val create : ?capacity:int -> shards:int -> unit -> t
+(** [shards] premeld rings plus the tail ring.  [capacity] is per ring,
+    rounded up to a power of two (default 32768 spans). *)
+
+val enabled : t -> bool
+
+val shards : t -> int
+(** Number of premeld shard rings (0 for {!disabled}). *)
+
+val capacity : t -> int
+
+val record :
+  t ->
+  track:int ->
+  stage:stage ->
+  seq:int ->
+  t0:float ->
+  t1:float ->
+  nodes:int ->
+  detail:int ->
+  unit
+
+val recorded : t -> int
+(** Spans ever recorded, including overwritten ones. *)
+
+val dropped : t -> int
+(** Spans lost to ring wrap. *)
+
+val spans : t -> span list
+(** Retained spans, globally sorted by start time. *)
+
+val to_chrome : ?origin:float -> t -> Json.t
+(** Chrome trace-event JSON (load in Perfetto / [chrome://tracing]).
+    Final meld, group meld, deserialize and each premeld shard get their
+    own named track, so stage overlap under [par:<n>] is visually
+    auditable.  Timestamps are microseconds relative to [origin]
+    (default: the earliest retained span). *)
+
+val to_chrome_string : ?origin:float -> t -> string

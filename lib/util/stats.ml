@@ -19,6 +19,8 @@ module Summary = struct
     t.min <- infinity;
     t.max <- neg_infinity
 
+  let copy t = { t with n = t.n }
+
   let add t x =
     t.n <- t.n + 1;
     t.total <- t.total +. x;

@@ -6,6 +6,12 @@ module Summary : sig
 
   val create : unit -> t
   val clear : t -> unit
+
+  val copy : t -> t
+  (** Independent duplicate of the accumulator (the Welford state is a
+      handful of scalars), for snapshotting at a measurement-window edge:
+      further [add]s to either side leave the other untouched. *)
+
   val add : t -> float -> unit
   val count : t -> int
   val total : t -> float
