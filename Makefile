@@ -12,14 +12,19 @@ test:
 check:
 	dune build && dune runtest
 
-# ~30-second smoke of the benchmark harness: the runtime-backends
+# ~60-second smoke of the benchmark harness: the runtime-backends
 # cross-check replays one premeld-bound history through the sequential
-# and domain-parallel schedulers and verifies bit-identical results, and
-# fig11 (nodes visited by final meld per optimization) contributes four
-# cluster runs so BENCH_SMOKE.json carries real perf data (write_tps,
-# stage_us, conflict-zone stats) for the trajectory.
+# and domain-parallel schedulers and verifies bit-identical results,
+# pipeline-overlap replays one wire stream through seq/par:4/pipe:4 and
+# records per-stage stage_us plus the pipelined backend's offload stats,
+# and fig11 (nodes visited by final meld per optimization) contributes
+# four cluster runs so BENCH_SMOKE.json carries real perf data
+# (write_tps, stage_us, conflict-zone stats) for the trajectory.  The
+# gate script then enforces the pipelining regression contract: pipe:4
+# bit-identical to seq with a strictly lower driver critical path.
 bench-smoke:
-	dune exec bench/main.exe -- --json=BENCH_SMOKE.json --quick runtime fig11
+	dune exec bench/main.exe -- --json=BENCH_SMOKE.json --quick runtime pipeline-overlap fig11
+	python3 scripts/check_bench_smoke.py BENCH_SMOKE.json
 
 bench:
 	dune exec bench/main.exe

@@ -124,7 +124,12 @@ let cluster_cmd =
             | Some c -> c.Premeld.threads
             | None -> 0
           in
-          Trace.create ~shards ()
+          let workers =
+            match runtime with
+            | Runtime.Pipelined { domains } -> domains
+            | Runtime.Sequential | Runtime.Parallel _ -> 0
+          in
+          Trace.create ~shards ~workers ()
     in
     let metrics =
       if metrics_file <> None || json_file <> None then Some (Metrics.create ())
@@ -204,9 +209,11 @@ let cluster_cmd =
       value & opt runtime_conv Runtime.sequential
       & info [ "runtime" ]
           ~doc:
-            "Stage runtime for the real meld pipeline: seq, or par:N to run \
-             premeld trial melds on N domains (identical results, measured \
-             stage times change).")
+            "Stage runtime for the real meld pipeline: seq; par:N to run \
+             premeld trial melds on N domains; or pipe:N to stage \
+             deserialize/premeld/group-meld across N worker domains through \
+             bounded SPSC queues, leaving only final meld on the driver \
+             (identical results, measured stage times change).")
   in
   let write_threads =
     Arg.(value & opt int 20 & info [ "write-threads" ] ~doc:"Update threads/server.")

@@ -171,6 +171,11 @@ let run cfg =
       cfg.metrics
   in
   Fun.protect ~finally:(fun () -> Pipeline.shutdown pipeline) @@ fun () ->
+  (* All executor encodes run on the simulator's single driver thread, so
+     one pooled encoder serves every server: each encode reuses the same
+     power-of-two backing buffer instead of growing a fresh [Buffer]. *)
+  let enc_pool = Hyder_util.Buf_pool.create () in
+  let encoder = Codec.Encoder.create ~pool:enc_pool () in
   let states = Pipeline.states pipeline in
   let counters = Pipeline.counters pipeline in
   let pm_threads, pm_distance =
@@ -558,7 +563,7 @@ let run cfg =
             Resource.request s.general ~service_time:t_exec (fun () ->
                 write_thread_loop s_idx th_idx)
         | Some draft ->
-            let bytes = Codec.encode draft in
+            let bytes = Codec.Encoder.encode encoder draft in
             let t_exec = clamp_stage (now_wall () -. t0) in
             let byte_size = String.length bytes in
             let blocks =

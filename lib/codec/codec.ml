@@ -57,8 +57,10 @@ let tag_empty = 0
 let tag_inside = 1
 let tag_ref = 2
 
-let encode (d : Intention.draft) =
-  let w = Wire.Writer.create ~capacity:8192 () in
+(* The snapshot position is deliberately the FIRST field: schedulers can
+   tell from one varint whether an intention's references resolve against
+   already-recorded state (see [peek_snapshot]) without decoding it. *)
+let encode_onto w (d : Intention.draft) =
   w_zint w d.snapshot;
   Wire.Writer.varint w d.server;
   Wire.Writer.varint w d.txn_seq;
@@ -136,24 +138,51 @@ let encode (d : Intention.draft) =
          nodes) are legal; nothing more to write. *)
       match d.root with
       | Empty -> ()
-      | Node _ -> corrupt "intention root is not a draft node"));
+      | Node _ -> corrupt "intention root is not a draft node"))
+
+let encode (d : Intention.draft) =
+  let w = Wire.Writer.create ~capacity:8192 () in
+  encode_onto w d;
   Wire.Writer.contents w
 
 let encoded_size d = String.length (encode d)
 
+(* A pooled encoder reuses one growable writer (optionally backed by a
+   per-domain Buf_pool), so steady-state encoding allocates only the
+   result string. *)
+module Encoder = struct
+  type t = Wire.Writer.t
+
+  let create ?pool () = Wire.Writer.create ?pool ~capacity:8192 ()
+
+  let encode t d =
+    Wire.Writer.clear t;
+    encode_onto t d;
+    Wire.Writer.contents t
+
+  let free t = Wire.Writer.free t
+end
+
 type resolver = snapshot:int -> key:Key.t -> vn:Vn.t -> Node.tree
 
-let decode_indexed ~pos ~resolve s =
-  let r = Wire.Reader.of_string s in
+let peek_snapshot ?(off = 0) s =
+  let r = Wire.Reader.of_string ~pos:off s in
+  try r_zint r with Wire.Truncated -> corrupt "truncated intention header"
+
+(* Shared decode core.  [r] is positioned at the start of an intention
+   encoding spanning [len] bytes; [get_nodes count] supplies the swizzle
+   table (length >= max 1 count) — a fresh array for [decode_indexed], a
+   reused scratch table for [decode_pooled]. *)
+let decode_core r ~len ~pos ~resolve ~get_nodes =
   try
     let snapshot = r_zint r in
     let server = Wire.Reader.varint r in
     let txn_seq = Wire.Reader.varint r in
     let isolation = isolation_of_int (Wire.Reader.u8 r) in
     let node_count = Wire.Reader.varint r in
-    if node_count < 0 || node_count > String.length s then
+    if node_count < 0 || node_count > len then
       corrupt "implausible node count %d" node_count;
-    let nodes = Array.make (max 1 node_count) Empty in
+    let nodes : Node.tree array = get_nodes node_count in
     let r_child self =
       match Wire.Reader.u8 r with
       | t when t = tag_empty -> Empty
@@ -220,24 +249,69 @@ let decode_indexed ~pos ~resolve s =
     done;
     if Wire.Reader.remaining r <> 0 then corrupt "trailing bytes";
     let root = if node_count = 0 then Empty else nodes.(node_count - 1) in
-    ( {
-        Intention.pos;
-        snapshot;
-        server;
-        txn_seq;
-        isolation;
-        root;
-        node_count;
-        byte_size = String.length s;
-      },
-      nodes )
+    {
+      Intention.pos;
+      snapshot;
+      server;
+      txn_seq;
+      isolation;
+      root;
+      node_count;
+      byte_size = len;
+    }
   with Wire.Truncated -> corrupt "truncated intention"
+
+let decode_indexed ~pos ~resolve s =
+  let nodes = ref [||] in
+  let i =
+    decode_core
+      (Wire.Reader.of_string s)
+      ~len:(String.length s) ~pos ~resolve
+      ~get_nodes:(fun count ->
+        nodes := Array.make (max 1 count) Empty;
+        !nodes)
+  in
+  (i, !nodes)
+
+(* Reusable decode scratch: the swizzle table survives across intentions,
+   so steady-state deserialization allocates only the nodes themselves.
+   One scratch per domain — the table is single-owner mutable state. *)
+module Scratch = struct
+  type t = { mutable nodes : Node.tree array; mutable last_count : int }
+
+  let create () = { nodes = Array.make 64 Empty; last_count = 0 }
+
+  let table t count =
+    let need = max 1 count in
+    if Array.length t.nodes < need then begin
+      let cap = ref (Array.length t.nodes) in
+      while !cap < need do
+        cap := 2 * !cap
+      done;
+      t.nodes <- Array.make !cap Empty
+    end;
+    t.last_count <- count;
+    t.nodes
+
+  let export t = Array.sub t.nodes 0 (max 1 t.last_count)
+
+  let clear t =
+    Array.fill t.nodes 0 (Array.length t.nodes) Empty;
+    t.last_count <- 0
+end
+
+let decode_pooled ~scratch ~pos ?(off = 0) ?len ~resolve s =
+  let len = match len with Some l -> l | None -> String.length s - off in
+  decode_core
+    (Wire.Reader.of_string ~pos:off ~len s)
+    ~len ~pos ~resolve
+    ~get_nodes:(Scratch.table scratch)
 
 module Blocks = struct
   (* Framing: crc32 | server | txn_seq | frag_idx | last flag | payload. *)
   let overhead = 4 + 10 + 10 + 10 + 1 + 10
 
-  let split ~block_size ~server ~txn_seq s =
+  let split ?pool ~block_size ~server ~txn_seq s =
     if block_size <= overhead then invalid_arg "Codec.Blocks.split: tiny block";
     let chunk = block_size - overhead in
     let total = String.length s in
@@ -245,19 +319,24 @@ module Blocks = struct
     List.init nfrags (fun i ->
         let off = i * chunk in
         let len = min chunk (total - off) in
-        let body = Wire.Writer.create ~capacity:(len + 32) () in
+        let body = Wire.Writer.create ?pool ~capacity:(len + 32) () in
         Wire.Writer.varint body server;
         Wire.Writer.varint body txn_seq;
         Wire.Writer.varint body i;
         Wire.Writer.u8 body (if i = nfrags - 1 then 1 else 0);
         Wire.Writer.bytes body (String.sub s off len);
         let payload = Wire.Writer.contents body in
-        let framed = Wire.Writer.create ~capacity:(String.length payload + 4) () in
+        Wire.Writer.free body;
+        let framed =
+          Wire.Writer.create ?pool ~capacity:(String.length payload + 4) ()
+        in
         Wire.Writer.u32 framed (Crc32.digest_string payload);
         Wire.Writer.raw framed
           (Bytes.unsafe_of_string payload)
           ~pos:0 ~len:(String.length payload);
-        Wire.Writer.contents framed)
+        let block = Wire.Writer.contents framed in
+        Wire.Writer.free framed;
+        block)
 
   let blocks_needed ~block_size size =
     let chunk = block_size - overhead in

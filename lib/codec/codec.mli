@@ -15,14 +15,39 @@ exception Corrupt of string
 (** Raised on checksum mismatch or malformed input. *)
 
 val encode : Intention.draft -> string
-(** Serialize a draft intention to its wire form. *)
+(** Serialize a draft intention to its wire form.  The snapshot position
+    is the first field of the encoding, so {!peek_snapshot} can read it
+    without decoding. *)
 
 val encoded_size : Intention.draft -> int
+
+(** Reusable encoder: one growable writer (optionally backed by a
+    per-domain {!Hyder_util.Buf_pool}) serves every encode, so the steady
+    state allocates only the result string.  Single-owner: one encoder
+    per domain. *)
+module Encoder : sig
+  type t
+
+  val create : ?pool:Hyder_util.Buf_pool.t -> unit -> t
+
+  val encode : t -> Intention.draft -> string
+  (** Byte-identical to {!val:Codec.encode}. *)
+
+  val free : t -> unit
+  (** Release the backing buffer to the pool (if any). *)
+end
 
 type resolver = snapshot:int -> key:Key.t -> vn:Vn.t -> Node.tree
 (** [resolve ~snapshot ~key ~vn] must return the node holding [key] in the
     database state at log position [snapshot]; [vn] is what the intention
     expects and can be used for integrity checking. *)
+
+val peek_snapshot : ?off:int -> string -> int
+(** The snapshot log position of the encoded intention at [off], read
+    from the header without decoding.  The pipelined runtime uses this to
+    decide whether a decode can be offloaded to a worker domain (its
+    snapshot state is already recorded) or must wait for final meld to
+    catch up.  Raises {!Corrupt} on a truncated header. *)
 
 val decode : pos:int -> resolve:resolver -> string -> Intention.t
 (** Rebuild the intention appended at log position [pos].  Inside nodes get
@@ -36,15 +61,52 @@ val decode_indexed :
     references to this one be swizzled in O(1) (Section 5.2's "node pointer
     to object pointer" transformation). *)
 
+(** Reusable decode scratch: the per-intention swizzle table is the one
+    allocation {!decode_indexed} makes beyond the nodes themselves, and
+    on the pipelined hot path it is reused across intentions instead.
+    Single-owner: one scratch per domain. *)
+module Scratch : sig
+  type t
+
+  val create : unit -> t
+
+  val export : t -> Node.tree array
+  (** Fresh copy of the most recent decode's node table, shaped exactly
+      like {!decode_indexed}'s second component (for cache insertion). *)
+
+  val clear : t -> unit
+  (** Drop retained node references (GC hygiene between batches). *)
+end
+
+val decode_pooled :
+  scratch:Scratch.t ->
+  pos:int ->
+  ?off:int ->
+  ?len:int ->
+  resolve:resolver ->
+  string ->
+  Intention.t
+(** Like {!decode}, but decodes the [off]/[len] slice of [s] in place
+    (no substring copy — the reader walks the slice directly) and
+    swizzles through [scratch]'s reused table.  [byte_size] is the slice
+    length.  The result is physically identical node-for-node to what
+    {!decode} returns for the same bytes and resolver. *)
+
 (** Fragmentation of intention byte streams into log blocks. *)
 module Blocks : sig
   val overhead : int
   (** Per-block framing bytes (upper bound). *)
 
   val split :
-    block_size:int -> server:int -> txn_seq:int -> string -> string list
+    ?pool:Hyder_util.Buf_pool.t ->
+    block_size:int ->
+    server:int ->
+    txn_seq:int ->
+    string ->
+    string list
   (** Fragment an encoded intention into checksummed blocks of at most
-      [block_size] bytes. *)
+      [block_size] bytes.  [pool] supplies (and takes back) the staging
+      buffers, eliminating two buffer allocations per fragment. *)
 
   val blocks_needed : block_size:int -> int -> int
   (** How many blocks a payload of the given size occupies. *)

@@ -40,7 +40,16 @@ let meld ~mode ?(state_is_intention = false) ?(intention_snapshot = 0)
     | Final -> (false, Node.state_owner)
     | Transaction { out_owner } -> (true, out_owner)
   in
-  let inside owner = List.exists (fun m -> m = owner) members in
+  (* [inside] runs on every node visit; members is almost always one
+     intention or a group pair, so specialize those shapes to straight
+     integer compares — no closure allocated per visit, no list walk. *)
+  let inside =
+    match members with
+    | [] -> fun _ -> false
+    | [ m0 ] -> fun owner -> owner = m0
+    | [ m0; m1 ] -> fun owner -> owner = m0 || owner = m1
+    | ms -> fun owner -> List.mem owner ms
+  in
   let visit () = counters.nodes_visited <- counters.nodes_visited + 1 in
   let fresh () =
     counters.ephemerals <- counters.ephemerals + 1;

@@ -39,6 +39,90 @@ type instruments = {
   m_aborts : Metrics.Counter.t;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Pipelined backend: job/result plumbing types                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A work item for the pipelined backend: either an already-decoded
+   intention or a wire-form slice still to be deserialized.  [psnap] is
+   the snapshot log position peeked from the encoding header — it gates
+   whether the decode can be offloaded (snapshot state already recorded
+   at window start) or must wait on the driver for final meld to catch
+   up. *)
+type witem =
+  | Wi of Intention.t
+  | Ww of { pos : int; src : string; off : int; len : int; psnap : int }
+
+type pjob =
+  | Jnone
+  | Jds of { idx : int; seq : int; pos : int; src : string; off : int; len : int }
+  | Jpm of {
+      idx : int;
+      thread : int;
+      seq : int;
+      snap_seq : int;
+      intention : Intention.t;
+    }
+  | Jgm of { idx : int; seq : int; group : Group_meld.group }
+
+type presult =
+  | Rnone
+  | Rds of {
+      idx : int;
+      intention : Intention.t option;
+          (** [None]: the cache-free worker decode hit a reference only
+              the driver's intention cache can resolve (a merged-away
+              node); the driver redoes the decode inline. *)
+      nodes : Node.tree array;
+          (** the decoded node table, for the driver to index into its
+              intention cache ([[||]] on failure) *)
+      seconds : float;
+    }
+  | Rpm of { idx : int; outcome : Premeld.outcome; seconds : float }
+  | Rgm of { idx : int; completed : Group_meld.group option; seconds : float }
+
+let null_resolver : Codec.resolver =
+ fun ~snapshot:_ ~key:_ ~vn:_ ->
+  failwith "Pipeline: ds resolver used before window publication"
+
+(* Per-window worker context.  The driver writes these fields between
+   windows (before any job of the window is pushed); workers only read
+   them.  Publication rides on the SPSC queue's SC-atomic indices: the
+   driver's writes happen before the job push, the worker's reads after
+   the pop. *)
+type wctx = {
+  mutable wsnap : State_store.Snapshot.t;
+  wresolvers : Codec.resolver array;  (** one memoizing resolver per worker *)
+  scratches : Codec.Scratch.t array;  (** one decode scratch per worker *)
+  dscratch : Codec.Scratch.t;  (** the driver's own scratch (inline decodes) *)
+}
+
+type pctx = {
+  ppool : (pjob, presult) Runtime.Stage_pool.t;
+  pdomains : int;
+  qcap : int;
+  outstanding : int array;
+      (** jobs submitted minus results drained, per worker; kept [<= qcap]
+          so a worker's result push can never fail *)
+  wctx : wctx;
+  mutable ds_offloaded : int;
+  mutable ds_inline_n : int;
+  mutable worker_ds_seconds : float;
+  mutable worker_pm_seconds : float;
+  mutable worker_gm_seconds : float;
+  mutable max_depth : int;
+}
+
+type offload_stats = {
+  ds_offloaded : int;
+  ds_inline : int;
+  worker_ds_seconds : float;
+  worker_pm_seconds : float;
+  worker_gm_seconds : float;
+  max_queue_depth : int;
+  queue_capacity : int;
+}
+
 type t = {
   config : config;
   runtime : Runtime.t;
@@ -53,73 +137,61 @@ type t = {
   mutable next_seq : int;
   mutable pending : Group_meld.group option;  (** group being assembled *)
   mutable pending_members : int;
+  mutable pstate : pctx option;  (** worker fabric, [Pipelined] only *)
 }
-
-let create ?(config = plain) ?(runtime = Runtime.sequential)
-    ?(trace = Trace.disabled) ?metrics ~genesis () =
-  if config.group_size < 1 then invalid_arg "Pipeline.create: group_size";
-  (match config.premeld with
-  | Some { Premeld.threads; distance } when threads < 1 || distance < 1 ->
-      invalid_arg "Pipeline.create: premeld config"
-  | _ -> ());
-  let pm_threads =
-    match config.premeld with Some c -> c.Premeld.threads | None -> 0
-  in
-  if Trace.enabled trace && Trace.shards trace < pm_threads then
-    invalid_arg "Pipeline.create: trace has fewer shards than premeld threads";
-  let inst =
-    Option.map
-      (fun m ->
-        {
-          m_conflict_zone =
-            Metrics.histogram m "pipeline_conflict_zone_intentions";
-          m_fm_nodes = Metrics.histogram m "pipeline_fm_nodes_per_txn";
-          m_commits = Metrics.counter m "pipeline_commits";
-          m_aborts = Metrics.counter m "pipeline_aborts";
-        })
-      metrics
-  in
-  {
-    config;
-    runtime = Runtime.create ?metrics runtime;
-    trace;
-    inst;
-    counters = Counters.create ~premeld_shards:(max 1 pm_threads) ();
-    states = State_store.create ~genesis ();
-    cache = Intention_cache.create ();
-    fm_alloc = Vn.Alloc.create ~thread:0;
-    pm_allocs =
-      Array.init pm_threads (fun i -> Vn.Alloc.create ~thread:(i + 1));
-    gm_alloc = Vn.Alloc.create ~thread:(pm_threads + 1);
-    next_seq = 0;
-    pending = None;
-    pending_members = 0;
-  }
 
 let states t = t.states
 let counters t = t.counters
 let config t = t.config
 let runtime t = Runtime.backend t.runtime
 let lcs t = State_store.latest t.states
-let shutdown t = Runtime.shutdown t.runtime
 
-let decode t ~pos bytes =
-  let ds = t.counters.deserialize in
-  let t0 = Clock.now () in
-  ds.intentions <- ds.intentions + 1;
-  (* References resolve O(1) through the intention cache when they name
-     a recently logged node, and fall back to a key lookup in the
-     retained snapshot otherwise (genesis data, ephemeral nodes, or
-     intentions beyond the cache horizon). *)
+let shutdown t =
+  (match t.pstate with
+  | Some p -> Runtime.Stage_pool.shutdown p.ppool
+  | None -> ());
+  Runtime.shutdown t.runtime
+
+let offload t =
+  Option.map
+    (fun (p : pctx) ->
+      {
+        ds_offloaded = p.ds_offloaded;
+        ds_inline = p.ds_inline_n;
+        worker_ds_seconds = p.worker_ds_seconds;
+        worker_pm_seconds = p.worker_pm_seconds;
+        worker_gm_seconds = p.worker_gm_seconds;
+        max_queue_depth = p.max_depth;
+        queue_capacity = p.qcap;
+      })
+    t.pstate
+
+(* References resolve O(1) through the intention cache when they name a
+   recently logged node, and fall back to a key lookup in the retained
+   snapshot otherwise (genesis data, ephemeral nodes).  The cache is
+   more than a fast path: a logged node that melding replaced in the
+   state (merged into an ephemeral) is resolvable *only* here, so
+   driver-side decodes must run with the cache's log prefix complete.
+   Worker-domain decodes skip the cache (it is single-threaded); when
+   they hit such a reference they report failure and the driver redoes
+   the decode inline.  On a cache hit the returned node is the very
+   object the state grafted, so cached and cache-missing resolution are
+   pointer-identical whenever both succeed. *)
+let cached_resolver t : Codec.resolver =
   let fallback = State_store.resolver t.states in
-  let resolve ~snapshot ~key ~vn =
+  fun ~snapshot ~key ~vn ->
     match vn with
     | Vn.Logged { pos = p; idx } -> (
         match Intention_cache.find t.cache ~pos:p ~idx with
         | Some (Node.Node n as tree) when Key.equal n.Node.key key -> tree
         | Some _ | None -> fallback ~snapshot ~key ~vn)
     | Vn.Ephemeral _ -> fallback ~snapshot ~key ~vn
-  in
+
+let decode t ~pos bytes =
+  let ds = t.counters.deserialize in
+  let t0 = Clock.now () in
+  ds.intentions <- ds.intentions + 1;
+  let resolve = cached_resolver t in
   let i, nodes = Codec.decode_indexed ~pos ~resolve bytes in
   Intention_cache.add t.cache ~pos nodes;
   ds.nodes_visited <- ds.nodes_visited + i.Intention.node_count;
@@ -133,6 +205,26 @@ let decode t ~pos bytes =
   if Trace.enabled t.trace then
     Trace.record t.trace ~track:0 ~stage:Trace.Deserialize ~seq:t.next_seq ~t0
       ~t1 ~nodes:i.Intention.node_count ~detail:i.Intention.byte_size;
+  i
+
+(* Driver-side slice decode for the pipelined backend: the full inline
+   ds stage (cache fast path, cache insertion, counters, tail-ring
+   span), but reading the wire slice in place through the driver's
+   scratch. *)
+let decode_slice t ~scratch ~seq ~pos ~off ~len src =
+  let ds = t.counters.deserialize in
+  let t0 = Clock.now () in
+  ds.intentions <- ds.intentions + 1;
+  let resolve = cached_resolver t in
+  let i = Codec.decode_pooled ~scratch ~pos ~off ~len ~resolve src in
+  Intention_cache.add t.cache ~pos (Codec.Scratch.export scratch);
+  ds.nodes_visited <- ds.nodes_visited + i.Intention.node_count;
+  Summary.add t.counters.intention_bytes (float_of_int i.Intention.byte_size);
+  let t1 = Clock.now () in
+  ds.seconds <- ds.seconds +. (t1 -. t0);
+  if Trace.enabled t.trace then
+    Trace.record t.trace ~track:0 ~stage:Trace.Deserialize ~seq ~t0 ~t1
+      ~nodes:i.Intention.node_count ~detail:i.Intention.byte_size;
   i
 
 (* Run final meld on a completed group and emit its decisions. *)
@@ -236,11 +328,13 @@ let final_meld t (group : Group_meld.group) =
       })
     decided
 
-(* Group-meld + final-meld tail: sequential in log order under every
-   backend.  [unit_group] is the single-intention group produced by the
-   premeld stage (or the raw intention when premeld is off). *)
-let tail t ~seq (unit_group : Group_meld.group) =
-  if t.config.group_size <= 1 then final_meld t unit_group
+(* Group-meld step: fold [unit_group] into the group being assembled.
+   Returns the completed group when it fills (always, with group meld
+   off), [None] while it is still filling.  [track] selects the trace
+   ring: 0 for the inline tail, the gm worker's ring under the pipelined
+   backend (same single-writer either way). *)
+let gm_step t ~track ~seq (unit_group : Group_meld.group) =
+  if t.config.group_size <= 1 then Some unit_group
   else begin
     let merged =
       match t.pending with
@@ -255,7 +349,7 @@ let tail t ~seq (unit_group : Group_meld.group) =
           let t1 = Clock.now () in
           gm.seconds <- gm.seconds +. (t1 -. t0);
           if Trace.enabled t.trace then
-            Trace.record t.trace ~track:0 ~stage:Trace.Group_meld ~seq ~t0 ~t1
+            Trace.record t.trace ~track ~stage:Trace.Group_meld ~seq ~t0 ~t1
               ~nodes:(gm.nodes_visited - nodes_before)
               ~detail:(t.pending_members + 1);
           merged
@@ -264,13 +358,21 @@ let tail t ~seq (unit_group : Group_meld.group) =
     if t.pending_members >= t.config.group_size then begin
       t.pending <- None;
       t.pending_members <- 0;
-      final_meld t merged
+      Some merged
     end
     else begin
       t.pending <- Some merged;
-      []
+      None
     end
   end
+
+(* Group-meld + final-meld tail: sequential in log order under every
+   backend.  [unit_group] is the single-intention group produced by the
+   premeld stage (or the raw intention when premeld is off). *)
+let tail t ~seq (unit_group : Group_meld.group) =
+  match gm_step t ~track:0 ~seq unit_group with
+  | Some g -> final_meld t g
+  | None -> []
 
 let group_of_outcome ~seq intention = function
   | Premeld.Unchanged i -> Group_meld.single ~seq i
@@ -299,27 +401,19 @@ let submit t (intention : Intention.t) =
   tail t ~seq unit_group
 
 (* ------------------------------------------------------------------ *)
-(* Parallel premeld windows                                             *)
+(* Premeld windows: shared snapshot-seq arithmetic                      *)
 (* ------------------------------------------------------------------ *)
 
-(* Run one premeld window in parallel and then drain its tail in log
-   order.  Preconditions established by [submit_batch]: premeld is on,
-   [Array.length window <= threads * distance + 1 - pending_members]
-   (so every member's designated input state is already recorded at
-   window start — group assembly delays recording by up to
-   [group_size - 1] states), and the intentions are the next ones in
-   log order. *)
-let run_window t (pc : Premeld.config) (window : Intention.t array) =
-  let b = Array.length window in
-  let s0 = t.next_seq in
-  t.next_seq <- s0 + b;
-  let snap = State_store.snapshot t.states in
-  (* Per-member snapshot sequence numbers, exactly as the sequential
-     scheduler would compute them at each member's own submit time.  A
-     member's snapshot position may name an *earlier window member*; the
-     sequential scheduler would see that member's state recorded iff its
-     group has already completed, which is pure arithmetic on the group
-     assembly state at window start. *)
+(* Per-member snapshot sequence numbers for a premeld window, exactly as
+   the sequential scheduler would compute them at each member's own
+   submit time.  [poss].(i) / [snaps].(i) are member [i]'s log position
+   and snapshot position.  A member's snapshot position may name an
+   {e earlier window member}; the sequential scheduler would see that
+   member's state recorded iff its group has already completed, which is
+   pure arithmetic on the group assembly state at window start.  Must be
+   called before the window mutates any group state. *)
+let window_snap_seqs t ~snap ~s0 ~poss ~snaps =
+  let b = Array.length poss in
   let g = max 1 t.config.group_size in
   let p0 = t.pending_members in
   (* (seq, pos) of the group members already pending at window start: the
@@ -343,10 +437,10 @@ let run_window t (pc : Premeld.config) (window : Intention.t array) =
   let visible = ref (-1) in
   (* window index of the newest member whose state is visible *)
   for i = 0 to b - 1 do
-    let pos = window.(i).Intention.snapshot in
+    let pos = snaps.(i) in
     let rec member_at k =
       if k < 0 then None
-      else if window.(k).Intention.pos <= pos then Some k
+      else if poss.(k) <= pos then Some k
       else member_at (k - 1)
     in
     let rec pending_at k =
@@ -370,6 +464,29 @@ let run_window t (pc : Premeld.config) (window : Intention.t array) =
           | None -> State_store.Snapshot.seq_of_pos snap pos));
     if (p0 + i + 1) mod g = 0 then visible := i
   done;
+  snap_seqs
+
+(* ------------------------------------------------------------------ *)
+(* Parallel premeld windows                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Run one premeld window in parallel and then drain its tail in log
+   order.  Preconditions established by [submit_batch]: premeld is on,
+   [Array.length window <= threads * distance + 1 - pending_members]
+   (so every member's designated input state is already recorded at
+   window start — group assembly delays recording by up to
+   [group_size - 1] states), and the intentions are the next ones in
+   log order. *)
+let run_window t (pc : Premeld.config) (window : Intention.t array) =
+  let b = Array.length window in
+  let s0 = t.next_seq in
+  t.next_seq <- s0 + b;
+  let snap = State_store.snapshot t.states in
+  let snap_seqs =
+    window_snap_seqs t ~snap ~s0
+      ~poss:(Array.map (fun (i : Intention.t) -> i.Intention.pos) window)
+      ~snaps:(Array.map (fun (i : Intention.t) -> i.Intention.snapshot) window)
+  in
   (* Fan the trial melds out, sharded by paper thread id: pool task [k]
      impersonates premeld thread [threads.(k)] and owns its allocator and
      counter shard, processing that thread's members in log order. *)
@@ -416,39 +533,485 @@ let run_window t (pc : Premeld.config) (window : Intention.t array) =
   done;
   List.rev !decisions
 
+(* ------------------------------------------------------------------ *)
+(* Pipelined windows                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Worker-side job execution.  Everything a job touches is either
+   carried in the job, owned by the executing worker for the whole
+   pipeline lifetime (scratch, the impersonated premeld threads'
+   allocators and counter shards, the gm allocator and group state), or
+   frozen per window by the driver before any job is pushed (snapshot,
+   resolvers). *)
+let pexec t (w : wctx) ~worker job =
+  match job with
+  | Jnone -> Rnone
+  | Jds { idx; seq; pos; src; off; len } -> (
+      let traced = Trace.enabled t.trace in
+      let t0 = Clock.now () in
+      (* Workers decode against the frozen snapshot alone.  A reference
+         to a node the log melded away (alive only through the driver's
+         intention cache) is unresolvable here — report failure and let
+         the driver redo the decode inline, where the cache prefix is
+         complete by log-order consumption. *)
+      match
+        Codec.decode_pooled ~scratch:w.scratches.(worker) ~pos ~off ~len
+          ~resolve:w.wresolvers.(worker) src
+      with
+      | exception Codec.Corrupt _ ->
+          Rds { idx; intention = None; nodes = [||]; seconds = 0.0 }
+      | i ->
+          let t1 = Clock.now () in
+          if traced then
+            Trace.record t.trace
+              ~track:(Trace.shards t.trace + 1 + worker)
+              ~stage:Trace.Deserialize ~seq ~t0 ~t1
+              ~nodes:i.Intention.node_count ~detail:i.Intention.byte_size;
+          Rds
+            {
+              idx;
+              intention = Some i;
+              nodes = Codec.Scratch.export w.scratches.(worker);
+              seconds = t1 -. t0;
+            })
+  | Jpm { idx; thread; seq; snap_seq; intention } ->
+      let pc =
+        match t.config.premeld with Some pc -> pc | None -> assert false
+      in
+      let shard = t.counters.premeld_shards.(thread - 1) in
+      let t0 = Clock.now () in
+      let outcome =
+        Premeld.trial ~trace:t.trace pc ~snap_seq
+          ~lookup:(fun m ->
+            Some (State_store.Snapshot.require w.wsnap ~stage:"premeld" m))
+          ~alloc:t.pm_allocs.(thread - 1)
+          ~counters:shard ~seq intention
+      in
+      let dt = Clock.elapsed t0 in
+      shard.Counters.seconds <- shard.Counters.seconds +. dt;
+      Rpm { idx; outcome; seconds = dt }
+  | Jgm { idx; seq; group } ->
+      (* Report the gm-counter delta, not a wrapper measurement, so the
+         offloaded seconds subtract exactly from the stage total.  The gm
+         counter is only ever touched by this worker while a window is in
+         flight (every Jgm runs here), so the read is race-free. *)
+      let s0 = t.counters.group_meld.Counters.seconds in
+      let completed =
+        gm_step t ~track:(Trace.shards t.trace + 1 + worker) ~seq group
+      in
+      Rgm
+        { idx; completed; seconds = t.counters.group_meld.Counters.seconds -. s0 }
+
+(* Run one window of work items through the staged pipeline:
+
+     ds (workers)  ->  pm (workers, sharded by paper thread)
+                   ->  gm (one dedicated worker, global log order)
+                   ->  fm (the driver, log order)
+
+   Stage assignment is a pure function of log position: the decode of
+   item [i] runs on worker [i mod domains], premeld thread [k]'s trials
+   run in seq order on worker [(k-1) mod domains], and every gm combine
+   runs on worker [domains-1] in log order.  The bounded SPSC queues
+   reorder wall-clock only: the driver releases pm jobs per thread in
+   seq order (after the member's decode lands) and gm jobs in global
+   order (after the member's premeld lands), so consumption order — and
+   with it every allocator stream and counter — is independent of
+   arrival timing. *)
+let run_pipelined_window t (px : pctx) (window : witem array) =
+  let b = Array.length window in
+  let s0 = t.next_seq in
+  t.next_seq <- s0 + b;
+  let pool = px.ppool in
+  let domains = px.pdomains in
+  let qcap = px.qcap in
+  let gm_worker = domains - 1 in
+  (* Freeze the retention window and publish per-worker resolvers before
+     any job of this window is pushed. *)
+  let snap = State_store.snapshot t.states in
+  px.wctx.wsnap <- snap;
+  for w = 0 to domains - 1 do
+    px.wctx.wresolvers.(w) <- State_store.Snapshot.resolver ~stage:"ds" snap
+  done;
+  let _, latest_pos0 = State_store.Snapshot.latest snap in
+  let snap_seqs =
+    match t.config.premeld with
+    | None -> [||]
+    | Some _ ->
+        window_snap_seqs t ~snap ~s0
+          ~poss:
+            (Array.map
+               (function Wi i -> i.Intention.pos | Ww w -> w.pos)
+               window)
+          ~snaps:
+            (Array.map
+               (function Wi i -> i.Intention.snapshot | Ww w -> w.psnap)
+               window)
+  in
+  let intentions = Array.make b None in
+  let outcomes = Array.make b None in
+  (* ds classification: wire items whose snapshot state was recorded at
+     window start are offloadable; the rest wait on the driver until
+     final meld inside this window records their snapshot state. *)
+  let ds_jobs = Array.make domains [] in
+  let held = ref [] in
+  for i = b - 1 downto 0 do
+    match window.(i) with
+    | Wi intent -> intentions.(i) <- Some intent
+    | Ww { psnap; _ } ->
+        if psnap <= latest_pos0 then
+          ds_jobs.(i mod domains) <- i :: ds_jobs.(i mod domains)
+        else held := i :: !held
+  done;
+  (* Premeld release state: per paper thread, the member indexes still to
+     premeld, in seq order (head-of-line: a thread's next trial is only
+     released once its member is decoded, keeping that thread's allocator
+     stream in seq order on its owning worker). *)
+  let pm_pending =
+    match t.config.premeld with
+    | None -> [||]
+    | Some pc ->
+        let bt = Array.make pc.Premeld.threads [] in
+        for i = b - 1 downto 0 do
+          let th = Premeld.thread_for pc ~seq:(s0 + i) in
+          bt.(th - 1) <- i :: bt.(th - 1)
+        done;
+        bt
+  in
+  let gm_next = ref 0 in
+  let rgm = ref 0 in
+  let decisions = ref [] in
+  let progress = ref false in
+  let push ~worker job =
+    if not (Runtime.Stage_pool.try_submit pool ~worker job) then
+      failwith "Pipeline: stage pool job queue unexpectedly full";
+    px.outstanding.(worker) <- px.outstanding.(worker) + 1;
+    if px.outstanding.(worker) > px.max_depth then
+      px.max_depth <- px.outstanding.(worker);
+    progress := true
+  in
+  let release_ds () =
+    for w = 0 to domains - 1 do
+      let rec go () =
+        match ds_jobs.(w) with
+        | i :: rest when px.outstanding.(w) < qcap ->
+            (match window.(i) with
+            | Ww { pos; src; off; len; _ } ->
+                push ~worker:w (Jds { idx = i; seq = s0 + i; pos; src; off; len });
+                px.ds_offloaded <- px.ds_offloaded + 1
+            | Wi _ -> assert false);
+            ds_jobs.(w) <- rest;
+            go ()
+        | _ -> ()
+      in
+      go ()
+    done
+  in
+  let release_pm () =
+    for k = 0 to Array.length pm_pending - 1 do
+      let w = k mod domains in
+      let rec go () =
+        match pm_pending.(k) with
+        | i :: rest when px.outstanding.(w) < qcap -> (
+            match intentions.(i) with
+            | Some intent ->
+                push ~worker:w
+                  (Jpm
+                     {
+                       idx = i;
+                       thread = k + 1;
+                       seq = s0 + i;
+                       snap_seq = snap_seqs.(i);
+                       intention = intent;
+                     });
+                pm_pending.(k) <- rest;
+                go ()
+            | None -> ())
+        | _ -> ()
+      in
+      go ()
+    done
+  in
+  let release_gm () =
+    let rec go () =
+      if !gm_next < b && px.outstanding.(gm_worker) < qcap then begin
+        let i = !gm_next in
+        let unit_group =
+          match t.config.premeld with
+          | Some _ -> (
+              match (outcomes.(i), intentions.(i)) with
+              | Some o, Some intent ->
+                  Some (group_of_outcome ~seq:(s0 + i) intent o)
+              | _ -> None)
+          | None -> (
+              match intentions.(i) with
+              | Some intent -> Some (Group_meld.single ~seq:(s0 + i) intent)
+              | None -> None)
+        in
+        match unit_group with
+        | Some g ->
+            push ~worker:gm_worker (Jgm { idx = i; seq = s0 + i; group = g });
+            incr gm_next;
+            go ()
+        | None -> ()
+      end
+    in
+    go ()
+  in
+  (* Inline-decode held-back wire items whose snapshot state final meld
+     has recorded since window start (in log order: the head unlocks
+     first in any valid stream). *)
+  let release_held () =
+    let rec go () =
+      match !held with
+      | i :: rest -> (
+          match window.(i) with
+          | Ww { pos; src; off; len; psnap } ->
+              let _, lpos, _ = State_store.latest t.states in
+              if psnap <= lpos then begin
+                intentions.(i) <-
+                  Some
+                    (decode_slice t ~scratch:px.wctx.dscratch ~seq:(s0 + i)
+                       ~pos ~off ~len src);
+                px.ds_inline_n <- px.ds_inline_n + 1;
+                held := rest;
+                progress := true;
+                go ()
+              end
+          | Wi _ -> assert false)
+      | [] -> ()
+    in
+    go ()
+  in
+  let handle = function
+    | Rnone -> ()
+    | Rds { idx; intention = Some i; nodes; seconds } ->
+        intentions.(idx) <- Some i;
+        (* Index the worker-decoded nodes so later decodes (driver
+           inline, held releases, the next window's failures) resolve
+           references to them even after melding replaces them in the
+           state.  Log-order consumption guarantees the cache holds a
+           complete prefix whenever the driver decodes inline. *)
+        Intention_cache.add t.cache ~pos:i.Intention.pos nodes;
+        let ds = t.counters.deserialize in
+        ds.intentions <- ds.intentions + 1;
+        ds.nodes_visited <- ds.nodes_visited + i.Intention.node_count;
+        ds.seconds <- ds.seconds +. seconds;
+        Summary.add t.counters.intention_bytes
+          (float_of_int i.Intention.byte_size);
+        px.worker_ds_seconds <- px.worker_ds_seconds +. seconds
+    | Rds { idx; intention = None; _ } -> (
+        (* The worker's cache-free decode could not resolve a reference;
+           every reference of an offloadable item predates the window,
+           so the driver's cache already covers it — redo inline now. *)
+        match window.(idx) with
+        | Ww { pos; src; off; len; _ } ->
+            intentions.(idx) <-
+              Some
+                (decode_slice t ~scratch:px.wctx.dscratch ~seq:(s0 + idx)
+                   ~pos ~off ~len src);
+            px.ds_offloaded <- px.ds_offloaded - 1;
+            px.ds_inline_n <- px.ds_inline_n + 1
+        | Wi _ -> assert false)
+    | Rpm { idx; outcome; seconds } ->
+        outcomes.(idx) <- Some outcome;
+        px.worker_pm_seconds <- px.worker_pm_seconds +. seconds
+    | Rgm { idx = _; completed; seconds } -> (
+        incr rgm;
+        px.worker_gm_seconds <- px.worker_gm_seconds +. seconds;
+        match completed with
+        | Some g -> decisions := List.rev_append (final_meld t g) !decisions
+        | None -> ())
+  in
+  while !rgm < b do
+    (* Sample the doorbell before draining so a result pushed after the
+       final drain pass makes the park below return immediately. *)
+    let seen = Runtime.Stage_pool.events pool in
+    progress := false;
+    for w = 0 to domains - 1 do
+      let rec drain () =
+        match Runtime.Stage_pool.try_result pool ~worker:w with
+        | Some r ->
+            px.outstanding.(w) <- px.outstanding.(w) - 1;
+            handle r;
+            progress := true;
+            drain ()
+        | None -> ()
+      in
+      drain ()
+    done;
+    release_held ();
+    release_pm ();
+    release_gm ();
+    release_ds ();
+    if (not !progress) && !rgm < b then begin
+      let in_flight = Array.fold_left ( + ) 0 px.outstanding in
+      if in_flight > 0 then Runtime.Stage_pool.wait pool ~seen
+      else
+        (* Nothing in flight and nothing releasable: the stream is
+           invalid (a member names a snapshot state the log never
+           records before it).  Name the starved member. *)
+        match !held with
+        | i :: _ ->
+            let pos, psnap =
+              match window.(i) with
+              | Ww { pos; psnap; _ } -> (pos, psnap)
+              | Wi _ -> assert false
+            in
+            let _, lpos, _ = State_store.latest t.states in
+            failwith
+              (Printf.sprintf
+                 "Pipeline: pipelined window stalled: intention at log \
+                  position %d names snapshot %d but only %d is recorded — \
+                  invalid stream"
+                 pos psnap lpos)
+        | [] ->
+            failwith
+              "Pipeline: pipelined window stalled with no work in flight"
+    end
+  done;
+  List.rev !decisions
+
+(* Cut a stream of work items into safe windows and run each through the
+   staged pipeline.  Same window bound as the parallel backend: every
+   member's designated premeld input state must already be recorded at
+   window start.  Windows are drained completely before the next starts —
+   cross-window pipelining would require premelding against states the
+   previous window has not recorded yet. *)
+let run_pipelined t (px : pctx) (items : witem array) =
+  let n = Array.length items in
+  let decisions = ref [] in
+  let off = ref 0 in
+  while !off < n do
+    let cap =
+      match t.config.premeld with
+      | Some pc ->
+          (pc.Premeld.threads * pc.Premeld.distance) + 1 - t.pending_members
+      | None -> 64
+    in
+    if cap < 1 then begin
+      (* Pathological config (group_size > threads*distance + 1): no
+         window is safe, fall back to the inline scheduler for one item
+         and retry. *)
+      let d =
+        match items.(!off) with
+        | Wi i -> submit t i
+        | Ww { pos; src; off = o; len; psnap } ->
+            let _, lpos, _ = State_store.latest t.states in
+            if psnap > lpos then
+              failwith
+                (Printf.sprintf
+                   "Pipeline: intention at log position %d names snapshot %d \
+                    but only %d is recorded — invalid stream"
+                   pos psnap lpos);
+            let i =
+              decode_slice t ~scratch:px.wctx.dscratch ~seq:t.next_seq ~pos
+                ~off:o ~len src
+            in
+            px.ds_inline_n <- px.ds_inline_n + 1;
+            submit t i
+      in
+      decisions := List.rev_append d !decisions;
+      incr off
+    end
+    else begin
+      let b = min cap (n - !off) in
+      let window = Array.sub items !off b in
+      decisions := List.rev_append (run_pipelined_window t px window) !decisions;
+      off := !off + b
+    end
+  done;
+  List.rev !decisions
+
 let submit_batch t (intentions : Intention.t list) =
-  match (Runtime.is_parallel t.runtime, t.config.premeld) with
-  | false, _ | _, None ->
-      (* Sequential backend (or nothing to parallelize): the original
-         inline scheduler, one intention at a time. *)
-      List.concat_map (submit t) intentions
-  | true, Some pc ->
-      let arr = Array.of_list intentions in
+  match t.pstate with
+  | Some px ->
+      run_pipelined t px
+        (Array.of_list (List.map (fun i -> Wi i) intentions))
+  | None -> (
+      match (Runtime.is_parallel t.runtime, t.config.premeld) with
+      | false, _ | _, None ->
+          (* Sequential backend (or nothing to parallelize): the original
+             inline scheduler, one intention at a time. *)
+          List.concat_map (submit t) intentions
+      | true, Some pc ->
+          let arr = Array.of_list intentions in
+          let n = Array.length arr in
+          let decisions = ref [] in
+          let off = ref 0 in
+          while !off < n do
+            (* The designated input state of the window's last member must
+               already be recorded: states lag submissions by the group
+               members still being assembled, so the window shrinks by
+               [pending_members] (it re-widens as soon as a group inside
+               this window completes). *)
+            let cap =
+              (pc.Premeld.threads * pc.Premeld.distance) + 1
+              - t.pending_members
+            in
+            if cap < 1 then begin
+              (* Pathological config (group_size > threads*distance + 1):
+                 no window is safe, fall back to the inline scheduler for
+                 one intention and retry. *)
+              decisions := List.rev_append (submit t arr.(!off)) !decisions;
+              incr off
+            end
+            else begin
+              let b = min cap (n - !off) in
+              let window = Array.sub arr !off b in
+              decisions := List.rev_append (run_window t pc window) !decisions;
+              off := !off + b
+            end
+          done;
+          List.rev !decisions)
+
+let submit_wire_batch t (items : (int * string) list) =
+  match t.pstate with
+  | Some px ->
+      run_pipelined t px
+        (Array.of_list
+           (List.map
+              (fun (pos, src) ->
+                Ww
+                  {
+                    pos;
+                    src;
+                    off = 0;
+                    len = String.length src;
+                    psnap = Codec.peek_snapshot src;
+                  })
+              items))
+  | None ->
+      (* Decode-then-submit in maximal safe prefixes: an intention can
+         only be deserialized once the state its snapshot names is
+         recorded, so each chunk is the longest prefix whose snapshots
+         all precede the states recorded so far; melding the chunk then
+         unlocks the next. *)
+      let arr = Array.of_list items in
       let n = Array.length arr in
       let decisions = ref [] in
       let off = ref 0 in
       while !off < n do
-        (* The designated input state of the window's last member must
-           already be recorded: states lag submissions by the group
-           members still being assembled, so the window shrinks by
-           [pending_members] (it re-widens as soon as a group inside
-           this window completes). *)
-        let cap =
-          (pc.Premeld.threads * pc.Premeld.distance) + 1 - t.pending_members
-        in
-        if cap < 1 then begin
-          (* Pathological config (group_size > threads*distance + 1):
-             no window is safe, fall back to the inline scheduler for
-             one intention and retry. *)
-          decisions := List.rev_append (submit t arr.(!off)) !decisions;
-          incr off
-        end
-        else begin
-          let b = min cap (n - !off) in
-          let window = Array.sub arr !off b in
-          decisions := List.rev_append (run_window t pc window) !decisions;
-          off := !off + b
-        end
+        let _, lpos, _ = State_store.latest t.states in
+        let chunk = ref [] in
+        let stop = ref false in
+        while (not !stop) && !off < n do
+          let pos, src = arr.(!off) in
+          if Codec.peek_snapshot src <= lpos then begin
+            chunk := decode t ~pos src :: !chunk;
+            incr off
+          end
+          else stop := true
+        done;
+        if !chunk = [] then begin
+          let pos, src = arr.(!off) in
+          failwith
+            (Printf.sprintf
+               "Pipeline.submit_wire_batch: intention at log position %d \
+                names snapshot %d but only %d is recorded — invalid stream"
+               pos (Codec.peek_snapshot src) lpos)
+        end;
+        decisions :=
+          List.rev_append (submit_batch t (List.rev !chunk)) !decisions
       done;
       List.rev !decisions
 
@@ -467,3 +1030,87 @@ let prune t ~keep =
     | Some { Premeld.threads; distance } -> (threads * distance) + 2
   in
   State_store.prune t.states ~keep:(max keep floor_for_premeld)
+
+let create ?(config = plain) ?(runtime = Runtime.sequential)
+    ?(trace = Trace.disabled) ?metrics ~genesis () =
+  if config.group_size < 1 then invalid_arg "Pipeline.create: group_size";
+  (match config.premeld with
+  | Some { Premeld.threads; distance } when threads < 1 || distance < 1 ->
+      invalid_arg "Pipeline.create: premeld config"
+  | _ -> ());
+  let pm_threads =
+    match config.premeld with Some c -> c.Premeld.threads | None -> 0
+  in
+  if Trace.enabled trace && Trace.shards trace < pm_threads then
+    invalid_arg "Pipeline.create: trace has fewer shards than premeld threads";
+  (match runtime with
+  | Runtime.Pipelined { domains } ->
+      if Trace.enabled trace && Trace.workers trace < domains then
+        invalid_arg
+          "Pipeline.create: trace has fewer worker rings than pipelined \
+           domains"
+  | Runtime.Sequential | Runtime.Parallel _ -> ());
+  let inst =
+    Option.map
+      (fun m ->
+        {
+          m_conflict_zone =
+            Metrics.histogram m "pipeline_conflict_zone_intentions";
+          m_fm_nodes = Metrics.histogram m "pipeline_fm_nodes_per_txn";
+          m_commits = Metrics.counter m "pipeline_commits";
+          m_aborts = Metrics.counter m "pipeline_aborts";
+        })
+      metrics
+  in
+  let t =
+    {
+      config;
+      runtime = Runtime.create ?metrics runtime;
+      trace;
+      inst;
+      counters = Counters.create ~premeld_shards:(max 1 pm_threads) ();
+      states = State_store.create ~genesis ();
+      cache = Intention_cache.create ();
+      fm_alloc = Vn.Alloc.create ~thread:0;
+      pm_allocs =
+        Array.init pm_threads (fun i -> Vn.Alloc.create ~thread:(i + 1));
+      gm_alloc = Vn.Alloc.create ~thread:(pm_threads + 1);
+      next_seq = 0;
+      pending = None;
+      pending_members = 0;
+      pstate = None;
+    }
+  in
+  (match runtime with
+  | Runtime.Pipelined { domains } ->
+      let wctx =
+        {
+          wsnap = State_store.snapshot t.states;
+          wresolvers = Array.make domains null_resolver;
+          scratches = Array.init domains (fun _ -> Codec.Scratch.create ());
+          dscratch = Codec.Scratch.create ();
+        }
+      in
+      let pool =
+        Runtime.Stage_pool.create ~queue:32 ~domains ~dummy_job:Jnone
+          ~dummy_result:Rnone
+          ~exec:(fun ~worker j -> pexec t wctx ~worker j)
+          ()
+      in
+      t.pstate <-
+        Some
+          {
+            ppool = pool;
+            pdomains = domains;
+            qcap = Runtime.Stage_pool.queue_capacity pool;
+            outstanding = Array.make domains 0;
+            wctx;
+            ds_offloaded = 0;
+            ds_inline_n = 0;
+            worker_ds_seconds = 0.0;
+            worker_pm_seconds = 0.0;
+            worker_gm_seconds = 0.0;
+            max_depth = 0;
+          }
+  | Runtime.Sequential | Runtime.Parallel _ -> ());
+  t

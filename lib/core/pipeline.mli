@@ -10,9 +10,12 @@ open Hyder_tree
     interleaving.  How stages are scheduled onto hardware is delegated to
     {!Runtime}: the [Sequential] backend runs everything inline (the
     cluster simulator models physical parallelism from its per-stage
-    timings), while the [Parallel] backend runs premeld trial melds on
-    real domains via {!submit_batch} — and, per the paper's Section 3.4
-    id scheme, must produce bit-identical results.
+    timings), the [Parallel] backend runs premeld trial melds on real
+    domains via {!submit_batch}, and the [Pipelined] backend stages the
+    whole pre-final-meld pipeline (deserialize, premeld, group meld)
+    across worker domains fed through bounded SPSC queues, leaving only
+    final meld on the driver — and, per the paper's Section 3.4 id
+    scheme, every backend must produce bit-identical results.
 
     Stage thread ids for ephemeral VNs: final meld = 0, premeld threads =
     1..t, group meld = t+1. *)
@@ -52,15 +55,18 @@ val create :
   unit ->
   t
 (** [runtime] defaults to {!Runtime.sequential}.  A [Parallel] runtime
-    spawns its domain pool here; call {!shutdown} when done with the
-    pipeline to join it.
+    spawns its domain pool here, a [Pipelined] runtime its stage-pool
+    worker domains; call {!shutdown} when done with the pipeline to join
+    them.
 
     [trace] (default {!Hyder_obs.Trace.disabled}) records per-stage spans:
     deserialize, group meld and final meld on ring 0 (the sequential
     tail), each premeld trial on its paper thread's ring, plus one
-    envelope span per parallel pool task.  The recorder must have at
-    least as many shard rings as premeld threads ([Invalid_argument]
-    otherwise).  [metrics], when given, registers pipeline instruments
+    envelope span per parallel pool task.  Under [Pipelined], offloaded
+    deserialize and group-meld spans land on the executing worker's own
+    ring instead of ring 0.  The recorder must have at least as many
+    shard rings as premeld threads, and under [Pipelined] at least as
+    many worker rings as domains ([Invalid_argument] otherwise).  [metrics], when given, registers pipeline instruments
     ([pipeline_commits], [pipeline_aborts], [pipeline_conflict_zone_intentions],
     [pipeline_fm_nodes_per_txn]) and is forwarded to {!Runtime.create}.
     Both are provably observational: decisions, ephemeral node ids and
@@ -92,9 +98,44 @@ val submit_batch : t -> Hyder_codec.Intention.t list -> decision list
     store snapshot is taken — each window's trial melds run
     concurrently on the domain pool (one task per paper premeld thread,
     owning that thread's allocator and counter shard), and the group/final
-    meld tail then drains sequentially in log order.  Decisions are
-    returned in sequence order and are bit-identical to the sequential
-    backend's. *)
+    meld tail then drains sequentially in log order.  Under [Pipelined]
+    the same windows run through the staged ds/pm/gm worker fabric with
+    only final meld on the caller.  Decisions are returned in sequence
+    order and are bit-identical to the sequential backend's. *)
+
+val submit_wire_batch : t -> (int * string) list -> decision list
+(** Feed the next intentions in log order in wire form
+    ([(log_position, encoded_bytes)]), letting the backend overlap
+    deserialization with melding.  Under [Sequential] / [Parallel] this
+    decodes maximal safe prefixes (every snapshot reference resolvable
+    against already-recorded states) and melds each chunk before
+    decoding the next.  Under [Pipelined], decodes whose snapshot state
+    is already recorded at window start run on worker domains straight
+    from the wire buffers; the rest decode on the driver as soon as
+    final meld records their snapshot state.  Decisions are identical
+    to decoding everything up front and calling {!submit_batch}.
+    Raises [Failure] on a stream whose snapshot references can never be
+    satisfied. *)
+
+(** Offload accounting for the [Pipelined] backend: how much stage work
+    left the driver's critical path, and how deep the bounded queues
+    ran.  Worker seconds are summed across worker domains; subtracting
+    them from the corresponding {!Counters} stage totals gives the
+    driver-executed (critical-path) share. *)
+type offload_stats = {
+  ds_offloaded : int;  (** decodes executed on worker domains *)
+  ds_inline : int;  (** decodes the driver ran inline (snapshot lag) *)
+  worker_ds_seconds : float;
+  worker_pm_seconds : float;
+  worker_gm_seconds : float;
+  max_queue_depth : int;
+      (** peak jobs-in-flight to any single worker (never exceeds
+          [queue_capacity] by construction) *)
+  queue_capacity : int;
+}
+
+val offload : t -> offload_stats option
+(** [None] unless the runtime backend is [Pipelined]. *)
 
 val flush : t -> decision list
 (** Force a partially filled group through final meld (stream end). *)

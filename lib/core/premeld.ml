@@ -64,6 +64,6 @@ let run ?trace config ~allocs ~shards ~states ~seq (intention : Intention.t) =
   let snap_seq = State_store.seq_of_pos states intention.snapshot in
   let thread = thread_for config ~seq in
   trial ?trace config ~snap_seq
-    ~lookup:(State_store.by_seq states)
+    ~lookup:(fun m -> Some (State_store.require states ~stage:"premeld" m))
     ~alloc:allocs.(thread - 1)
     ~counters:shards.(thread - 1) ~seq intention

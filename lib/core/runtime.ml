@@ -1,13 +1,21 @@
 module Domain_pool = Hyder_util.Domain_pool
+module Spsc_queue = Hyder_util.Spsc_queue
 module Metrics = Hyder_obs.Metrics
 
-type backend = Sequential | Parallel of { domains : int }
+type backend =
+  | Sequential
+  | Parallel of { domains : int }
+  | Pipelined of { domains : int }
 
 let sequential = Sequential
 
 let parallel ~domains =
   if domains < 1 then invalid_arg "Runtime.parallel: domains";
   Parallel { domains }
+
+let pipelined ~domains =
+  if domains < 1 then invalid_arg "Runtime.pipelined: domains";
+  Pipelined { domains }
 
 let parse s =
   match String.split_on_char ':' (String.trim s) with
@@ -18,11 +26,155 @@ let parse s =
       | Some d when d >= 1 -> Ok (Parallel { domains = d })
       | Some _ | None ->
           Error (Printf.sprintf "bad domain count %S in runtime spec" n))
-  | _ -> Error (Printf.sprintf "unknown runtime %S (want seq | par:<n>)" s)
+  | [ "pipe" ] | [ "pipelined" ] -> Ok (Pipelined { domains = 2 })
+  | [ ("pipe" | "pipelined"); n ] -> (
+      match int_of_string_opt n with
+      | Some d when d >= 1 -> Ok (Pipelined { domains = d })
+      | Some _ | None ->
+          Error (Printf.sprintf "bad domain count %S in runtime spec" n))
+  | _ ->
+      Error
+        (Printf.sprintf "unknown runtime %S (want seq | par:<n> | pipe:<n>)" s)
 
 let to_string = function
   | Sequential -> "seq"
   | Parallel { domains } -> Printf.sprintf "par:%d" domains
+  | Pipelined { domains } -> Printf.sprintf "pipe:%d" domains
+
+(* ------------------------------------------------------------------ *)
+(* Stage pool: the pipelined backend's worker fabric                    *)
+(* ------------------------------------------------------------------ *)
+
+module Stage_pool = struct
+  type ('j, 'r) t = {
+    domains : int;
+    jobs : 'j Spsc_queue.t array;  (** driver -> worker [w] *)
+    results : 'r Spsc_queue.t array;  (** worker [w] -> driver *)
+    stop : bool Atomic.t;
+    failure : exn option Atomic.t;
+    (* Doorbell: workers bump [events] after every result push; the
+       driver parks on it when it has nothing runnable.  Dekker-style
+       handshake: the driver publishes [parked] (SC) before re-checking
+       [events]; a worker bumps [events] (SC) before reading [parked] —
+       sequential consistency guarantees at least one side sees the
+       other, so no wakeup is lost. *)
+    events : int Atomic.t;
+    parked : bool Atomic.t;
+    lock : Mutex.t;
+    cond : Condition.t;
+    mutable handles : unit Domain.t array;
+    mutable shut : bool;
+  }
+
+  let ring_doorbell t =
+    Atomic.incr t.events;
+    if Atomic.get t.parked then begin
+      Mutex.lock t.lock;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.lock
+    end
+
+  (* First failure wins; losers are dropped (they are almost always the
+     cascade of the first).  Waking every job queue lets sibling workers
+     observe [stop] even while parked. *)
+  let fail t e =
+    ignore (Atomic.compare_and_set t.failure None (Some e) : bool);
+    Atomic.set t.stop true;
+    Array.iter Spsc_queue.wake t.jobs;
+    ring_doorbell t
+
+  let worker_loop t ~exec w =
+    let jq = t.jobs.(w) and rq = t.results.(w) in
+    let rec go () =
+      match Spsc_queue.pop jq ~cancel:(fun () -> Atomic.get t.stop) with
+      | None -> ()
+      | Some j -> (
+          match exec ~worker:w j with
+          | r ->
+              if Spsc_queue.try_push rq r then begin
+                ring_doorbell t;
+                go ()
+              end
+              else
+                fail t
+                  (Failure
+                     "Runtime.Stage_pool: result queue overflow (driver \
+                      exceeded its outstanding budget)")
+          | exception e -> fail t e)
+    in
+    go ()
+
+  let create ?(queue = 32) ~domains ~dummy_job ~dummy_result ~exec () =
+    if domains < 1 then invalid_arg "Runtime.Stage_pool.create: domains";
+    if queue < 1 then invalid_arg "Runtime.Stage_pool.create: queue";
+    let t =
+      {
+        domains;
+        jobs =
+          Array.init domains (fun _ ->
+              Spsc_queue.create ~capacity:queue ~dummy:dummy_job ());
+        results =
+          Array.init domains (fun _ ->
+              Spsc_queue.create ~capacity:queue ~dummy:dummy_result ());
+        stop = Atomic.make false;
+        failure = Atomic.make None;
+        events = Atomic.make 0;
+        parked = Atomic.make false;
+        lock = Mutex.create ();
+        cond = Condition.create ();
+        handles = [||];
+        shut = false;
+      }
+    in
+    t.handles <-
+      Array.init domains (fun w -> Domain.spawn (fun () -> worker_loop t ~exec w));
+    t
+
+  let domains t = t.domains
+  let queue_capacity t = Spsc_queue.capacity t.jobs.(0)
+
+  let check t =
+    match Atomic.get t.failure with
+    | None -> ()
+    | Some e ->
+        (* Make sure every worker is unwinding before we propagate. *)
+        Atomic.set t.stop true;
+        Array.iter Spsc_queue.wake t.jobs;
+        raise e
+
+  let try_submit t ~worker job =
+    check t;
+    Spsc_queue.try_push t.jobs.(worker) job
+
+  let try_result t ~worker =
+    check t;
+    Spsc_queue.try_pop t.results.(worker)
+
+  let events t = Atomic.get t.events
+
+  let wait t ~seen =
+    check t;
+    if Atomic.get t.events = seen then begin
+      Mutex.lock t.lock;
+      Atomic.set t.parked true;
+      while Atomic.get t.events = seen && Atomic.get t.failure = None do
+        Condition.wait t.cond t.lock
+      done;
+      Atomic.set t.parked false;
+      Mutex.unlock t.lock;
+      check t
+    end
+
+  let shutdown t =
+    if not t.shut then begin
+      t.shut <- true;
+      Atomic.set t.stop true;
+      Array.iter Spsc_queue.wake t.jobs;
+      Array.iter Domain.join t.handles;
+      t.handles <- [||];
+      match Atomic.get t.failure with None -> () | Some e -> raise e
+    end
+end
 
 (* Scheduling metrics, resolved once at create time so the per-batch cost
    is two counter bumps (and zero when no registry is wired). *)
@@ -41,7 +193,7 @@ let create ?metrics backend =
         Metrics.Gauge.set g
           (match backend with
           | Sequential -> 0.0
-          | Parallel { domains } -> float_of_int domains);
+          | Parallel { domains } | Pipelined { domains } -> float_of_int domains);
         {
           batches = Metrics.counter m "runtime_task_batches";
           tasks = Metrics.counter m "runtime_tasks";
@@ -53,9 +205,18 @@ let create ?metrics backend =
   | Parallel { domains } as b ->
       if domains < 1 then invalid_arg "Runtime.create: domains";
       { backend = b; pool = Some (Domain_pool.create ~domains); inst }
+  | Pipelined { domains } as b ->
+      if domains < 1 then invalid_arg "Runtime.create: domains";
+      (* The pipelined backend owns its worker fabric (a [Stage_pool]
+         inside the pipeline, typed by the pipeline's job variants); the
+         generic task pool is not used. *)
+      { backend = b; pool = None; inst }
 
 let backend t = t.backend
 let is_parallel t = Option.is_some t.pool
+
+let is_pipelined t =
+  match t.backend with Pipelined _ -> true | Sequential | Parallel _ -> false
 
 let run_tasks t ~tasks f =
   (match t.inst with

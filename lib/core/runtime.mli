@@ -1,7 +1,8 @@
 (** Pluggable stage runtime for the meld pipeline.
 
     The pipeline is a deterministic semantic machine; {e how} its stages
-    are scheduled onto hardware is this module's concern.  Two backends:
+    are scheduled onto hardware is this module's concern.  Three
+    backends:
 
     - {b Sequential} — every stage runs inline on the caller, one
       intention at a time, in log order.  This is the original scheduler,
@@ -15,6 +16,16 @@
       which domain runs the task or in what order tasks finish.  Group
       meld and final meld stay sequential in log order; results are
       merged back in submission order.
+    - {b Pipelined} — the whole pre-final-meld pipeline is staged across
+      domains: deserialization runs on worker domains straight from wire
+      buffers, premeld slices are dealt to workers per paper thread, and
+      group-meld combining is offloaded to a dedicated worker, all fed
+      and drained through bounded SPSC queues ({!Hyder_util.Spsc_queue})
+      with backpressure.  Final meld alone stays on the driver, in log
+      order.  Stage assignment is a pure function of log position, and
+      the driver consumes every queue in log order, so queues reorder
+      wall-clock only — decisions, ephemeral ids and per-shard counters
+      stay bit-identical to [Sequential].
 
     The determinism argument, concretely: a premeld window only contains
     intentions whose designated input states {e precede} the window
@@ -25,23 +36,92 @@
     therefore changes wall-clock and nothing else; the cross-backend
     property test in [test/test_runtime.ml] checks exactly this. *)
 
-type backend = Sequential | Parallel of { domains : int }
+type backend =
+  | Sequential
+  | Parallel of { domains : int }
+  | Pipelined of { domains : int }
 
 val sequential : backend
 
 val parallel : domains:int -> backend
 (** [domains >= 1], [Invalid_argument] otherwise. *)
 
+val pipelined : domains:int -> backend
+(** [domains >= 1], [Invalid_argument] otherwise. *)
+
 val parse : string -> (backend, string) result
-(** ["seq"] or ["par:<n>"] (e.g. ["par:4"]); also accepts ["par"] as
-    [par:2]. *)
+(** ["seq"], ["par:<n>"] or ["pipe:<n>"] (e.g. ["pipe:4"]); bare ["par"]
+    / ["pipe"] mean two domains. *)
 
 val to_string : backend -> string
 (** Inverse of {!parse}. *)
 
+(** Bounded worker fabric for the pipelined backend.
+
+    [domains] worker domains, each fed by its own SPSC job queue and
+    drained through its own SPSC result queue — the driver is the only
+    producer of jobs and the only consumer of results, so every queue
+    end is single-threaded.  Contract the driver must keep: at most
+    {!Stage_pool.queue_capacity} results outstanding per worker, so a
+    worker's result push can never fail and workers never block on the
+    way out (this is what makes the fabric deadlock-free by
+    construction).
+
+    A worker exception cancels the fabric: the first exception is
+    captured, every worker unwinds, and the exception re-raises on the
+    driver from the next {!Stage_pool.wait} / submit / drain call. *)
+module Stage_pool : sig
+  type ('j, 'r) t
+
+  val create :
+    ?queue:int ->
+    domains:int ->
+    dummy_job:'j ->
+    dummy_result:'r ->
+    exec:(worker:int -> 'j -> 'r) ->
+    unit ->
+    ('j, 'r) t
+  (** Spawn [domains] worker domains.  [queue] (default 32, rounded up
+      to a power of two) bounds each job and each result queue.  [exec]
+      runs on worker domains; it must only touch state the driver
+      published before submitting the job (jobs for distinct workers
+      must be pairwise independent). *)
+
+  val domains : ('j, 'r) t -> int
+
+  val queue_capacity : ('j, 'r) t -> int
+  (** Per-queue bound after power-of-two rounding — also the driver's
+      outstanding-results budget per worker. *)
+
+  val try_submit : ('j, 'r) t -> worker:int -> 'j -> bool
+  (** Driver only.  [false] iff worker [worker]'s job queue is full;
+      the driver then drains results or runs the job inline. *)
+
+  val try_result : ('j, 'r) t -> worker:int -> 'r option
+  (** Driver only.  [None] iff worker [worker] has no finished result
+      queued. *)
+
+  val events : ('j, 'r) t -> int
+  (** Doorbell counter: bumped by workers after every result push.
+      Sample it, drain, and {!wait} on the sampled value to park
+      race-free until more results arrive. *)
+
+  val wait : ('j, 'r) t -> seen:int -> unit
+  (** Driver only.  Park until {!events} differs from [seen] (i.e. some
+      worker pushed a result after the driver sampled [seen]).  Returns
+      immediately if it already differs.  Re-raises a captured worker
+      exception. *)
+
+  val shutdown : ('j, 'r) t -> unit
+  (** Stop and join every worker domain.  Idempotent.  Re-raises a
+      captured worker exception after the join. *)
+end
+
 type t
 (** An instantiated runtime: the backend descriptor plus, for [Parallel],
-    the live domain pool. *)
+    the live domain pool.  A [Pipelined] runtime carries only the
+    descriptor — the pipeline instantiates its own {!Stage_pool}, typed
+    by its job/result variants. *)
 
 val create : ?metrics:Hyder_obs.Metrics.t -> backend -> t
 (** [metrics], when given, registers scheduling instruments
@@ -52,13 +132,16 @@ val backend : t -> backend
 
 val is_parallel : t -> bool
 
+val is_pipelined : t -> bool
+
 val run_tasks : t -> tasks:int -> (int -> unit) -> unit
-(** Execute [tasks] independent tasks: [Sequential] runs them inline in
-    index order; [Parallel] runs them concurrently on the pool (any
-    order, any domain).  Tasks handed to this function must be pairwise
-    independent — the pipeline shards premeld work by paper thread id to
-    guarantee it. *)
+(** Execute [tasks] independent tasks: [Sequential] and [Pipelined] run
+    them inline in index order; [Parallel] runs them concurrently on the
+    pool (any order, any domain).  Tasks handed to this function must be
+    pairwise independent — the pipeline shards premeld work by paper
+    thread id to guarantee it. *)
 
 val shutdown : t -> unit
-(** Join the domain pool, if any.  Idempotent; a no-op for
-    [Sequential]. *)
+(** Join the domain pool, if any.  Idempotent; a no-op for [Sequential]
+    and [Pipelined] (the pipeline owns and shuts down its own stage
+    pool). *)

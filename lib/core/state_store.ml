@@ -4,25 +4,27 @@ type entry = { seq : int; pos : int; state : Tree.t }
 
 type t = {
   mutable entries : entry array;  (** circular buffer, ordered by seq *)
+  mutable mask : int;  (** capacity - 1; capacity is a power of two *)
   mutable first : int;  (** index of oldest entry *)
   mutable count : int;
   mutable pruned_any : bool;
   genesis : Tree.t;
 }
 
-let initial_capacity = 4096
+let initial_capacity = 4096 (* must stay a power of two: [nth] masks *)
 
 let create ~genesis () =
   {
     entries =
       Array.make initial_capacity { seq = -1; pos = -1; state = genesis };
+    mask = initial_capacity - 1;
     first = 0;
     count = 0;
     pruned_any = false;
     genesis;
   }
 
-let nth t i = t.entries.((t.first + i) mod Array.length t.entries)
+let nth t i = t.entries.((t.first + i) land t.mask)
 
 let latest t =
   if t.count = 0 then (-1, -1, t.genesis)
@@ -38,6 +40,7 @@ let grow t =
     bigger.(i) <- nth t i
   done;
   t.entries <- bigger;
+  t.mask <- (2 * cap) - 1;
   t.first <- 0
 
 let record t ~seq ~pos state =
@@ -49,8 +52,7 @@ let record t ~seq ~pos state =
     invalid_arg
       (Printf.sprintf "State_store.record: pos %d after %d" pos last_pos);
   if t.count = Array.length t.entries then grow t;
-  t.entries.((t.first + t.count) mod Array.length t.entries) <-
-    { seq; pos; state };
+  t.entries.((t.first + t.count) land t.mask) <- { seq; pos; state };
   t.count <- t.count + 1
 
 let by_seq t seq =
@@ -88,9 +90,27 @@ let seq_of_pos t pos =
   if pos = -1 then -1
   else match find_by_pos t pos with None -> -1 | Some e -> e.seq
 
-let resolver t =
-  (* One intention resolves many references against the same snapshot, so
-     memoize the last position -> state lookup. *)
+(* Prune safety is a contract between the prune policy and every stage
+   that looks states up; when it breaks, the error must say WHICH stage's
+   arithmetic was starved (ds resolving a snapshot reference vs premeld
+   fetching its designated input state need different retention floors). *)
+let not_retained ~stage ~what v lo hi =
+  failwith
+    (Printf.sprintf
+       "State_store: %s stage needs the state at %s %d but retention is \
+        [%d..%d] — pruned too far for this stage"
+       stage what v lo hi)
+
+let require t ~stage seq =
+  match by_seq t seq with
+  | Some s -> s
+  | None ->
+      let lo = if t.count = 0 then 0 else (nth t 0).seq in
+      not_retained ~stage ~what:"seq" seq lo (lo + t.count - 1)
+
+(* Memoizing key resolver over an arbitrary position -> state lookup: one
+   intention resolves many references against the same snapshot. *)
+let make_resolver ~stage ~by_pos : Hyder_codec.Codec.resolver =
   let last = ref None in
   fun ~snapshot ~key ~vn ->
     ignore vn;
@@ -98,25 +118,24 @@ let resolver t =
       match !last with
       | Some (pos, state) when pos = snapshot -> Some state
       | _ ->
-          let s = by_pos t snapshot in
+          let s = by_pos snapshot in
           (match s with Some st -> last := Some (snapshot, st) | None -> ());
           s
     in
     match state with
-    | None ->
-        failwith
-          (Printf.sprintf
-             "State_store.resolver: snapshot state at position %d not retained"
-             snapshot)
+    | None -> not_retained ~stage ~what:"position" snapshot (-1) (-1)
     | Some state -> (
         match Tree.find state key with
         | None -> Node.Empty
         | Some n -> Node.Node n)
 
+let resolver ?(stage = "ds") t = make_resolver ~stage ~by_pos:(by_pos t)
+
 module Snapshot = struct
   type nonrec t = {
     entries : entry array;  (** oldest first, dense in seq *)
     genesis : Tree.t;
+    pruned : bool;  (** whether the source store had ever pruned *)
   }
 
   let latest s =
@@ -134,6 +153,30 @@ module Snapshot = struct
       end
     end
 
+  let require s ~stage seq =
+    match by_seq s seq with
+    | Some state -> state
+    | None ->
+        let n = Array.length s.entries in
+        let lo = if n = 0 then 0 else s.entries.(0).seq in
+        not_retained ~stage ~what:"seq" seq lo (lo + n - 1)
+
+  (* Newest entry with position <= pos; same semantics as the live store's
+     [by_pos], frozen. *)
+  let by_pos s pos =
+    let n = Array.length s.entries in
+    if pos = -1 then Some s.genesis
+    else if n = 0 || s.entries.(0).pos > pos then
+      if s.pruned then None else Some s.genesis
+    else begin
+      let lo = ref 0 and hi = ref (n - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi + 1) / 2 in
+        if s.entries.(mid).pos <= pos then lo := mid else hi := mid - 1
+      done;
+      Some s.entries.(!lo).state
+    end
+
   let seq_of_pos s pos =
     let n = Array.length s.entries in
     if pos = -1 || n = 0 || s.entries.(0).pos > pos then -1
@@ -145,16 +188,22 @@ module Snapshot = struct
       done;
       s.entries.(!lo).seq
     end
+
+  let resolver ?(stage = "ds") s = make_resolver ~stage ~by_pos:(by_pos s)
 end
 
 let snapshot t =
-  { Snapshot.entries = Array.init t.count (nth t); genesis = t.genesis }
+  {
+    Snapshot.entries = Array.init t.count (nth t);
+    genesis = t.genesis;
+    pruned = t.pruned_any;
+  }
 
 let prune t ~keep =
   if keep < 0 then invalid_arg "State_store.prune";
   if t.count > keep then t.pruned_any <- true;
   while t.count > keep do
-    t.first <- (t.first + 1) mod Array.length t.entries;
+    t.first <- (t.first + 1) land t.mask;
     t.count <- t.count - 1
   done
 

@@ -36,9 +36,15 @@ val by_pos : t -> int -> Tree.t option
 val seq_of_pos : t -> int -> int
 (** Sequence number of the newest intention with log position [<= pos]. *)
 
-val resolver : t -> Hyder_codec.Codec.resolver
+val require : t -> stage:string -> int -> Tree.t
+(** State after sequence number [seq], or [Failure] naming the requesting
+    [stage] and the retained range — prune-safety violations must say
+    whose arithmetic was starved. *)
+
+val resolver : ?stage:string -> t -> Hyder_codec.Codec.resolver
 (** Resolver for the deserializer: looks the key up in the state at the
-    intention's snapshot position. *)
+    intention's snapshot position.  [stage] (default ["ds"]) names the
+    caller in prune-safety failures. *)
 
 (** An immutable view of the retained states at a moment in time.
 
@@ -59,8 +65,18 @@ module Snapshot : sig
   val by_seq : t -> int -> Hyder_tree.Tree.t option
   (** Same contract as {!val:by_seq} on the live store, frozen. *)
 
+  val by_pos : t -> int -> Hyder_tree.Tree.t option
+  (** Same contract as {!val:by_pos} on the live store, frozen. *)
+
   val seq_of_pos : t -> int -> int
   (** Same contract as {!val:seq_of_pos} on the live store, frozen. *)
+
+  val require : t -> stage:string -> int -> Hyder_tree.Tree.t
+  (** Same contract as {!val:require} on the live store, frozen. *)
+
+  val resolver : ?stage:string -> t -> Hyder_codec.Codec.resolver
+  (** Same contract as {!val:resolver} on the live store, frozen — safe
+      to call from worker domains (each call builds its own memo). *)
 end
 
 val snapshot : t -> Snapshot.t

@@ -53,10 +53,13 @@ type t = {
   enabled : bool;
   cap : int;  (** power of two *)
   mask : int;
+  shards_ : int;  (** premeld shard rings: tracks 1..shards_ *)
   rings : ring array;
+      (** track 0 = pipeline tail, 1..shards_ = premeld shards,
+          shards_+1.. = pipelined worker domains *)
 }
 
-let disabled = { enabled = false; cap = 0; mask = 0; rings = [||] }
+let disabled = { enabled = false; cap = 0; mask = 0; shards_ = 0; rings = [||] }
 
 let make_ring cap =
   {
@@ -69,8 +72,8 @@ let make_ring cap =
     head = 0;
   }
 
-let create ?(capacity = 32768) ~shards () =
-  if shards < 0 || capacity < 1 then invalid_arg "Trace.create";
+let create ?(capacity = 32768) ?(workers = 0) ~shards () =
+  if shards < 0 || workers < 0 || capacity < 1 then invalid_arg "Trace.create";
   let cap = ref 1 in
   while !cap < capacity do
     cap := !cap * 2
@@ -80,11 +83,13 @@ let create ?(capacity = 32768) ~shards () =
     enabled = true;
     cap;
     mask = cap - 1;
-    rings = Array.init (shards + 1) (fun _ -> make_ring cap);
+    shards_ = shards;
+    rings = Array.init (shards + workers + 1) (fun _ -> make_ring cap);
   }
 
 let enabled t = t.enabled
-let shards t = max 0 (Array.length t.rings - 1)
+let shards t = t.shards_
+let workers t = max 0 (Array.length t.rings - 1 - t.shards_)
 let capacity t = t.cap
 
 let record t ~track ~stage ~seq ~t0 ~t1 ~nodes ~detail =
@@ -134,13 +139,16 @@ let spans t =
 
 (* Track (tid) layout: the pipeline-tail ring fans out into one track per
    stage so final meld, group meld and deserialize are separately visible;
-   premeld shard i keeps its own track. *)
-let tid_of s =
-  match s.stage with
-  | Final_meld -> 0
-  | Deserialize -> 1
-  | Group_meld -> 2
-  | Premeld | Premeld_window -> 9 + s.track
+   premeld shard i keeps its own track; pipelined worker domains (which
+   carry offloaded ds and gm spans) get their own track block at 40+. *)
+let tid_of ~shards s =
+  if s.track > shards then 40 + (s.track - shards - 1)
+  else
+    match s.stage with
+    | Final_meld -> 0
+    | Deserialize -> 1
+    | Group_meld -> 2
+    | Premeld | Premeld_window -> 9 + s.track
 
 let pid = 1
 
@@ -165,9 +173,12 @@ let to_chrome ?origin t =
     thread_meta ~tid:0 ~name:"final meld"
     :: thread_meta ~tid:1 ~name:"deserialize"
     :: thread_meta ~tid:2 ~name:"group meld"
-    :: List.init (shards t) (fun i ->
-           thread_meta ~tid:(10 + i)
-             ~name:(Printf.sprintf "premeld shard %d" (i + 1)))
+    :: (List.init (shards t) (fun i ->
+            thread_meta ~tid:(10 + i)
+              ~name:(Printf.sprintf "premeld shard %d" (i + 1)))
+       @ List.init (workers t) (fun i ->
+             thread_meta ~tid:(40 + i)
+               ~name:(Printf.sprintf "pipe worker %d" i)))
   in
   let events =
     List.map
@@ -180,7 +191,7 @@ let to_chrome ?origin t =
             ("ts", Json.Float ((s.t0 -. origin) *. 1e6));
             ("dur", Json.Float ((s.t1 -. s.t0) *. 1e6));
             ("pid", Json.Int pid);
-            ("tid", Json.Int (tid_of s));
+            ("tid", Json.Int (tid_of ~shards:t.shards_ s));
             ( "args",
               Json.Obj
                 [

@@ -7,9 +7,12 @@
     the pipeline's sequential tail (deserialize, group meld, final meld —
     always written by the submitting thread), and ring [i] (1-based)
     belongs to paper premeld thread [i], written only by whichever worker
-    is currently impersonating that thread.  Recording is therefore
-    lock-free and atomics-free on the hot path under both the [Sequential]
-    and [Parallel] runtime backends.
+    is currently impersonating that thread.  A recorder created with
+    [~workers:n] additionally owns rings [shards+1 .. shards+n], one per
+    pipelined worker domain, carrying the ds decode and gm combine spans
+    that the [Pipelined] backend moves off the tail; each is again written
+    by exactly one domain.  Recording is therefore lock-free and
+    atomics-free on the hot path under every runtime backend.
 
     {2 Inertness}
 
@@ -39,7 +42,9 @@ type stage =
 val stage_to_string : stage -> string
 
 type span = {
-  track : int;  (** ring index: 0 = pipeline tail, i >= 1 = premeld shard *)
+  track : int;
+      (** ring index: 0 = pipeline tail, 1..shards = premeld shards,
+          shards+1.. = pipelined worker domains *)
   stage : stage;
   seq : int;  (** intention sequence number (first of the group for fm) *)
   t0 : float;  (** [Hyder_util.Clock] seconds *)
@@ -53,14 +58,18 @@ type t
 val disabled : t
 (** The no-op recorder: {!enabled} is [false], {!record} is one branch. *)
 
-val create : ?capacity:int -> shards:int -> unit -> t
-(** [shards] premeld rings plus the tail ring.  [capacity] is per ring,
-    rounded up to a power of two (default 32768 spans). *)
+val create : ?capacity:int -> ?workers:int -> shards:int -> unit -> t
+(** [shards] premeld rings plus the tail ring, plus [workers] (default 0)
+    pipelined worker-domain rings.  [capacity] is per ring, rounded up to
+    a power of two (default 32768 spans). *)
 
 val enabled : t -> bool
 
 val shards : t -> int
 (** Number of premeld shard rings (0 for {!disabled}). *)
+
+val workers : t -> int
+(** Number of pipelined worker-domain rings (0 for {!disabled}). *)
 
 val capacity : t -> int
 
@@ -86,9 +95,10 @@ val spans : t -> span list
 
 val to_chrome : ?origin:float -> t -> Json.t
 (** Chrome trace-event JSON (load in Perfetto / [chrome://tracing]).
-    Final meld, group meld, deserialize and each premeld shard get their
-    own named track, so stage overlap under [par:<n>] is visually
-    auditable.  Timestamps are microseconds relative to [origin]
-    (default: the earliest retained span). *)
+    Final meld, group meld, deserialize, each premeld shard and each
+    pipelined worker domain get their own named track, so stage overlap
+    under [par:<n>] / [pipe:<n>] is visually auditable.  Timestamps are
+    microseconds relative to [origin] (default: the earliest retained
+    span). *)
 
 val to_chrome_string : ?origin:float -> t -> string

@@ -1,0 +1,53 @@
+(* Single-owner freelist of byte buffers, bucketed by power-of-two size.
+
+   No synchronization: a pool belongs to one domain (each pipeline worker
+   and the driver keep their own).  Buckets are LIFO so the hottest buffer
+   — still warm in cache — is reused first. *)
+
+let min_log = 4 (* 16-byte floor, matching Wire.Writer's minimum *)
+let max_log = 30
+
+type t = {
+  free : Bytes.t list array;  (** bucket [i] holds buffers of 2^(i+min_log) *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () = { free = Array.make (max_log - min_log + 1) []; hits = 0; misses = 0 }
+
+let bucket_of size =
+  let b = ref 0 in
+  while 1 lsl (!b + min_log) < size do
+    incr b
+  done;
+  !b
+
+let acquire t size =
+  if size < 0 || size > 1 lsl max_log then invalid_arg "Buf_pool.acquire";
+  let b = bucket_of size in
+  match t.free.(b) with
+  | buf :: rest ->
+      t.free.(b) <- rest;
+      t.hits <- t.hits + 1;
+      buf
+  | [] ->
+      t.misses <- t.misses + 1;
+      Bytes.create (1 lsl (b + min_log))
+
+let release t buf =
+  let len = Bytes.length buf in
+  (* Only pool the exact power-of-two sizes acquire hands out; anything
+     else (a buffer the caller made itself) is left to the GC. *)
+  if len >= 1 lsl min_log && len <= 1 lsl max_log && len land (len - 1) = 0
+  then begin
+    let b = bucket_of len in
+    (* Keep buckets shallow: a deep freelist is just a leak with extra
+       steps when a burst subsides. *)
+    if List.length t.free.(b) < 8 then t.free.(b) <- buf :: t.free.(b)
+  end
+
+let hits t = t.hits
+let misses t = t.misses
+
+let pooled t =
+  Array.fold_left (fun acc l -> acc + List.length l) 0 t.free

@@ -1,0 +1,111 @@
+(* Bounded single-producer / single-consumer ring queue.
+
+   The slot array is plain (no per-slot atomics): publication rides on the
+   sequentially-consistent [head]/[tail] indices.  The producer only writes
+   a slot after observing [head] past its previous occupant (so the
+   consumer's reads of it happened-before), and the consumer only reads a
+   slot after observing [tail] past it (so the producer's write
+   happened-before).  Slots are reset to [dummy] on pop so the ring never
+   pins popped values against the GC.
+
+   Blocking pops spin briefly (the common case under load), then park on a
+   mutex/condvar doorbell.  The sleeper-registration / post-publish check
+   is the standard Dekker handshake: the consumer registers in [sleepers]
+   {e before} re-checking emptiness, the producer publishes [tail]
+   {e before} reading [sleepers] — both with SC atomics — so a wakeup can
+   never be lost. *)
+
+type 'a t = {
+  slots : 'a array;
+  mask : int;
+  dummy : 'a;
+  head : int Atomic.t;  (** next slot to pop; written by the consumer *)
+  tail : int Atomic.t;  (** next slot to push; written by the producer *)
+  sleepers : int Atomic.t;  (** consumers parked (0 or 1) *)
+  lock : Mutex.t;
+  nonempty : Condition.t;
+}
+
+let create ?(capacity = 64) ~dummy () =
+  if capacity < 1 then invalid_arg "Spsc_queue.create: capacity";
+  let cap = ref 1 in
+  while !cap < capacity do
+    cap := !cap * 2
+  done;
+  {
+    slots = Array.make !cap dummy;
+    mask = !cap - 1;
+    dummy;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+    sleepers = Atomic.make 0;
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+  }
+
+let capacity t = t.mask + 1
+let length t = Atomic.get t.tail - Atomic.get t.head
+
+let signal t =
+  if Atomic.get t.sleepers > 0 then begin
+    Mutex.lock t.lock;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.lock
+  end
+
+let try_push t x =
+  let tail = Atomic.get t.tail in
+  if tail - Atomic.get t.head > t.mask then false
+  else begin
+    t.slots.(tail land t.mask) <- x;
+    Atomic.set t.tail (tail + 1);
+    signal t;
+    true
+  end
+
+let try_pop t =
+  let head = Atomic.get t.head in
+  if Atomic.get t.tail - head <= 0 then None
+  else begin
+    let i = head land t.mask in
+    let x = t.slots.(i) in
+    t.slots.(i) <- t.dummy;
+    Atomic.set t.head (head + 1);
+    Some x
+  end
+
+let wake t =
+  Mutex.lock t.lock;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lock
+
+(* Short spin before parking: long spins on an oversubscribed machine only
+   steal cycles from the producer we are waiting for. *)
+let spin_budget = 32
+
+let rec pop t ~cancel =
+  match try_pop t with
+  | Some _ as r -> r
+  | None ->
+      if cancel () then None
+      else begin
+        let spun = ref 0 in
+        while
+          !spun < spin_budget
+          && Atomic.get t.tail = Atomic.get t.head
+          && not (cancel ())
+        do
+          Domain.cpu_relax ();
+          incr spun
+        done;
+        if Atomic.get t.tail = Atomic.get t.head && not (cancel ()) then begin
+          Mutex.lock t.lock;
+          Atomic.incr t.sleepers;
+          while Atomic.get t.tail = Atomic.get t.head && not (cancel ()) do
+            Condition.wait t.nonempty t.lock
+          done;
+          Atomic.decr t.sleepers;
+          Mutex.unlock t.lock
+        end;
+        pop t ~cancel
+      end

@@ -1,0 +1,45 @@
+(** Bounded single-producer / single-consumer ring queue.
+
+    The backbone of the pipelined meld runtime: the driver feeds each
+    worker domain through one of these (jobs) and drains another
+    (results).  Exactly one domain may push and exactly one may pop —
+    the SPSC restriction is what lets the hot path be two plain array
+    accesses plus two SC-atomic index updates, with no per-slot atomics
+    and no allocation.
+
+    Capacity is fixed at creation (rounded up to a power of two), so a
+    full queue pushes back on the producer: {!try_push} returns [false]
+    and the caller decides whether to drain, spin, or do the work
+    inline.  Memory therefore stays bounded under burst.
+
+    Popped slots are overwritten with the [dummy] element so the queue
+    never retains references to values already consumed. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [capacity] (default 64, rounded up to a power of two) bounds the
+    number of unconsumed elements.  [dummy] fills empty slots; it is
+    never returned by a pop. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Elements currently queued.  Exact for the producer and the consumer;
+    a torn read from any other domain is still within one of both. *)
+
+val try_push : 'a t -> 'a -> bool
+(** Producer only.  [false] iff the queue is full. *)
+
+val try_pop : 'a t -> 'a option
+(** Consumer only.  [None] iff the queue is empty. *)
+
+val pop : 'a t -> cancel:(unit -> bool) -> 'a option
+(** Consumer only.  Block until an element arrives ([Some]) or
+    [cancel ()] is observed true while the queue is empty ([None]).
+    Spins briefly, then parks on a condvar; {!try_push} wakes a parked
+    consumer, and {!wake} forces a recheck of [cancel]. *)
+
+val wake : 'a t -> unit
+(** Wake a consumer parked in {!pop} so it re-evaluates [cancel].  Any
+    domain may call this (it only touches the doorbell, not the ring). *)

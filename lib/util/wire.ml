@@ -1,23 +1,34 @@
 exception Truncated
 
 module Writer = struct
-  type t = { mutable buf : Bytes.t; mutable len : int }
+  type t = { mutable buf : Bytes.t; mutable len : int; pool : Buf_pool.t option }
 
-  let create ?(capacity = 256) () =
-    { buf = Bytes.create (max 16 capacity); len = 0 }
+  let alloc pool size =
+    match pool with
+    | None -> Bytes.create size
+    | Some p -> Buf_pool.acquire p size
+
+  let create ?pool ?(capacity = 256) () =
+    { buf = alloc pool (max 16 capacity); len = 0; pool }
 
   let length t = t.len
   let clear t = t.len <- 0
 
+  let free t =
+    (match t.pool with None -> () | Some p -> Buf_pool.release p t.buf);
+    t.buf <- Bytes.empty;
+    t.len <- 0
+
   let ensure t extra =
     let needed = t.len + extra in
     if needed > Bytes.length t.buf then begin
-      let cap = ref (2 * Bytes.length t.buf) in
+      let cap = ref (max 16 (2 * Bytes.length t.buf)) in
       while !cap < needed do
         cap := 2 * !cap
       done;
-      let bigger = Bytes.create !cap in
+      let bigger = alloc t.pool !cap in
       Bytes.blit t.buf 0 bigger 0 t.len;
+      (match t.pool with None -> () | Some p -> Buf_pool.release p t.buf);
       t.buf <- bigger
     end
 

@@ -12,9 +12,18 @@ exception Truncated
 module Writer : sig
   type t
 
-  val create : ?capacity:int -> unit -> t
+  val create : ?pool:Buf_pool.t -> ?capacity:int -> unit -> t
+  (** With [pool], the backing buffer comes from (and grows through) the
+      given per-domain {!Buf_pool}; call {!free} to hand it back. *)
+
   val length : t -> int
   val clear : t -> unit
+
+  val free : t -> unit
+  (** Release the backing buffer to the writer's pool (no-op without
+      one) and reset to empty.  The writer stays usable — the next
+      append allocates afresh. *)
+
   val u8 : t -> int -> unit
   val u32 : t -> int32 -> unit
   val varint : t -> int -> unit

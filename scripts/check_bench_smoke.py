@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Regression gate over BENCH_SMOKE.json.
+
+Checks the pipeline-overlap figure's records:
+
+  1. every backend reproduced the sequential run bit-for-bit
+     (same_as_seq is true for all rows);
+  2. the pipelined backend moved real work off the driver: its
+     driver-executed stage time per intention (driver_critical_path) is
+     strictly lower than the sequential backend's, and a non-zero share
+     of decodes ran on worker domains;
+  3. queue accounting is sane: every decode accounted for, peak queue
+     depth within the configured capacity.
+
+The driver-critical-path metric is deliberately wall-clock-free: it sums
+the stage seconds the driver itself executed, so the gate holds even on
+a loaded single-core CI box where true overlap cannot show up in elapsed
+time.
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"bench-smoke gate: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_SMOKE.json"
+    with open(path) as f:
+        report = json.load(f)
+
+    rows = {
+        r["runtime"]: r
+        for r in report.get("runs", [])
+        if r.get("figure") == "pipeline-overlap"
+    }
+    if not rows:
+        fail("no pipeline-overlap rows in the report "
+             "(was the figure run with --json?)")
+
+    seq = rows.get("seq")
+    pipe = next((r for name, r in rows.items() if name.startswith("pipe")), None)
+    if seq is None or pipe is None:
+        fail(f"need seq and pipe:<n> rows, got {sorted(rows)}")
+
+    for name, r in sorted(rows.items()):
+        if r["same_as_seq"] is not True:
+            fail(f"{name}: results diverged from the sequential backend")
+
+    seq_us = seq["stage_us"]["driver_critical_path"]
+    pipe_us = pipe["stage_us"]["driver_critical_path"]
+    if not pipe_us < seq_us:
+        fail(f"pipelined driver critical path {pipe_us:.2f} us/intention "
+             f"is not below sequential {seq_us:.2f}")
+
+    off = pipe.get("offload")
+    if not off:
+        fail("pipelined row carries no offload stats")
+    n = pipe["intentions"]
+    if off["ds_offloaded"] <= 0:
+        fail("no decodes ran on worker domains")
+    if off["ds_offloaded"] + off["ds_inline"] != n:
+        fail(f"decode accounting off: {off['ds_offloaded']} offloaded "
+             f"+ {off['ds_inline']} inline != {n}")
+    if not 0 < off["max_queue_depth"] <= off["queue_capacity"]:
+        fail(f"queue depth {off['max_queue_depth']} outside "
+             f"(0, {off['queue_capacity']}]")
+
+    print(
+        f"bench-smoke gate: OK: driver critical path "
+        f"{seq_us:.2f} -> {pipe_us:.2f} us/intention "
+        f"({100 * (1 - pipe_us / seq_us):.0f}% off the driver), "
+        f"{off['ds_offloaded']}/{n} decodes on workers, "
+        f"peak queue depth {off['max_queue_depth']}/{off['queue_capacity']}, "
+        f"all backends bit-identical to sequential"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -87,6 +87,81 @@ let test_decode_rejects_corruption () =
     Alcotest.fail "expected Corrupt"
   with Codec.Corrupt _ -> ()
 
+(* ---- pooled / zero-copy codec paths ---------------------------------- *)
+
+let test_peek_snapshot () =
+  let snapshot = Helpers.genesis ~gap:10 500 in
+  let draft =
+    make_draft ~snapshot ~snapshot_pos:31 (fun e -> Executor.write e 100 "x")
+  in
+  let bytes = Codec.encode draft in
+  check_int "snapshot peeked without decoding" 31 (Codec.peek_snapshot bytes);
+  (* at an offset inside a larger buffer *)
+  let padded = "\xff\xff\xff" ^ bytes in
+  check_int "peek honours off" 31 (Codec.peek_snapshot ~off:3 padded);
+  (* truncated header *)
+  match Codec.peek_snapshot "" with
+  | exception Codec.Corrupt _ -> ()
+  | _ -> Alcotest.fail "expected Corrupt on empty header"
+
+let test_decode_pooled_matches_decode () =
+  let snapshot = Helpers.genesis ~gap:10 500 in
+  let resolve = resolver_of snapshot ~snapshot_pos:(-1) in
+  let scratch = Codec.Scratch.create () in
+  let drafts =
+    List.map
+      (fun k ->
+        make_draft ~snapshot ~snapshot_pos:(-1) (fun e ->
+            Executor.write e (k * 10) ("p" ^ string_of_int k);
+            ignore (Executor.read e ((k * 10) + 200));
+            Executor.delete e ((k * 10) + 400)))
+      [ 1; 2; 3; 4 ]
+  in
+  (* reuse one scratch across decodes, at an offset inside a shared
+     buffer, exactly as the pipelined runtime reads wire slices *)
+  List.iteri
+    (fun n draft ->
+      let bytes = Codec.encode draft in
+      let shifted = String.make (3 * n) '\xee' ^ bytes ^ "tail" in
+      let pooled =
+        Codec.decode_pooled ~scratch ~pos:(n + 5) ~off:(3 * n)
+          ~len:(String.length bytes) ~resolve shifted
+      in
+      let plain = Codec.decode ~pos:(n + 5) ~resolve bytes in
+      check "pooled decode physically identical to plain decode" true
+        (Tree.physically_equal pooled.I.root plain.I.root);
+      check_int "node_count agrees" plain.I.node_count pooled.I.node_count;
+      check_int "byte_size agrees" plain.I.byte_size pooled.I.byte_size;
+      let nodes = Codec.Scratch.export scratch in
+      check_int "export is the node table" plain.I.node_count
+        (Array.length nodes))
+    drafts
+
+let test_encoder_matches_encode () =
+  let snapshot = Helpers.genesis ~gap:10 500 in
+  let pool = Hyder_util.Buf_pool.create () in
+  let enc = Codec.Encoder.create ~pool () in
+  (* interleave drafts of very different sizes so the writer grows and is
+     reused across encodes *)
+  let drafts =
+    List.map
+      (fun ops ->
+        make_draft ~snapshot ~snapshot_pos:(-1) (fun e ->
+            for i = 0 to ops - 1 do
+              Executor.write e (i * 7 mod 5000) ("v" ^ string_of_int i)
+            done))
+      [ 1; 40; 2; 25; 3 ]
+  in
+  List.iter
+    (fun draft ->
+      Alcotest.(check string)
+        "pooled encoder byte-identical to Codec.encode" (Codec.encode draft)
+        (Codec.Encoder.encode enc draft))
+    drafts;
+  Codec.Encoder.free enc;
+  check "backing buffer returned to the pool" true
+    (Hyder_util.Buf_pool.pooled pool > 0)
+
 let test_blocks_roundtrip_single () =
   let payload = "some intention bytes" in
   let blocks = Codec.Blocks.split ~block_size:8192 ~server:1 ~txn_seq:5 payload in
@@ -203,6 +278,14 @@ let () =
             test_decode_rejects_corruption;
           Alcotest.test_case "untouched regions are refs" `Quick
             test_read_only_regions_become_refs;
+        ] );
+      ( "pooled paths",
+        [
+          Alcotest.test_case "peek_snapshot" `Quick test_peek_snapshot;
+          Alcotest.test_case "decode_pooled = decode" `Quick
+            test_decode_pooled_matches_decode;
+          Alcotest.test_case "Encoder = encode" `Quick
+            test_encoder_matches_encode;
         ] );
       ( "blocks",
         [

@@ -13,6 +13,7 @@ module Runtime = Hyder_core.Runtime
 module Counters = Hyder_core.Counters
 module Executor = Hyder_core.Executor
 module I = Hyder_codec.Intention
+module Codec = Hyder_codec.Codec
 module Domain_pool = Hyder_util.Domain_pool
 module Clock = Hyder_util.Clock
 module Rng = Hyder_util.Rng
@@ -25,7 +26,15 @@ let genesis_n = 2000
    pipeline.  Snapshots lag 0..79 states behind the LCS, so the stream
    mixes premeld-skipped (designated state predates snapshot) with
    genuinely premeld-bound intentions; writes land in a small key range
-   so real conflicts and aborts occur. *)
+   so real conflicts and aborts occur.
+
+   The generator is wire-fed, like a real replica: each draft is encoded
+   and the generator melds the *decoded* intention.  The log is the wire
+   — executors take snapshots of wire-built states, so the payload
+   elisions and version references the encoder emits resolve on any
+   replica that replays the same bytes, and every replay world (decoded
+   or re-fed with these same intention objects) evolves isomorphically
+   to the generator's. *)
 let make_stream ~config ~txns ~seed =
   let genesis = Helpers.genesis genesis_n in
   let rng = Rng.create (Int64.of_int seed) in
@@ -33,6 +42,7 @@ let make_stream ~config ~txns ~seed =
   let history = ref [ (-1, genesis) ] (* newest first *) in
   let hist_len = ref 1 in
   let intentions = ref [] in
+  let wires = ref [] in
   let next_pos = ref 0 in
   for txn_seq = 0 to txns - 1 do
     let lag = min (Rng.int rng 80) (!hist_len - 1) in
@@ -54,15 +64,17 @@ let make_stream ~config ~txns ~seed =
     | None -> ()
     | Some draft ->
         next_pos := !next_pos + 1 + Rng.int rng 2;
-        let intention = I.assign ~pos:!next_pos draft in
+        let src = Codec.encode draft in
+        let intention = Pipeline.decode gen ~pos:!next_pos src in
         intentions := intention :: !intentions;
+        wires := (!next_pos, src) :: !wires;
         ignore (Pipeline.submit gen intention);
         let _, pos, tree = Pipeline.lcs gen in
         history := (pos, tree) :: !history;
         incr hist_len
   done;
   ignore (Pipeline.flush gen);
-  (genesis, List.rev !intentions)
+  (genesis, List.rev !intentions, List.rev !wires)
 
 (* Replay a recorded stream through a fresh pipeline, feeding
    [submit_batch] in slabs of [slab] intentions. *)
@@ -95,8 +107,41 @@ let same_decision (a : Pipeline.decision) (b : Pipeline.decision) =
   && a.Pipeline.reason = b.Pipeline.reason
   && a.Pipeline.decided_at = b.Pipeline.decided_at
 
-let check_backends ~config ~txns ~seed ~runs () =
-  let genesis, intentions = make_stream ~config ~txns ~seed in
+(* Replay a recorded stream from its wire form, feeding
+   [submit_wire_batch] in slabs of [slab] encoded intentions. *)
+let replay_wire ~config ~runtime ~slab genesis wires =
+  let p = Pipeline.create ~config ~runtime ~genesis () in
+  let rec take k acc = function
+    | x :: tl when k > 0 -> take (k - 1) (x :: acc) tl
+    | rest -> (List.rev acc, rest)
+  in
+  let rec go acc = function
+    | [] -> acc
+    | l ->
+        let batch, rest = take slab [] l in
+        go (List.rev_append (Pipeline.submit_wire_batch p batch) acc) rest
+  in
+  let decisions = List.rev (go [] wires) @ Pipeline.flush p in
+  let _, _, final = Pipeline.lcs p in
+  let pm_counts =
+    Array.map
+      (fun (s : Counters.stage) -> (s.Counters.intentions, s.Counters.nodes_visited))
+      (Pipeline.counters p).Counters.premeld_shards
+  in
+  let off = Pipeline.offload p in
+  Pipeline.shutdown p;
+  (decisions, final, pm_counts, off)
+
+let compare_to_baseline ~name ~bd ~bfinal ~bcounts (d, final, counts) =
+  check (name ^ ": decision count") true (List.length d = List.length bd);
+  check (name ^ ": decisions identical") true
+    (List.for_all2 same_decision d bd);
+  check (name ^ ": final state physically identical") true
+    (Tree.physically_equal final bfinal);
+  check (name ^ ": per-thread premeld work identical") true (counts = bcounts)
+
+let check_backends ?(wire_runs = []) ~config ~txns ~seed ~runs () =
+  let genesis, intentions, wires = make_stream ~config ~txns ~seed in
   check "stream not trivial" true (List.length intentions > txns / 2);
   let bd, bfinal, bcounts =
     replay ~config ~runtime:Runtime.sequential ~slab:max_int genesis intentions
@@ -108,18 +153,41 @@ let check_backends ~config ~txns ~seed ~runs () =
       (Array.exists (fun (n, _) -> n > 0) bcounts);
   List.iter
     (fun (name, runtime, slab) ->
-      let d, final, counts =
-        replay ~config ~runtime ~slab genesis intentions
-      in
-      check (name ^ ": decision count") true
-        (List.length d = List.length bd);
-      check (name ^ ": decisions identical") true
-        (List.for_all2 same_decision d bd);
-      check (name ^ ": final state physically identical") true
-        (Tree.physically_equal final bfinal);
-      check (name ^ ": per-thread premeld work identical") true
-        (counts = bcounts))
-    runs
+      compare_to_baseline ~name ~bd ~bfinal ~bcounts
+        (replay ~config ~runtime ~slab genesis intentions))
+    runs;
+  (* Wire-fed runs: decisions must match the in-memory baseline exactly
+     (the semantic contract), but trees and visit counters are compared
+     against a wire-fed *sequential* baseline.  Meld's pointer-sharing
+     shortcuts make the physical output depend on how the intention's
+     outside pointers alias the replica's own state nodes, and a decoded
+     stream aliases differently from an assign-fed one — what must hold
+     is that every backend agrees bit-for-bit on the same feed. *)
+  (if wire_runs <> [] then
+     let wd, wfinal, wcounts, _ =
+       replay_wire ~config ~runtime:Runtime.sequential ~slab:max_int genesis
+         wires
+     in
+     check "wire baseline: decision count" true
+       (List.length wd = List.length bd);
+     check "wire baseline: decisions identical to in-memory" true
+       (List.for_all2 same_decision wd bd);
+     List.iter
+       (fun (name, runtime, slab) ->
+         let d, final, counts, off =
+           replay_wire ~config ~runtime ~slab genesis wires
+         in
+         compare_to_baseline ~name ~bd:wd ~bfinal:wfinal ~bcounts:wcounts
+           (d, final, counts);
+         match off with
+         | None -> ()
+         | Some o ->
+             check (name ^ ": every decode accounted") true
+               (o.Pipeline.ds_offloaded + o.Pipeline.ds_inline
+               = List.length intentions);
+             check (name ^ ": queue depth bounded") true
+               (o.Pipeline.max_queue_depth <= o.Pipeline.queue_capacity))
+       wire_runs)
 
 (* The paper's configuration: 5 premeld threads, distance 10, groups of
    2 — windows span group boundaries and the snapshot-visibility
@@ -138,6 +206,16 @@ let test_paper_config () =
         ("par:2", Runtime.parallel ~domains:2, max_int);
         ("par:3 slab 37", Runtime.parallel ~domains:3, 37);
         ("par:2 slab 1", Runtime.parallel ~domains:2, 1);
+        ("pipe:1", Runtime.pipelined ~domains:1, max_int);
+        ("pipe:2 slab 37", Runtime.pipelined ~domains:2, 37);
+        ("pipe:4", Runtime.pipelined ~domains:4, max_int);
+      ]
+    ~wire_runs:
+      [
+        ("wire seq slab 19", Runtime.sequential, 19);
+        ("wire par:2", Runtime.parallel ~domains:2, max_int);
+        ("wire pipe:2", Runtime.pipelined ~domains:2, max_int);
+        ("wire pipe:3 slab 23", Runtime.pipelined ~domains:3, 23);
       ]
     ()
 
@@ -153,7 +231,9 @@ let test_small_distance () =
       [
         ("par:2", Runtime.parallel ~domains:2, max_int);
         ("par:4 slab 5", Runtime.parallel ~domains:4, 5);
+        ("pipe:2 slab 5", Runtime.pipelined ~domains:2, 5);
       ]
+    ~wire_runs:[ ("wire pipe:2", Runtime.pipelined ~domains:2, max_int) ]
     ()
 
 let test_big_groups () =
@@ -168,7 +248,9 @@ let test_big_groups () =
       [
         ("par:2", Runtime.parallel ~domains:2, max_int);
         ("par:3 slab 11", Runtime.parallel ~domains:3, 11);
+        ("pipe:3", Runtime.pipelined ~domains:3, max_int);
       ]
+    ~wire_runs:[ ("wire pipe:3 slab 11", Runtime.pipelined ~domains:3, 11) ]
     ()
 
 (* group_size = threads*distance + 1, the boundary of the retention
@@ -190,6 +272,7 @@ let test_group_at_window_bound () =
       [
         ("par:2", Runtime.parallel ~domains:2, max_int);
         ("par:2 slab 3", Runtime.parallel ~domains:2, 3);
+        ("pipe:2 slab 3", Runtime.pipelined ~domains:2, 3);
       ]
     ()
 
@@ -197,8 +280,105 @@ let test_premeld_off () =
   check_backends
     ~config:{ Pipeline.premeld = None; group_size = 2 }
     ~txns:200 ~seed:77
-    ~runs:[ ("par:2", Runtime.parallel ~domains:2, max_int) ]
+    ~runs:
+      [
+        ("par:2", Runtime.parallel ~domains:2, max_int);
+        ("pipe:2", Runtime.pipelined ~domains:2, max_int);
+      ]
+    ~wire_runs:[ ("wire pipe:2 slab 7", Runtime.pipelined ~domains:2, 7) ]
     ()
+
+(* One giant wire burst through the pipelined backend: the bounded SPSC
+   queues must absorb it with backpressure (peak depth within capacity),
+   work must actually be offloaded, and the decisions must still match
+   the sequential baseline. *)
+let test_pipelined_burst () =
+  let config =
+    {
+      Pipeline.premeld = Some { Premeld.threads = 5; distance = 10 };
+      group_size = 2;
+    }
+  in
+  let genesis, intentions, wires = make_stream ~config ~txns:500 ~seed:11 in
+  let bd, _, _ =
+    replay ~config ~runtime:Runtime.sequential ~slab:max_int genesis intentions
+  in
+  let wd, wfinal, wcounts, _ =
+    replay_wire ~config ~runtime:Runtime.sequential ~slab:max_int genesis wires
+  in
+  check "burst wire baseline: decisions identical to in-memory" true
+    (List.length wd = List.length bd && List.for_all2 same_decision wd bd);
+  let d, final, counts, off =
+    replay_wire ~config
+      ~runtime:(Runtime.pipelined ~domains:2)
+      ~slab:max_int genesis wires
+  in
+  compare_to_baseline ~name:"burst pipe:2" ~bd:wd ~bfinal:wfinal
+    ~bcounts:wcounts (d, final, counts);
+  match off with
+  | None -> Alcotest.fail "pipelined replay reported no offload stats"
+  | Some o ->
+      check "queues actually used" true (o.Pipeline.max_queue_depth > 0);
+      check "queue depth bounded by capacity" true
+        (o.Pipeline.max_queue_depth <= o.Pipeline.queue_capacity);
+      check "some decodes offloaded" true (o.Pipeline.ds_offloaded > 0);
+      check "every decode accounted" true
+        (o.Pipeline.ds_offloaded + o.Pipeline.ds_inline
+        = List.length intentions);
+      check "worker ds time measured" true (o.Pipeline.worker_ds_seconds > 0.0)
+
+(* Tracing must stay observational under the pipelined backend too:
+   decisions, trees and counters bit-identical with the recorder on or
+   off, with offloaded spans landing on worker rings. *)
+let test_pipelined_trace_inert () =
+  let config =
+    {
+      Pipeline.premeld = Some { Premeld.threads = 3; distance = 4 };
+      group_size = 2;
+    }
+  in
+  let genesis, intentions, wires = make_stream ~config ~txns:200 ~seed:43 in
+  let bd, _, _ =
+    replay ~config ~runtime:Runtime.sequential ~slab:max_int genesis intentions
+  in
+  let wd, bfinal, bcounts, _ =
+    replay_wire ~config ~runtime:Runtime.sequential ~slab:max_int genesis wires
+  in
+  check "traced wire baseline: decisions identical to in-memory" true
+    (List.length wd = List.length bd && List.for_all2 same_decision wd bd);
+  let trace = Hyder_obs.Trace.create ~shards:3 ~workers:2 () in
+  let p =
+    Pipeline.create ~config ~runtime:(Runtime.pipelined ~domains:2)
+      ~trace ~genesis ()
+  in
+  let d = Pipeline.submit_wire_batch p wires @ Pipeline.flush p in
+  let _, _, final = Pipeline.lcs p in
+  let counts =
+    Array.map
+      (fun (s : Counters.stage) -> (s.Counters.intentions, s.Counters.nodes_visited))
+      (Pipeline.counters p).Counters.premeld_shards
+  in
+  Pipeline.shutdown p;
+  compare_to_baseline ~name:"traced pipe:2" ~bd:wd ~bfinal ~bcounts
+    (d, final, counts);
+  let spans = Hyder_obs.Trace.spans trace in
+  check "spans recorded" true (spans <> []);
+  check "offloaded ds spans land on worker rings" true
+    (List.exists
+       (fun (s : Hyder_obs.Trace.span) ->
+         s.Hyder_obs.Trace.track > 3
+         && s.Hyder_obs.Trace.stage = Hyder_obs.Trace.Deserialize)
+       spans);
+  (* a recorder with too few worker rings must be rejected up front *)
+  let small = Hyder_obs.Trace.create ~shards:3 ~workers:1 () in
+  match
+    Pipeline.create ~config ~runtime:(Runtime.pipelined ~domains:2)
+      ~trace:small ~genesis ()
+  with
+  | exception Invalid_argument _ -> ()
+  | p ->
+      Pipeline.shutdown p;
+      Alcotest.fail "trace with too few worker rings accepted"
 
 (* ------------------------------------------------------------------ *)
 (* Domain_pool                                                          *)
@@ -256,18 +436,31 @@ let test_runtime_parse () =
     (Runtime.parse "sequential" = Ok Runtime.sequential);
   check "par:3" true (Runtime.parse "par:3" = Ok (Runtime.parallel ~domains:3));
   check "bare par" true (Runtime.parse "par" = Ok (Runtime.parallel ~domains:2));
+  check "pipe:4" true
+    (Runtime.parse "pipe:4" = Ok (Runtime.pipelined ~domains:4));
+  check "bare pipe" true
+    (Runtime.parse "pipe" = Ok (Runtime.pipelined ~domains:2));
+  check "pipelined:3" true
+    (Runtime.parse "pipelined:3" = Ok (Runtime.pipelined ~domains:3));
   (match Runtime.parse "nope" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "parse accepted garbage");
   (match Runtime.parse "par:0" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "parse accepted par:0");
+  (match Runtime.parse "pipe:0" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "parse accepted pipe:0");
   check "round-trip" true
     (Runtime.to_string (Runtime.parallel ~domains:4) = "par:4"
+    && Runtime.to_string (Runtime.pipelined ~domains:4) = "pipe:4"
     && Runtime.to_string Runtime.sequential = "seq");
-  match Runtime.parallel ~domains:0 with
+  (match Runtime.parallel ~domains:0 with
   | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "parallel ~domains:0 accepted"
+  | _ -> Alcotest.fail "parallel ~domains:0 accepted");
+  match Runtime.pipelined ~domains:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "pipelined ~domains:0 accepted"
 
 let () =
   Alcotest.run "runtime"
@@ -281,6 +474,13 @@ let () =
           Alcotest.test_case "group at the window bound" `Quick
             test_group_at_window_bound;
           Alcotest.test_case "premeld off" `Quick test_premeld_off;
+        ] );
+      ( "pipelined backend",
+        [
+          Alcotest.test_case "bursty wire batch, bounded queues" `Quick
+            test_pipelined_burst;
+          Alcotest.test_case "tracing stays observational" `Quick
+            test_pipelined_trace_inert;
         ] );
       ( "domain pool",
         [

@@ -233,6 +233,106 @@ let test_crc32_detects_corruption () =
   let b = Crc32.digest_string "hello worle" in
   check "differs" false (Int32.equal a b)
 
+(* ---- Spsc_queue ------------------------------------------------------ *)
+
+module Spsc = Hyder_util.Spsc_queue
+
+let test_spsc_fifo_and_capacity () =
+  let q = Spsc.create ~capacity:5 ~dummy:(-1) () in
+  check_int "capacity rounds up to a power of two" 8 (Spsc.capacity q);
+  check "empty pop" true (Spsc.try_pop q = None);
+  for i = 0 to 7 do
+    check "push accepted" true (Spsc.try_push q i)
+  done;
+  check "push on full rejected" false (Spsc.try_push q 99);
+  check_int "length" 8 (Spsc.length q);
+  for i = 0 to 7 do
+    check "fifo order" true (Spsc.try_pop q = Some i)
+  done;
+  check "drained" true (Spsc.try_pop q = None);
+  (* wrap around the ring several times *)
+  for round = 0 to 30 do
+    check "push" true (Spsc.try_push q round);
+    check "pop" true (Spsc.try_pop q = Some round)
+  done
+
+let test_spsc_cross_domain () =
+  let n = 20_000 in
+  let q = Spsc.create ~capacity:64 ~dummy:(-1) () in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 0 to n - 1 do
+          while not (Spsc.try_push q i) do
+            Domain.cpu_relax ()
+          done
+        done)
+  in
+  let sum = ref 0 and seen = ref 0 and ordered = ref true and last = ref (-1) in
+  while !seen < n do
+    match Spsc.try_pop q with
+    | Some v ->
+        if v <= !last then ordered := false;
+        last := v;
+        sum := !sum + v;
+        incr seen
+    | None -> Domain.cpu_relax ()
+  done;
+  Domain.join producer;
+  check "all elements in order" true !ordered;
+  check "no element lost or duplicated" true (!sum = n * (n - 1) / 2);
+  check "queue empty at the end" true (Spsc.try_pop q = None)
+
+let test_spsc_pop_blocks_and_cancels () =
+  let q = Spsc.create ~capacity:4 ~dummy:"" () in
+  (* a parked consumer is woken by a push *)
+  let consumer = Domain.spawn (fun () -> Spsc.pop q ~cancel:(fun () -> false)) in
+  Unix.sleepf 0.02;
+  check "push wakes parked consumer" true (Spsc.try_push q "hello");
+  check "blocking pop returns the element" true
+    (Domain.join consumer = Some "hello");
+  (* a parked consumer is woken by cancellation *)
+  let stop = Atomic.make false in
+  let consumer =
+    Domain.spawn (fun () -> Spsc.pop q ~cancel:(fun () -> Atomic.get stop))
+  in
+  Unix.sleepf 0.02;
+  Atomic.set stop true;
+  Spsc.wake q;
+  check "cancelled pop returns None" true (Domain.join consumer = None)
+
+(* ---- Buf_pool -------------------------------------------------------- *)
+
+module Buf_pool = Hyder_util.Buf_pool
+
+let test_buf_pool_reuse () =
+  let p = Buf_pool.create () in
+  let b1 = Buf_pool.acquire p 100 in
+  check "rounded to a power of two" true (Bytes.length b1 = 128);
+  check_int "first acquire misses" 1 (Buf_pool.misses p);
+  Buf_pool.release p b1;
+  check_int "parked" 1 (Buf_pool.pooled p);
+  let b2 = Buf_pool.acquire p 65 in
+  check "same bucket reuses the buffer" true (b1 == b2);
+  check_int "hit served from freelist" 1 (Buf_pool.hits p);
+  check_int "freelist drained" 0 (Buf_pool.pooled p)
+
+let test_buf_pool_size_classes () =
+  let p = Buf_pool.create () in
+  let small = Buf_pool.acquire p 10 in
+  check "16-byte floor" true (Bytes.length small = 16);
+  let big = Buf_pool.acquire p 5000 in
+  check "large rounds up" true (Bytes.length big = 8192);
+  Buf_pool.release p small;
+  Buf_pool.release p big;
+  let big' = Buf_pool.acquire p 4100 in
+  check "buckets are per size class" true (big == big');
+  let small' = Buf_pool.acquire p 16 in
+  check "small bucket intact" true (small == small');
+  (* foreign (non-power-of-two) buffers are not retained *)
+  Buf_pool.release p (Bytes.create 100);
+  let fresh = Buf_pool.acquire p 100 in
+  check "odd-sized release left to the GC" true (Bytes.length fresh = 128)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest [ prop_wire_varint_roundtrip ]
 
@@ -277,6 +377,20 @@ let () =
         [
           Alcotest.test_case "known value" `Quick test_crc32_known_value;
           Alcotest.test_case "corruption" `Quick test_crc32_detects_corruption;
+        ] );
+      ( "spsc queue",
+        [
+          Alcotest.test_case "fifo, capacity, wrap" `Quick
+            test_spsc_fifo_and_capacity;
+          Alcotest.test_case "cross-domain handoff" `Quick
+            test_spsc_cross_domain;
+          Alcotest.test_case "blocking pop and cancel" `Quick
+            test_spsc_pop_blocks_and_cancels;
+        ] );
+      ( "buf pool",
+        [
+          Alcotest.test_case "reuse" `Quick test_buf_pool_reuse;
+          Alcotest.test_case "size classes" `Quick test_buf_pool_size_classes;
         ] );
       ("properties", qcheck_cases);
     ]
