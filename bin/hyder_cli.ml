@@ -9,6 +9,8 @@
 
 open Cmdliner
 module Cluster = Hyder_cluster.Cluster
+module Replica = Hyder_cluster.Replica
+module Faults = Hyder_sim.Faults
 module Ycsb = Hyder_workload.Ycsb
 module Pipeline = Hyder_core.Pipeline
 module Premeld = Hyder_core.Premeld
@@ -56,6 +58,12 @@ let isolation_conv =
     | s -> Error (`Msg (Printf.sprintf "unknown isolation %S" s))
   in
   Arg.conv (parse, fun fmt i -> Format.fprintf fmt "%s" (isolation_to_string i))
+
+let faults_conv =
+  let parse s =
+    match Faults.of_string s with Ok f -> Ok f | Error m -> Error (`Msg m)
+  in
+  Arg.conv (parse, fun fmt f -> Format.fprintf fmt "%s" (Faults.to_string f))
 
 let dist_conv =
   let parse s =
@@ -113,8 +121,73 @@ let workload_term =
 (* --- cluster ------------------------------------------------------------ *)
 
 let cluster_cmd =
+  let run_chaos servers pipeline runtime workload seed faults checkpoint_every
+      chaos_txns metrics_file json_file =
+    let metrics =
+      if metrics_file <> None || json_file <> None then Some (Metrics.create ())
+      else None
+    in
+    let cfg =
+      {
+        Replica.default_config with
+        Replica.servers;
+        pipeline;
+        runtime;
+        workload;
+        faults;
+        checkpoint_every;
+        txns = chaos_txns;
+        seed = Int64.of_int seed;
+        metrics;
+      }
+    in
+    let r = Replica.run cfg in
+    Format.printf "%a@." Replica.pp r;
+    (match metrics_file with
+    | None -> ()
+    | Some path ->
+        let m = Option.get metrics in
+        write_file path (Metrics.to_prometheus (Metrics.snapshot m));
+        Printf.eprintf "metrics -> %s\n%!" path);
+    (match json_file with
+    | None -> ()
+    | Some path ->
+        let report =
+          Json.Obj
+            ([
+               ("experiment", Json.String "cluster-chaos");
+               ( "config",
+                 Json.Obj
+                   [
+                     ("servers", Json.Int servers);
+                     ("pipeline", Json.String (pipeline_to_string pipeline));
+                     ("runtime", Json.String (Runtime.to_string runtime));
+                     ("txns", Json.Int chaos_txns);
+                     ("checkpoint_every", Json.Int checkpoint_every);
+                     ("faults", Json.String (Faults.to_string faults));
+                     ("seed", Json.Int seed);
+                   ] );
+               ("result", Replica.result_to_json r);
+             ]
+            @
+            match metrics with
+            | Some m -> [ ("metrics", Metrics.to_json (Metrics.snapshot m)) ]
+            | None -> [])
+        in
+        write_file path (Json.to_string report);
+        Printf.eprintf "run report -> %s\n%!" path);
+    if not r.Replica.converged then exit 1
+  in
   let run servers pipeline runtime write_threads read_threads inflight duration
-      warmup workload seed trace_file metrics_file json_file =
+      warmup workload seed faults checkpoint_every chaos_txns trace_file
+      metrics_file json_file =
+    match faults with
+    | Some faults ->
+        (* Chaos mode: fault injection + crash recovery instead of the
+           closed-loop throughput experiment. *)
+        run_chaos servers pipeline runtime workload seed faults
+          checkpoint_every chaos_txns metrics_file json_file
+    | None ->
     let trace =
       match trace_file with
       | None -> Trace.disabled
@@ -230,6 +303,40 @@ let cluster_cmd =
   let warmup =
     Arg.(value & opt float 0.15 & info [ "warmup" ] ~doc:"Warmup simulated seconds.")
   in
+  let faults =
+    Arg.(
+      value
+      & opt (some faults_conv) None
+      & info [ "faults" ] ~docv:"SEED:SPEC"
+          ~doc:
+            "Run the chaos/recovery harness instead of the throughput \
+             experiment, under the given deterministic fault schedule. \
+             $(docv) is e.g. \
+             1234:drop=0.02,dup=0.01@0.0004,delay=0.05@0.0008,stall=0.05@0.0005,readfail=0.2,crash=1@0.0075+0.002 \
+             — per-message drop/duplicate/delay probabilities, storage \
+             stalls, transient read failures and server crash/restart \
+             times. The run replays a fixed workload through the cluster \
+             and checks every server (including crashed-and-restarted \
+             ones) converges bit-identically to a fault-free baseline; \
+             exits non-zero otherwise. Ignores the closed-loop flags \
+             (threads, inflight, duration, warmup, trace).")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 64
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:
+            "Chaos mode: capture a durable checkpoint after melding every \
+             $(docv) log positions; restarted servers replay only the log \
+             suffix after their last checkpoint. Must be a multiple of the \
+             pipeline's group size.")
+  in
+  let chaos_txns =
+    Arg.(
+      value & opt int 600
+      & info [ "chaos-txns" ] ~docv:"N"
+          ~doc:"Chaos mode: transactions appended to the log.")
+  in
   let trace_file =
     Arg.(
       value
@@ -260,8 +367,8 @@ let cluster_cmd =
     (Cmd.info "cluster" ~doc:"Run a distributed Hyder II experiment")
     Term.(
       const run $ servers $ pipeline $ runtime $ write_threads $ read_threads
-      $ inflight $ duration $ warmup $ workload_term $ seed $ trace_file
-      $ metrics_file $ json_file)
+      $ inflight $ duration $ warmup $ workload_term $ seed $ faults
+      $ checkpoint_every $ chaos_txns $ trace_file $ metrics_file $ json_file)
 
 (* --- local ([8] setup) ---------------------------------------------------- *)
 

@@ -33,3 +33,38 @@ let compact ~pos state =
   in
   let tree = build 0 n in
   (tree, { live_nodes = n; tombstones_dropped = !dropped })
+
+(* --- durable checkpoints ------------------------------------------------ *)
+
+type t = {
+  seq : int;
+  pos : int;
+  store : State_store.Snapshot.t;
+  compacted : Tree.t;
+  compact_stats : stats;
+  alloc_issued : int array;
+  counters : Counters.t;
+}
+
+let capture ~store ~alloc_issued ~counters =
+  let seq, pos = State_store.Snapshot.latest store in
+  let state =
+    match State_store.Snapshot.by_seq store seq with
+    | Some s -> s
+    | None -> assert false (* seq = -1 resolves to genesis *)
+  in
+  let compacted, compact_stats = compact ~pos state in
+  {
+    seq;
+    pos;
+    store;
+    compacted;
+    compact_stats;
+    alloc_issued = Array.copy alloc_issued;
+    counters = Counters.copy counters;
+  }
+
+let state t =
+  match State_store.Snapshot.by_seq t.store t.seq with
+  | Some s -> s
+  | None -> assert false

@@ -166,26 +166,44 @@ let offload t =
       })
     t.pstate
 
-(* References resolve O(1) through the intention cache when they name a
-   recently logged node, and fall back to a key lookup in the retained
-   snapshot otherwise (genesis data, ephemeral nodes).  The cache is
-   more than a fast path: a logged node that melding replaced in the
-   state (merged into an ephemeral) is resolvable *only* here, so
-   driver-side decodes must run with the cache's log prefix complete.
-   Worker-domain decodes skip the cache (it is single-threaded); when
-   they hit such a reference they report failure and the driver redoes
-   the decode inline.  On a cache hit the returned node is the very
-   object the state grafted, so cached and cache-missing resolution are
-   pointer-identical whenever both succeed. *)
+(* References resolve against the retained snapshot state first, and only
+   fall back to the intention cache when the state cannot answer (a
+   logged node that melding replaced in the state before the snapshot
+   was recorded).  Order matters for determinism, not just speed: meld's
+   graft checks compare node objects *physically*, so the decoder must
+   return the same object for the same reference on every backend, every
+   replica, and every garbage-collection schedule.  The snapshot state
+   is that canonical source — it is exactly what worker-domain decodes
+   (which have no cache) resolve against, and it is reconstructed
+   verbatim by crash recovery.  The cache, by contrast, holds *weak*
+   references: resolving through it first made decode results depend on
+   which entries the GC had collected, which skewed graft decisions and
+   ephemeral numbering under memory pressure (caught by the chaos
+   suite's pipelined runs).  It now serves only references the state
+   lookup cannot satisfy, where any surviving object is better than a
+   corrupt-stream error. *)
 let cached_resolver t : Codec.resolver =
   let fallback = State_store.resolver t.states in
   fun ~snapshot ~key ~vn ->
-    match vn with
-    | Vn.Logged { pos = p; idx } -> (
-        match Intention_cache.find t.cache ~pos:p ~idx with
-        | Some (Node.Node n as tree) when Key.equal n.Node.key key -> tree
-        | Some _ | None -> fallback ~snapshot ~key ~vn)
-    | Vn.Ephemeral _ -> fallback ~snapshot ~key ~vn
+    let from_state =
+      match fallback ~snapshot ~key ~vn with
+      | Node.Node n as tree when Vn.equal n.Node.vn vn -> Some tree
+      | tree -> (
+          (* wrong version (or absent): the state at [snapshot] no longer
+             holds this node — only the cache can still name it *)
+          match vn with
+          | Vn.Logged _ -> None
+          | Vn.Ephemeral _ -> Some tree)
+    in
+    match from_state with
+    | Some tree -> tree
+    | None -> (
+        match vn with
+        | Vn.Logged { pos = p; idx } -> (
+            match Intention_cache.find t.cache ~pos:p ~idx with
+            | Some (Node.Node n as tree) when Key.equal n.Node.key key -> tree
+            | Some _ | None -> fallback ~snapshot ~key ~vn)
+        | Vn.Ephemeral _ -> fallback ~snapshot ~key ~vn)
 
 let decode t ~pos bytes =
   let ds = t.counters.deserialize in
@@ -1031,57 +1049,45 @@ let prune t ~keep =
   in
   State_store.prune t.states ~keep:(max keep floor_for_premeld)
 
-let create ?(config = plain) ?(runtime = Runtime.sequential)
-    ?(trace = Trace.disabled) ?metrics ~genesis () =
-  if config.group_size < 1 then invalid_arg "Pipeline.create: group_size";
+(* Config/trace validation and worker-fabric setup shared by [create] and
+   [restore]. *)
+let validate_shape ~who ~config ~runtime ~trace =
+  if config.group_size < 1 then
+    invalid_arg (Printf.sprintf "Pipeline.%s: group_size" who);
   (match config.premeld with
   | Some { Premeld.threads; distance } when threads < 1 || distance < 1 ->
-      invalid_arg "Pipeline.create: premeld config"
+      invalid_arg (Printf.sprintf "Pipeline.%s: premeld config" who)
   | _ -> ());
   let pm_threads =
     match config.premeld with Some c -> c.Premeld.threads | None -> 0
   in
   if Trace.enabled trace && Trace.shards trace < pm_threads then
-    invalid_arg "Pipeline.create: trace has fewer shards than premeld threads";
+    invalid_arg
+      (Printf.sprintf "Pipeline.%s: trace has fewer shards than premeld threads"
+         who);
   (match runtime with
   | Runtime.Pipelined { domains } ->
       if Trace.enabled trace && Trace.workers trace < domains then
         invalid_arg
-          "Pipeline.create: trace has fewer worker rings than pipelined \
-           domains"
+          (Printf.sprintf
+             "Pipeline.%s: trace has fewer worker rings than pipelined domains"
+             who)
   | Runtime.Sequential | Runtime.Parallel _ -> ());
-  let inst =
-    Option.map
-      (fun m ->
-        {
-          m_conflict_zone =
-            Metrics.histogram m "pipeline_conflict_zone_intentions";
-          m_fm_nodes = Metrics.histogram m "pipeline_fm_nodes_per_txn";
-          m_commits = Metrics.counter m "pipeline_commits";
-          m_aborts = Metrics.counter m "pipeline_aborts";
-        })
-      metrics
-  in
-  let t =
-    {
-      config;
-      runtime = Runtime.create ?metrics runtime;
-      trace;
-      inst;
-      counters = Counters.create ~premeld_shards:(max 1 pm_threads) ();
-      states = State_store.create ~genesis ();
-      cache = Intention_cache.create ();
-      fm_alloc = Vn.Alloc.create ~thread:0;
-      pm_allocs =
-        Array.init pm_threads (fun i -> Vn.Alloc.create ~thread:(i + 1));
-      gm_alloc = Vn.Alloc.create ~thread:(pm_threads + 1);
-      next_seq = 0;
-      pending = None;
-      pending_members = 0;
-      pstate = None;
-    }
-  in
-  (match runtime with
+  pm_threads
+
+let make_instruments metrics =
+  Option.map
+    (fun m ->
+      {
+        m_conflict_zone = Metrics.histogram m "pipeline_conflict_zone_intentions";
+        m_fm_nodes = Metrics.histogram m "pipeline_fm_nodes_per_txn";
+        m_commits = Metrics.counter m "pipeline_commits";
+        m_aborts = Metrics.counter m "pipeline_aborts";
+      })
+    metrics
+
+let attach_pstate t runtime =
+  match runtime with
   | Runtime.Pipelined { domains } ->
       let wctx =
         {
@@ -1112,5 +1118,92 @@ let create ?(config = plain) ?(runtime = Runtime.sequential)
             worker_gm_seconds = 0.0;
             max_depth = 0;
           }
-  | Runtime.Sequential | Runtime.Parallel _ -> ());
+  | Runtime.Sequential | Runtime.Parallel _ -> ()
+
+let create ?(config = plain) ?(runtime = Runtime.sequential)
+    ?(trace = Trace.disabled) ?metrics ~genesis () =
+  let pm_threads = validate_shape ~who:"create" ~config ~runtime ~trace in
+  let t =
+    {
+      config;
+      runtime = Runtime.create ?metrics runtime;
+      trace;
+      inst = make_instruments metrics;
+      counters = Counters.create ~premeld_shards:(max 1 pm_threads) ();
+      states = State_store.create ~genesis ();
+      cache = Intention_cache.create ();
+      fm_alloc = Vn.Alloc.create ~thread:0;
+      pm_allocs =
+        Array.init pm_threads (fun i -> Vn.Alloc.create ~thread:(i + 1));
+      gm_alloc = Vn.Alloc.create ~thread:(pm_threads + 1);
+      next_seq = 0;
+      pending = None;
+      pending_members = 0;
+      pstate = None;
+    }
+  in
+  attach_pstate t runtime;
+  t
+
+(* --- checkpoint / restore ----------------------------------------------- *)
+
+let checkpoint t =
+  if t.pending <> None then None
+  else
+    Some
+      (Checkpoint.capture
+         ~store:(State_store.snapshot t.states)
+         ~alloc_issued:
+           (Array.concat
+              [
+                [| Vn.Alloc.issued t.fm_alloc |];
+                Array.map Vn.Alloc.issued t.pm_allocs;
+                [| Vn.Alloc.issued t.gm_alloc |];
+              ])
+         ~counters:t.counters)
+
+let restore ?(config = plain) ?(runtime = Runtime.sequential)
+    ?(trace = Trace.disabled) ?metrics (ckpt : Checkpoint.t) =
+  let pm_threads = validate_shape ~who:"restore" ~config ~runtime ~trace in
+  if Array.length ckpt.Checkpoint.alloc_issued <> pm_threads + 2 then
+    invalid_arg
+      (Printf.sprintf
+         "Pipeline.restore: checkpoint has %d allocator cursors but this \
+          config needs %d (captured under a different premeld config)"
+         (Array.length ckpt.Checkpoint.alloc_issued)
+         (pm_threads + 2));
+  let counters = Counters.copy ckpt.Checkpoint.counters in
+  if Array.length counters.Counters.premeld_shards <> max 1 pm_threads then
+    invalid_arg
+      "Pipeline.restore: checkpoint counter shards do not match this config";
+  let resume alloc issued =
+    Vn.Alloc.resume alloc ~issued;
+    alloc
+  in
+  let issued = ckpt.Checkpoint.alloc_issued in
+  let t =
+    {
+      config;
+      runtime = Runtime.create ?metrics runtime;
+      trace;
+      inst = make_instruments metrics;
+      counters;
+      states = State_store.restore ckpt.Checkpoint.store;
+      (* The intention cache died with the process; snapshot references of
+         replayed intentions resolve through the restored window instead,
+         which covers everything the original cache-missing path could. *)
+      cache = Intention_cache.create ();
+      fm_alloc = resume (Vn.Alloc.create ~thread:0) issued.(0);
+      pm_allocs =
+        Array.init pm_threads (fun i ->
+            resume (Vn.Alloc.create ~thread:(i + 1)) issued.(i + 1));
+      gm_alloc =
+        resume (Vn.Alloc.create ~thread:(pm_threads + 1)) issued.(pm_threads + 1);
+      next_seq = ckpt.Checkpoint.seq + 1;
+      pending = None;
+      pending_members = 0;
+      pstate = None;
+    }
+  in
+  attach_pstate t runtime;
   t

@@ -157,3 +157,30 @@ val shutdown : t -> unit
 val prune : t -> keep:int -> unit
 (** Drop old retained states, but never below what premeld arithmetic
     needs. *)
+
+(** {1 Checkpoint / restore (crash recovery)} *)
+
+val checkpoint : t -> Checkpoint.t option
+(** Freeze a recovery checkpoint: the retained state window, ephemeral-id
+    allocator cursors and a deep counter copy — everything a restarted
+    pipeline needs to resume bit-identically at [seq + 1].  [None] while a
+    meld group is partially assembled (checkpoints are only meaningful at
+    group boundaries); retry after the next decision-producing submit. *)
+
+val restore :
+  ?config:config ->
+  ?runtime:Runtime.backend ->
+  ?trace:Hyder_obs.Trace.t ->
+  ?metrics:Hyder_obs.Metrics.t ->
+  Checkpoint.t ->
+  t
+(** Build a fresh pipeline from a checkpoint, as a crashed server does on
+    restart: the state store is rebuilt from the checkpointed window, the
+    allocator cursors resume where they stopped, counters continue from
+    their checkpointed values, and the next submitted intention receives
+    sequence number [checkpoint.seq + 1].  Replaying the log suffix
+    [(checkpoint.pos, tail]] then reproduces exactly the decisions, trees,
+    ephemeral ids and (non-timing) counters a never-crashed server has.
+    [config] must match the capturing pipeline's premeld shape
+    ([Invalid_argument] otherwise); the runtime backend is free — recovery
+    composes with any scheduler. *)

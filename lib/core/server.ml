@@ -23,6 +23,24 @@ let create ?(config = Pipeline.plain) ?(block_size = 8192) ~server_id ~genesis
     decision_handler = None;
   }
 
+let checkpoint t = Pipeline.checkpoint t.pipeline
+
+let restore ?(config = Pipeline.plain) ?(block_size = 8192)
+    ?(next_txn_seq = 0) ~server_id ckpt =
+  {
+    server_id;
+    block_size;
+    pipeline = Pipeline.restore ~config ckpt;
+    (* Partially reassembled intentions died with the process; their
+       remaining blocks replay from the log, so reassembly restarts
+       cleanly from the checkpoint position. *)
+    reassembler = Codec.Blocks.Reassembler.create ();
+    next_txn_seq;
+    decision_handler = None;
+  }
+
+let replay_from ckpt = ckpt.Checkpoint.pos + 1
+
 let server_id t = t.server_id
 let lcs t = Pipeline.lcs t.pipeline
 let pipeline t = t.pipeline

@@ -60,3 +60,33 @@ val counters : t -> Counters.t
 
 val prune : t -> keep:int -> unit
 (** Bound retained history (states + reassembly). *)
+
+(** {1 Crash recovery}
+
+    The broadcast is an optimization; the log is the ground truth.  A
+    server checkpoints periodically; after a crash it restarts from its
+    latest checkpoint and replays every log block from {!replay_from}
+    through {!observe_block}, producing exactly the decisions and states
+    it would have had — then rejoins the live feed. *)
+
+val checkpoint : t -> Checkpoint.t option
+(** Capture a recovery checkpoint of the meld pipeline.  [None] while a
+    meld group is partially assembled — retry at the next group
+    boundary. *)
+
+val restore :
+  ?config:Pipeline.config ->
+  ?block_size:int ->
+  ?next_txn_seq:int ->
+  server_id:int ->
+  Checkpoint.t ->
+  t
+(** Rebuild a server from a checkpoint.  [config] must match the shape
+    the checkpoint was captured under.  In-flight transactions and
+    partially reassembled blocks are lost (their blocks replay from the
+    log); [next_txn_seq] restarts transaction numbering — give restarted
+    transactions fresh numbers if old intentions of this server may still
+    be in flight in peers' reassemblers. *)
+
+val replay_from : Checkpoint.t -> int
+(** First log position a restored server must replay: [checkpoint.pos + 1]. *)

@@ -26,6 +26,12 @@ let create ~genesis () =
 
 let nth t i = t.entries.((t.first + i) land t.mask)
 
+(* Filler for slots that hold no live entry.  Unused and evacuated slots
+   must not keep references to real states: a pruned [Tree.t] pinned by a
+   stale slot survives until the ring wraps over it, which for a large
+   capacity is effectively forever. *)
+let dummy_entry t = { seq = -1; pos = -1; state = t.genesis }
+
 let latest t =
   if t.count = 0 then (-1, -1, t.genesis)
   else begin
@@ -35,7 +41,7 @@ let latest t =
 
 let grow t =
   let cap = Array.length t.entries in
-  let bigger = Array.make (2 * cap) t.entries.(0) in
+  let bigger = Array.make (2 * cap) (dummy_entry t) in
   for i = 0 to t.count - 1 do
     bigger.(i) <- nth t i
   done;
@@ -199,10 +205,35 @@ let snapshot t =
     pruned = t.pruned_any;
   }
 
+(* Rebuild a live store from a frozen retention window — the recovery
+   path: a restarted pipeline resumes from a checkpointed window with
+   exactly the lookup behaviour the original store had at capture time
+   (same retained range, same pruned-history strictness). *)
+let restore (s : Snapshot.t) =
+  let n = Array.length s.Snapshot.entries in
+  let cap = ref initial_capacity in
+  while !cap < n + 1 do
+    cap := 2 * !cap
+  done;
+  let entries =
+    Array.make !cap { seq = -1; pos = -1; state = s.Snapshot.genesis }
+  in
+  Array.blit s.Snapshot.entries 0 entries 0 n;
+  {
+    entries;
+    mask = !cap - 1;
+    first = 0;
+    count = n;
+    pruned_any = s.Snapshot.pruned;
+    genesis = s.Snapshot.genesis;
+  }
+
 let prune t ~keep =
   if keep < 0 then invalid_arg "State_store.prune";
   if t.count > keep then t.pruned_any <- true;
+  let dummy = dummy_entry t in
   while t.count > keep do
+    t.entries.(t.first) <- dummy;
     t.first <- (t.first + 1) land t.mask;
     t.count <- t.count - 1
   done

@@ -82,6 +82,13 @@ end
 val snapshot : t -> Snapshot.t
 (** O(retained) copy of the current retention window. *)
 
+val restore : Snapshot.t -> t
+(** Rebuild a live store from a frozen window — the crash-recovery path.
+    The restored store retains exactly the snapshot's entries and keeps
+    its pruned-history strictness, so every lookup answers as the source
+    store would have at capture time; [record] continues from the
+    snapshot's newest [(seq, pos)]. *)
+
 val prune : t -> keep:int -> unit
 (** Drop states older than the newest [keep] (genesis is always kept as the
     oldest retained state's stand-in). *)

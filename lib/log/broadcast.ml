@@ -1,5 +1,6 @@
 module Engine = Hyder_sim.Engine
 module Resource = Hyder_sim.Resource
+module Faults = Hyder_sim.Faults
 
 type config = {
   propagation : float;
@@ -15,41 +16,80 @@ let default_config =
 type t = {
   engine : Engine.t;
   config : config;
+  faults : Faults.t;
   nics : Resource.t array;  (** one egress NIC per sender *)
   receivers : int;
-  mutable sent : int;
+  mutable sent : int;  (** remote messages handed to a NIC *)
+  mutable casts : int;  (** send calls; the fault schedule's message id *)
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable delayed : int;
 }
 
-let create ?(config = default_config) engine ~senders ~receivers =
+let create ?(config = default_config) ?(faults = Faults.none) engine ~senders
+    ~receivers =
   if senders <= 0 || receivers <= 0 then invalid_arg "Broadcast.create";
   {
     engine;
     config;
+    faults;
     nics = Array.init senders (fun _ -> Resource.create engine ~servers:1);
     receivers;
     sent = 0;
+    casts = 0;
+    dropped = 0;
+    duplicated = 0;
+    delayed = 0;
   }
 
 let send t ~from ~size k =
   if from < 0 || from >= Array.length t.nics then
     invalid_arg "Broadcast.send: unknown sender";
-  t.sent <- t.sent + 1;
-  (* Local delivery is immediate: the sender already has the intention. *)
-  k ~receiver:from;
+  let msg = t.casts in
+  t.casts <- msg + 1;
+  (* Local delivery costs nothing — the sender already has the intention —
+     but must still go through the event loop: a synchronous callback would
+     reenter the server ahead of events already scheduled for this instant.
+     It is also never dropped: losing your own intention is not a network
+     fault. *)
+  Engine.schedule t.engine ~delay:0.0 (fun () -> k ~receiver:from);
   let cost_per_peer =
     t.config.per_message +. (t.config.per_byte *. float_of_int size)
   in
   let nic = t.nics.(from) in
   for receiver = 0 to t.receivers - 1 do
-    if receiver <> from then
-      (* Occupy the egress NIC once per peer (unicast fan-out, as the TCP
-         "broadcast" in the paper); propagation added after send completes. *)
-      Resource.request nic ~service_time:cost_per_peer (fun () ->
-          Engine.schedule t.engine ~delay:t.config.propagation (fun () ->
-              k ~receiver))
+    if receiver <> from then begin
+      let fate = Faults.delivery t.faults ~from ~receiver ~msg in
+      match fate with
+      | Faults.Drop -> t.dropped <- t.dropped + 1
+      | Faults.Deliver | Faults.Duplicate _ | Faults.Delay _ ->
+          t.sent <- t.sent + 1;
+          (* Occupy the egress NIC once per peer (unicast fan-out, as the
+             TCP "broadcast" in the paper); propagation added after send
+             completes. *)
+          Resource.request nic ~service_time:cost_per_peer (fun () ->
+              let deliver extra =
+                Engine.schedule t.engine
+                  ~delay:(t.config.propagation +. extra)
+                  (fun () -> k ~receiver)
+              in
+              match fate with
+              | Faults.Drop -> assert false
+              | Faults.Deliver -> deliver 0.0
+              | Faults.Delay d ->
+                  t.delayed <- t.delayed + 1;
+                  deliver d
+              | Faults.Duplicate d ->
+                  t.duplicated <- t.duplicated + 1;
+                  deliver 0.0;
+                  deliver d)
+    end
   done
 
 let messages_sent t = t.sent
+let messages_dropped t = t.dropped
+let messages_duplicated t = t.duplicated
+let messages_delayed t = t.delayed
 
 let max_nic_queue t =
   Array.fold_left (fun acc nic -> max acc (Resource.queue_length nic)) 0 t.nics

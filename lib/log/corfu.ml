@@ -1,5 +1,6 @@
 module Engine = Hyder_sim.Engine
 module Resource = Hyder_sim.Resource
+module Faults = Hyder_sim.Faults
 module Stats = Hyder_util.Stats
 
 type config = {
@@ -32,18 +33,22 @@ let default_config =
 type t = {
   engine : Engine.t;
   config : config;
+  faults : Faults.t;
   sequencer : Resource.t;
   units : Resource.t array;
   store : Mem_log.t;
   latencies : Stats.Sample.t;
   rng : Hyder_util.Rng.t;
   mutable completed : int;
+  mutable read_retries : int;
+  mutable stalls : int;
 }
 
-let create ?(config = default_config) engine =
+let create ?(config = default_config) ?(faults = Faults.none) engine =
   {
     engine;
     config;
+    faults;
     sequencer = Resource.create engine ~servers:1;
     units =
       Array.init config.storage_units (fun _ ->
@@ -52,6 +57,8 @@ let create ?(config = default_config) engine =
     latencies = Stats.Sample.create ();
     rng = Hyder_util.Rng.create 0xC0FF33L;
     completed = 0;
+    read_retries = 0;
+    stalls = 0;
   }
 
 let config t = t.config
@@ -64,6 +71,13 @@ let sequencer_queue t = Resource.queue_length t.sequencer
 let max_unit_queue t =
   Array.fold_left (fun acc u -> max acc (Resource.queue_length u)) 0 t.units
 
+(* Fault-injected extra service time for the storage operation on [pos];
+   bumps the stall counter when the schedule selects the event. *)
+let stall_for t ~unit_id ~pos ~write =
+  let extra = Faults.stall t.faults ~unit_id ~pos ~write in
+  if extra > 0.0 then t.stalls <- t.stalls + 1;
+  extra
+
 let append t block k =
   let started = Engine.now t.engine in
   (* Client -> sequencer hop, token grant, then the stripe write on the unit
@@ -72,9 +86,11 @@ let append t block k =
       Resource.request t.sequencer ~service_time:t.config.sequencer_time
         (fun () ->
           let pos = Mem_log.append t.store block in
-          let unit = t.units.(pos mod Array.length t.units) in
+          let unit_id = pos mod Array.length t.units in
+          let unit = t.units.(unit_id) in
           let service =
             Hyder_util.Rng.exponential t.rng ~mean:t.config.write_time
+            +. stall_for t ~unit_id ~pos ~write:true
           in
           Resource.request unit ~service_time:service (fun () ->
               Engine.schedule t.engine ~delay:t.config.network_hop (fun () ->
@@ -82,13 +98,39 @@ let append t block k =
                   Stats.Sample.add t.latencies (Engine.now t.engine -. started);
                   k pos))))
 
+(* Transient read failures retry with doubling backoff.  The failure draw
+   is pure per (pos, attempt), so any fixed failure probability < 1
+   terminates with probability 1; the backoff keeps a flaky unit from
+   being hammered in simulated time. *)
+let read_backoff_base = 0.5e-3
+let read_backoff_cap = 8.0e-3
+
 let read t pos k =
-  Engine.schedule t.engine ~delay:t.config.network_hop (fun () ->
-      let unit = t.units.(pos mod Array.length t.units) in
-      let service =
-        Hyder_util.Rng.exponential t.rng ~mean:t.config.read_time
-      in
-      Resource.request unit ~service_time:service (fun () ->
-          let block = Mem_log.read t.store pos in
-          Engine.schedule t.engine ~delay:t.config.network_hop (fun () ->
-              k block)))
+  let rec attempt n =
+    Engine.schedule t.engine ~delay:t.config.network_hop (fun () ->
+        let unit_id = pos mod Array.length t.units in
+        let unit = t.units.(unit_id) in
+        let service =
+          Hyder_util.Rng.exponential t.rng ~mean:t.config.read_time
+          +. stall_for t ~unit_id ~pos ~write:false
+        in
+        Resource.request unit ~service_time:service (fun () ->
+            if Faults.read_fails t.faults ~pos ~attempt:n then begin
+              t.read_retries <- t.read_retries + 1;
+              let backoff =
+                Float.min read_backoff_cap
+                  (read_backoff_base *. Float.of_int (1 lsl min n 10))
+              in
+              Engine.schedule t.engine ~delay:backoff (fun () ->
+                  attempt (n + 1))
+            end
+            else begin
+              let block = Mem_log.read t.store pos in
+              Engine.schedule t.engine ~delay:t.config.network_hop (fun () ->
+                  k block)
+            end))
+  in
+  attempt 0
+
+let read_retries t = t.read_retries
+let stalls_injected t = t.stalls

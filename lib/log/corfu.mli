@@ -27,7 +27,12 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> Hyder_sim.Engine.t -> t
+val create :
+  ?config:config -> ?faults:Hyder_sim.Faults.t -> Hyder_sim.Engine.t -> t
+(** [faults] (default {!Hyder_sim.Faults.none}) injects storage-unit
+    stalls into append/read service times and transient read failures;
+    failed reads retry with doubling backoff until they succeed. *)
+
 val config : t -> config
 
 val append : t -> string -> (Log_intf.position -> unit) -> unit
@@ -35,7 +40,9 @@ val append : t -> string -> (Log_intf.position -> unit) -> unit
     block is durable, with its assigned position. *)
 
 val read : t -> Log_intf.position -> (string -> unit) -> unit
-(** Asynchronous read of a previously appended block. *)
+(** Asynchronous read of a previously appended block.  Under an injected
+    transient failure the read retries with doubling backoff (bounded);
+    the callback always eventually fires, in simulated time. *)
 
 val length : t -> int
 (** Positions handed out so far. *)
@@ -53,3 +60,9 @@ val sequencer_queue : t -> int
 
 val max_unit_queue : t -> int
 (** Deepest storage-unit queue at the current simulated time. *)
+
+val read_retries : t -> int
+(** Read attempts that failed transiently and were retried. *)
+
+val stalls_injected : t -> int
+(** Storage operations that drew an injected stall. *)

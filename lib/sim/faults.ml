@@ -1,0 +1,259 @@
+(* Deterministic fault schedule.
+
+   Every decision is a pure function of (seed, event identity): the event's
+   integer coordinates are folded into the seed through a splitmix64-style
+   finalizer and the resulting 53 high bits become a uniform draw in [0,1).
+   No wall clock, no sequential RNG stream — two components asking about
+   the same event always get the same answer, and the answer for one event
+   never depends on how many other events were asked about first.  That is
+   what makes a faulty simulation replayable: the schedule commutes with
+   any event-loop interleaving. *)
+
+type fate = Deliver | Drop | Duplicate of float | Delay of float
+
+type crash = { server : int; at : float; restart_after : float }
+
+type t = {
+  seed : int64;
+  drop : float;  (** per (sender, receiver, message) drop probability *)
+  dup : float;
+  dup_delay : float;  (** extra delay before the duplicate copy *)
+  delay_p : float;
+  delay : float;  (** extra latency added to a delayed message *)
+  stall_p : float;  (** per storage-unit operation stall probability *)
+  stall : float;  (** stall duration, seconds *)
+  read_fail : float;  (** per-attempt transient read failure probability *)
+  crashes : crash list;
+}
+
+let none =
+  {
+    seed = 0L;
+    drop = 0.0;
+    dup = 0.0;
+    dup_delay = 5e-4;
+    delay_p = 0.0;
+    delay = 5e-4;
+    stall_p = 0.0;
+    stall = 2e-3;
+    read_fail = 0.0;
+    crashes = [];
+  }
+
+let is_none t =
+  t.drop = 0.0 && t.dup = 0.0 && t.delay_p = 0.0 && t.stall_p = 0.0
+  && t.read_fail = 0.0 && t.crashes = []
+
+let create ?(drop = 0.0) ?(dup = 0.0) ?(dup_delay = 5e-4) ?(delay_p = 0.0)
+    ?(delay = 5e-4) ?(stall_p = 0.0) ?(stall = 2e-3) ?(read_fail = 0.0)
+    ?(crashes = []) ~seed () =
+  let prob name p =
+    if p < 0.0 || p > 1.0 then
+      invalid_arg (Printf.sprintf "Faults.create: %s not in [0,1]" name)
+  in
+  prob "drop" drop;
+  prob "dup" dup;
+  prob "delay" delay_p;
+  prob "stall" stall_p;
+  prob "read_fail" read_fail;
+  List.iter
+    (fun c ->
+      if c.server < 0 || c.at < 0.0 || c.restart_after <= 0.0 then
+        invalid_arg "Faults.create: crash")
+    crashes;
+  {
+    seed = Int64.of_int seed;
+    drop;
+    dup;
+    dup_delay;
+    delay_p;
+    delay;
+    stall_p;
+    stall;
+    read_fail;
+    crashes;
+  }
+
+let crashes t = t.crashes
+let seed t = Int64.to_int t.seed
+
+(* --- hashing ------------------------------------------------------------ *)
+
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+(* Fold one coordinate into the running hash; the golden-ratio increment
+   keeps zero coordinates from collapsing into each other. *)
+let fold h x =
+  mix64 (Int64.add (Int64.logxor h (Int64.of_int x)) 0x9e3779b97f4a7c15L)
+
+(* Uniform in [0,1) from the event identity (tag, a, b, c). *)
+let u01 t ~tag ~a ~b ~c =
+  let h = fold (fold (fold (fold t.seed tag) a) b) c in
+  let bits = Int64.to_int (Int64.shift_right_logical h 11) in
+  float_of_int bits /. 9007199254740992.0 (* 2^53 *)
+
+(* Event tags: distinct decision kinds about the same event must draw
+   independent uniforms. *)
+let tag_drop = 1
+let tag_dup = 2
+let tag_delay = 3
+let tag_stall = 4
+let tag_read_fail = 5
+
+let delivery t ~from ~receiver ~msg =
+  if u01 t ~tag:tag_drop ~a:from ~b:receiver ~c:msg < t.drop then Drop
+  else if u01 t ~tag:tag_dup ~a:from ~b:receiver ~c:msg < t.dup then
+    Duplicate t.dup_delay
+  else if u01 t ~tag:tag_delay ~a:from ~b:receiver ~c:msg < t.delay_p then
+    Delay t.delay
+  else Deliver
+
+let stall t ~unit_id ~pos ~write =
+  let k = if write then 1 else 0 in
+  if u01 t ~tag:tag_stall ~a:unit_id ~b:pos ~c:k < t.stall_p then t.stall
+  else 0.0
+
+let read_fails t ~pos ~attempt =
+  u01 t ~tag:tag_read_fail ~a:pos ~b:attempt ~c:0 < t.read_fail
+
+(* --- spec parsing ------------------------------------------------------- *)
+
+(* "SEED:item,item,..." where items are
+     drop=P | dup=P[@D] | delay=P@D | stall=P@D | readfail=P
+     | crash=SERVER@AT+DOWN                                     *)
+
+let of_string s =
+  let ( let* ) = Result.bind in
+  let float_of name v =
+    match float_of_string_opt v with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "faults: bad %s %S" name v)
+  in
+  let int_of name v =
+    match int_of_string_opt v with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "faults: bad %s %S" name v)
+  in
+  match String.index_opt s ':' with
+  | None -> Error "faults: expected SEED:spec"
+  | Some i ->
+      let* seed = int_of "seed" (String.sub s 0 i) in
+      let spec = String.sub s (i + 1) (String.length s - i - 1) in
+      let items =
+        if spec = "" then []
+        else String.split_on_char ',' spec
+      in
+      List.fold_left
+        (fun acc item ->
+          let* t = acc in
+          match String.index_opt item '=' with
+          | None -> Error (Printf.sprintf "faults: bad item %S" item)
+          | Some j -> (
+              let key = String.sub item 0 j in
+              let v = String.sub item (j + 1) (String.length item - j - 1) in
+              let prob_at name v =
+                match String.split_on_char '@' v with
+                | [ p ] ->
+                    let* p = float_of name p in
+                    Ok (p, None)
+                | [ p; d ] ->
+                    let* p = float_of name p in
+                    let* d = float_of (name ^ " duration") d in
+                    Ok (p, Some d)
+                | _ -> Error (Printf.sprintf "faults: bad %s %S" name v)
+              in
+              match key with
+              | "drop" ->
+                  let* p = float_of "drop" v in
+                  Ok { t with drop = p }
+              | "dup" ->
+                  let* p, d = prob_at "dup" v in
+                  Ok
+                    {
+                      t with
+                      dup = p;
+                      dup_delay = Option.value ~default:t.dup_delay d;
+                    }
+              | "delay" ->
+                  let* p, d = prob_at "delay" v in
+                  Ok
+                    {
+                      t with
+                      delay_p = p;
+                      delay = Option.value ~default:t.delay d;
+                    }
+              | "stall" ->
+                  let* p, d = prob_at "stall" v in
+                  Ok
+                    {
+                      t with
+                      stall_p = p;
+                      stall = Option.value ~default:t.stall d;
+                    }
+              | "readfail" ->
+                  let* p = float_of "readfail" v in
+                  Ok { t with read_fail = p }
+              | "crash" -> (
+                  (* SERVER@AT+DOWN *)
+                  match String.split_on_char '@' v with
+                  | [ srv; rest ] -> (
+                      let* server = int_of "crash server" srv in
+                      match String.split_on_char '+' rest with
+                      | [ at; down ] ->
+                          let* at = float_of "crash time" at in
+                          let* restart_after = float_of "crash downtime" down in
+                          Ok
+                            {
+                              t with
+                              crashes =
+                                t.crashes @ [ { server; at; restart_after } ];
+                            }
+                      | _ -> Error (Printf.sprintf "faults: bad crash %S" v))
+                  | _ -> Error (Printf.sprintf "faults: bad crash %S" v))
+              | _ -> Error (Printf.sprintf "faults: unknown item %S" key)))
+        (Ok { none with seed = Int64.of_int seed })
+        items
+      |> fun r ->
+      let* t = r in
+      (* same bounds [create] enforces, as a parse error rather than an
+         exception *)
+      let prob name p =
+        if p < 0.0 || p > 1.0 then
+          Error (Printf.sprintf "faults: %s %g not in [0,1]" name p)
+        else Ok ()
+      in
+      let* () = prob "drop" t.drop in
+      let* () = prob "dup" t.dup in
+      let* () = prob "delay" t.delay_p in
+      let* () = prob "stall" t.stall_p in
+      let* () = prob "readfail" t.read_fail in
+      let* () =
+        if
+          List.for_all
+            (fun c -> c.server >= 0 && c.at >= 0.0 && c.restart_after > 0.0)
+            t.crashes
+        then Ok ()
+        else Error "faults: bad crash (server >= 0, at >= 0, downtime > 0)"
+      in
+      Ok t
+
+let to_string t =
+  let b = Buffer.create 64 in
+  Buffer.add_string b (Printf.sprintf "%d:" (Int64.to_int t.seed));
+  let items = ref [] in
+  let add s = items := s :: !items in
+  if t.drop > 0.0 then add (Printf.sprintf "drop=%g" t.drop);
+  if t.dup > 0.0 then add (Printf.sprintf "dup=%g@%g" t.dup t.dup_delay);
+  if t.delay_p > 0.0 then add (Printf.sprintf "delay=%g@%g" t.delay_p t.delay);
+  if t.stall_p > 0.0 then add (Printf.sprintf "stall=%g@%g" t.stall_p t.stall);
+  if t.read_fail > 0.0 then add (Printf.sprintf "readfail=%g" t.read_fail);
+  List.iter
+    (fun c ->
+      add (Printf.sprintf "crash=%d@%g+%g" c.server c.at c.restart_after))
+    t.crashes;
+  Buffer.add_string b (String.concat "," (List.rev !items));
+  Buffer.contents b

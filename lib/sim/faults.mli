@@ -1,0 +1,65 @@
+(** Deterministic, seeded fault schedule.
+
+    Fault injection for the simulated cluster: message drops, duplicates
+    and delays per (sender, receiver, message), storage-unit stalls and
+    transient read failures, and server crash/restart times.  Every
+    decision is a {e pure function of the seed and the event's identity} —
+    no wall clock, no sequential RNG stream — so a faulty run is exactly
+    replayable and the schedule is independent of event-loop
+    interleaving.  The same [t] can be consulted by the broadcast, the
+    log service and the cluster harness without coordinating. *)
+
+type fate =
+  | Deliver
+  | Drop
+  | Duplicate of float  (** deliver twice; the copy arrives this much later *)
+  | Delay of float  (** deliver once, this much later *)
+
+type crash = { server : int; at : float; restart_after : float }
+
+type t
+
+val none : t
+(** No faults; [delivery] always answers [Deliver]. *)
+
+val is_none : t -> bool
+
+val create :
+  ?drop:float ->
+  ?dup:float ->
+  ?dup_delay:float ->
+  ?delay_p:float ->
+  ?delay:float ->
+  ?stall_p:float ->
+  ?stall:float ->
+  ?read_fail:float ->
+  ?crashes:crash list ->
+  seed:int ->
+  unit ->
+  t
+(** Probabilities must lie in [0,1]; durations are simulated seconds.
+    [Invalid_argument] otherwise. *)
+
+val of_string : string -> (t, string) result
+(** Parse a ["SEED:item,..."] spec: [drop=P], [dup=P\[@D\]], [delay=P@D],
+    [stall=P@D], [readfail=P], [crash=SERVER@AT+DOWN] (repeatable).
+    Example: ["7:drop=0.02,dup=0.01,stall=0.01@0.002,crash=1@0.05+0.03"]. *)
+
+val to_string : t -> string
+(** A spec string that parses back to the same schedule. *)
+
+val seed : t -> int
+val crashes : t -> crash list
+
+val delivery : t -> from:int -> receiver:int -> msg:int -> fate
+(** Fate of broadcast message number [msg] (the sender's global send
+    counter) from [from] to [receiver].  Pure in all arguments. *)
+
+val stall : t -> unit_id:int -> pos:int -> write:bool -> float
+(** Extra service time injected into the storage-unit operation on log
+    position [pos] (0 when the event is not selected). *)
+
+val read_fails : t -> pos:int -> attempt:int -> bool
+(** Whether read attempt number [attempt] (0-based) of position [pos]
+    fails transiently.  Independent draws per attempt, so retries
+    terminate with probability 1 for any failure rate < 1. *)

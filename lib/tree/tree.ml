@@ -342,6 +342,48 @@ let path_length t key =
   in
   go t 0
 
+(* MD5 over a parenthesized pre-order serialization of every field
+   [physically_equal] compares — two trees digest equally iff they are
+   physically equal (VNs, flags and owners included), which lets the
+   chaos harness compare whole-cluster convergence by fingerprint. *)
+let digest t =
+  let b = Buffer.create 4096 in
+  let vn b v =
+    match (v : Vn.t) with
+    | Vn.Logged { pos; idx } -> Printf.bprintf b "L%d.%d" pos idx
+    | Vn.Ephemeral { thread; seq } -> Printf.bprintf b "E%d.%d" thread seq
+  in
+  let vn_opt b = function
+    | None -> Buffer.add_char b '-'
+    | Some v -> vn b v
+  in
+  let rec go = function
+    | Empty -> Buffer.add_char b '.'
+    | Node n ->
+        Buffer.add_char b '(';
+        Printf.bprintf b "%d|" n.key;
+        (match n.payload with
+        | Payload.Tombstone -> Buffer.add_char b 'T'
+        | Payload.Value v ->
+            Printf.bprintf b "V%d:" (String.length v);
+            Buffer.add_string b v);
+        Buffer.add_char b '|';
+        vn b n.vn;
+        Buffer.add_char b '|';
+        vn b n.cv;
+        Buffer.add_char b '|';
+        vn_opt b n.ssv;
+        Buffer.add_char b '|';
+        vn_opt b n.scv;
+        Printf.bprintf b "|%b%b%b|%d" n.altered n.depends_on_content
+          n.depends_on_structure n.owner;
+        go n.left;
+        go n.right;
+        Buffer.add_char b ')'
+  in
+  go t;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
 let rec physically_equal a b =
   match (a, b) with
   | Empty, Empty -> true

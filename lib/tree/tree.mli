@@ -86,3 +86,8 @@ val path_length : t -> Key.t -> int
 val physically_equal : t -> t -> bool
 (** Deep structural + metadata equality, requiring identical VNs everywhere:
     the determinism criterion of Section 3.4. *)
+
+val digest : t -> string
+(** Hex fingerprint of the full physical tree (shape, payloads, VNs, flags,
+    owners): [digest a = digest b] iff [physically_equal a b].  The chaos
+    suite compares whole-cluster convergence by this fingerprint. *)

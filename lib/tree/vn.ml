@@ -49,4 +49,8 @@ module Alloc = struct
 
   let issued t = t.seq
   let reset t = t.seq <- 0
+
+  let resume t ~issued =
+    if issued < 0 then invalid_arg "Vn.Alloc.resume";
+    t.seq <- issued
 end

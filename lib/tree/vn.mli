@@ -44,4 +44,9 @@ module Alloc : sig
   val next : t -> vn
   val issued : t -> int
   val reset : t -> unit
+
+  val resume : t -> issued:int -> unit
+  (** Restore the allocator cursor to a checkpointed {!issued} count, so a
+      restarted pipeline continues the exact ephemeral-id stream the
+      crashed one would have produced. *)
 end

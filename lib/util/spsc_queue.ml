@@ -44,7 +44,15 @@ let create ?(capacity = 64) ~dummy () =
   }
 
 let capacity t = t.mask + 1
-let length t = Atomic.get t.tail - Atomic.get t.head
+(* Read [head] first: [tail] can only grow in between, so the difference
+   over-counts at worst — reading [tail] first lets a pop land in between
+   and a third-domain observer (the metrics queue-depth sampler) would see
+   a negative length.  The clamp covers the symmetric tear (a push between
+   the reads racing a concurrent pop). *)
+let length t =
+  let head = Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  max 0 (tail - head)
 
 let signal t =
   if Atomic.get t.sleepers > 0 then begin

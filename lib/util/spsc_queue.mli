@@ -26,7 +26,9 @@ val capacity : 'a t -> int
 
 val length : 'a t -> int
 (** Elements currently queued.  Exact for the producer and the consumer;
-    a torn read from any other domain is still within one of both. *)
+    a torn read from any other domain (the metrics queue-depth sampler)
+    may over-count by in-flight operations but is never negative: [head]
+    is read before [tail] and the difference is clamped at 0. *)
 
 val try_push : 'a t -> 'a -> bool
 (** Producer only.  [false] iff the queue is full. *)

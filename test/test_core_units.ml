@@ -75,6 +75,36 @@ let test_state_store_prune () =
   check "by_pos before window" true (State_store.by_pos s 50 = None);
   check "genesis still addressable" true (State_store.by_pos s (-1) <> None)
 
+(* Pruning must actually release the evicted states to the GC.  The ring
+   buffer's vacated slots used to keep their old [Tree.t] pointers until
+   the ring wrapped over them — for a grown ring that is effectively
+   forever, and the whole point of pruning (bounding memory) was lost.
+   Finalisers on the recorded roots observe collection directly. *)
+let test_state_store_prune_releases_states () =
+  let s = State_store.create ~genesis:(mini_state 1) () in
+  let freed = ref 0 in
+  let n = 64 in
+  for i = 0 to n - 1 do
+    let st = mini_state 4 in
+    Gc.finalise (fun _ -> incr freed) st;
+    State_store.record s ~seq:i ~pos:i st
+  done;
+  State_store.prune s ~keep:4;
+  check_int "window retained" 4 (State_store.retained s);
+  Gc.full_major ();
+  Gc.full_major ();
+  check_int "every pruned state was collectable" (n - 4) !freed;
+  (* the kept window is untouched and still addressable *)
+  check "window intact" true (State_store.by_seq s (n - 1) <> None);
+  (* growth after a prune compacts into the fresh array; the old array
+     (and any stale pointers in it) is dropped wholesale *)
+  for i = n to n + 2000 do
+    State_store.record s ~seq:i ~pos:i (mini_state 2)
+  done;
+  Gc.full_major ();
+  check_int "no retained-window state was freed" (n - 4) !freed;
+  check "entries survive growth" true (State_store.by_seq s n <> None)
+
 let test_state_store_grows_past_initial_capacity () =
   let s = State_store.create ~genesis:(mini_state 1) () in
   for i = 0 to 9_999 do
@@ -244,6 +274,67 @@ let test_checkpoint_usable_as_genesis () =
   check "txns run on checkpointed state" true
     (List.for_all (fun d -> d.Hyder_core.Pipeline.committed) ds)
 
+(* Recovery correctness hinges on composition: melding a log suffix onto a
+   compacted checkpoint must reach the same decisions and the same logical
+   state as melding it onto the original (uncompacted) tree.  The compacted
+   tree is physically rebuilt — different shape, different node objects —
+   so graft fast paths may differ; decisions, live content and content
+   versions must not. *)
+let test_meld_after_compaction_matches_original () =
+  let module Local = Hyder_core.Local in
+  let module Checkpoint = Hyder_core.Checkpoint in
+  let module Pipeline = Hyder_core.Pipeline in
+  (* a history that leaves tombstones for compaction to drop *)
+  let h = Local.create ~genesis:(mini_state 80) () in
+  for k = 0 to 9 do
+    ignore (Local.txn h (fun e -> Executor.delete e (k * 7)))
+  done;
+  ignore (Local.txn h (fun e -> Executor.write e 3 "latest"));
+  let _, pos, state = Local.lcs h in
+  let compacted, _ = Checkpoint.compact ~pos state in
+  (* one suffix of intentions, all executed against the pre-suffix state:
+     colliding keys make later members genuinely conflict with earlier
+     ones, so the suffix carries both commits and aborts *)
+  let intentions =
+    List.init 24 (fun i ->
+        let e =
+          Executor.begin_txn ~snapshot_pos:(-1) ~snapshot:state ~server:0
+            ~txn_seq:i ~isolation:I.Serializable ()
+        in
+        let k = 2 + (i mod 8) in
+        ignore (Executor.read e k);
+        Executor.write e k (Printf.sprintf "suffix-%d" i);
+        if i mod 5 = 0 then Executor.delete e (40 + i);
+        match Executor.finish e with
+        (* suffix positions follow the history's: every vn already in the
+           genesis tree ranks below every suffix intention *)
+        | Some draft -> I.assign ~pos:(pos + (2 * (i + 1))) draft
+        | None -> Alcotest.fail "suffix txn produced no intention")
+  in
+  let run genesis =
+    let p = Pipeline.create ~genesis () in
+    let ds = Pipeline.submit_batch p intentions @ Pipeline.flush p in
+    let _, _, tree = Pipeline.lcs p in
+    Pipeline.shutdown p;
+    ( List.map
+        (fun (d : Pipeline.decision) -> (d.seq, d.pos, d.committed, d.reason))
+        ds,
+      tree )
+  in
+  let da, ta = run state in
+  let db, tb = run compacted in
+  check "identical decisions" true (da = db);
+  check "suffix has commits" true
+    (List.exists (fun (_, _, c, _) -> c) da);
+  check "suffix has conflicts" true
+    (List.exists (fun (_, _, c, _) -> not c) da);
+  check "logically equal trees" true (Tree.to_alist ta = Tree.to_alist tb);
+  List.iter
+    (fun (k, _) ->
+      let a = Option.get (Tree.find ta k) and b = Option.get (Tree.find tb k) in
+      check "content versions equal" true (Vn.equal a.Node.cv b.Node.cv))
+    (Tree.to_alist ta)
+
 (* --- oracle ---------------------------------------------------------------- *)
 
 let test_oracle_basics () =
@@ -280,6 +371,8 @@ let () =
           Alcotest.test_case "ordering" `Quick
             test_state_store_ordering_enforced;
           Alcotest.test_case "prune" `Quick test_state_store_prune;
+          Alcotest.test_case "prune releases states to the GC" `Quick
+            test_state_store_prune_releases_states;
           Alcotest.test_case "growth" `Quick
             test_state_store_grows_past_initial_capacity;
           Alcotest.test_case "resolver" `Quick
@@ -310,6 +403,8 @@ let () =
             test_checkpoint_deterministic;
           Alcotest.test_case "usable as genesis" `Quick
             test_checkpoint_usable_as_genesis;
+          Alcotest.test_case "meld suffix onto compacted = original" `Quick
+            test_meld_after_compaction_matches_original;
         ] );
       ( "oracle",
         [ Alcotest.test_case "basics" `Quick test_oracle_basics ] );

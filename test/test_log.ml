@@ -127,7 +127,8 @@ let test_broadcast_reaches_all () =
       got.(receiver) <- got.(receiver) + 1);
   Engine.run e;
   Alcotest.(check (array int)) "one delivery each" [| 1; 1; 1 |] got;
-  check_int "messages" 1 (Broadcast.messages_sent b)
+  (* the sender's own delivery does not cross the network *)
+  check_int "remote messages only" 2 (Broadcast.messages_sent b)
 
 let test_broadcast_local_immediate () =
   let e = Engine.create () in
@@ -138,8 +139,59 @@ let test_broadcast_local_immediate () =
         local := true;
         Alcotest.(check (float 1e-12)) "no delay locally" 0.0 (Engine.now e)
       end);
-  check "local delivered synchronously" true !local;
-  Engine.run e
+  (* scheduled through the event loop, not invoked synchronously: a
+     delivery handler that reenters the broadcast must not run inside
+     the sender's call stack *)
+  check "local delivery waits for the event loop" false !local;
+  Engine.run e;
+  check "local delivered at zero simulated delay" true !local
+
+let test_broadcast_faults () =
+  let faults =
+    match Hyder_sim.Faults.of_string "5:drop=0.3,dup=0.2@0.001" with
+    | Ok f -> f
+    | Error e -> Alcotest.fail e
+  in
+  let e = Engine.create () in
+  let b = Broadcast.create ~faults e ~senders:2 ~receivers:2 in
+  let local = ref 0 and remote = ref 0 in
+  let n = 200 in
+  for _ = 1 to n do
+    Broadcast.send b ~from:0 ~size:100 (fun ~receiver ->
+        if receiver = 0 then incr local else incr remote)
+  done;
+  Engine.run e;
+  check_int "local deliveries are exempt from faults" n !local;
+  check "drops happened" true (Broadcast.messages_dropped b > 0);
+  check "duplicates happened" true (Broadcast.messages_duplicated b > 0);
+  check_int "every remote delivery accounted for"
+    (Broadcast.messages_sent b + Broadcast.messages_duplicated b)
+    !remote;
+  check_int "sent + dropped = attempts" n
+    (Broadcast.messages_sent b + Broadcast.messages_dropped b)
+
+let test_corfu_faulty_reads_retry () =
+  let faults =
+    match Hyder_sim.Faults.of_string "9:readfail=0.5,stall=0.2@0.002" with
+    | Ok f -> f
+    | Error e -> Alcotest.fail e
+  in
+  let e = Engine.create () in
+  let c = Corfu.create ~faults e in
+  let blocks = List.init 50 (fun i -> Printf.sprintf "block-%d" i) in
+  List.iter (fun b -> Corfu.append c b (fun _ -> ())) blocks;
+  Engine.run e;
+  let got = ref 0 in
+  List.iteri
+    (fun i expect ->
+      Corfu.read c i (fun b ->
+          Alcotest.(check string) "read returns the appended block" expect b;
+          incr got))
+    blocks;
+  Engine.run e;
+  check_int "every read eventually completes" 50 !got;
+  check "transient failures were retried" true (Corfu.read_retries c > 0);
+  check "stalls were injected" true (Corfu.stalls_injected c > 0)
 
 let test_broadcast_in_order_per_sender () =
   let e = Engine.create () in
@@ -171,6 +223,8 @@ let () =
             test_corfu_latency_increases_under_load;
           Alcotest.test_case "sequencer bound" `Quick
             test_corfu_throughput_bounded_by_sequencer;
+          Alcotest.test_case "faulty reads retry" `Quick
+            test_corfu_faulty_reads_retry;
         ] );
       ( "broadcast",
         [
@@ -179,5 +233,6 @@ let () =
             test_broadcast_local_immediate;
           Alcotest.test_case "per-sender order" `Quick
             test_broadcast_in_order_per_sender;
+          Alcotest.test_case "seeded faults" `Quick test_broadcast_faults;
         ] );
     ]

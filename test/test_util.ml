@@ -300,6 +300,44 @@ let test_spsc_pop_blocks_and_cancels () =
   Spsc.wake q;
   check "cancelled pop returns None" true (Domain.join consumer = None)
 
+(* A third domain — neither producer nor consumer — samples [length] while
+   both endpoints run flat out.  The head/tail reads tear under this race;
+   the contract is that an observer never sees a negative depth (the
+   metrics queue-depth sampler feeds lengths to a histogram, which would
+   reject them).  Over-counting past capacity is an allowed tear. *)
+let test_spsc_length_never_negative () =
+  let n = 50_000 in
+  let q = Spsc.create ~capacity:16 ~dummy:(-1) () in
+  let stop = Atomic.make false in
+  let bad = Atomic.make 0 and samples = Atomic.make 0 in
+  let sampler =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          let l = Spsc.length q in
+          Atomic.incr samples;
+          if l < 0 then Atomic.incr bad
+        done)
+  in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 0 to n - 1 do
+          while not (Spsc.try_push q i) do
+            Domain.cpu_relax ()
+          done
+        done)
+  in
+  let seen = ref 0 in
+  while !seen < n do
+    match Spsc.try_pop q with
+    | Some _ -> incr seen
+    | None -> Domain.cpu_relax ()
+  done;
+  Domain.join producer;
+  Atomic.set stop true;
+  Domain.join sampler;
+  check "sampler actually raced the endpoints" true (Atomic.get samples > 0);
+  check_int "no negative length observed" 0 (Atomic.get bad)
+
 (* ---- Buf_pool -------------------------------------------------------- *)
 
 module Buf_pool = Hyder_util.Buf_pool
@@ -386,6 +424,8 @@ let () =
             test_spsc_cross_domain;
           Alcotest.test_case "blocking pop and cancel" `Quick
             test_spsc_pop_blocks_and_cancels;
+          Alcotest.test_case "length never negative under race" `Quick
+            test_spsc_length_never_negative;
         ] );
       ( "buf pool",
         [
