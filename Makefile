@@ -1,4 +1,4 @@
-.PHONY: all build test check bench-smoke bench clean
+.PHONY: all build test check bench-smoke bench-macro bench-macro-baseline bench clean
 
 all: build
 
@@ -25,6 +25,22 @@ check:
 bench-smoke:
 	dune exec bench/main.exe -- --json=BENCH_SMOKE.json --quick runtime pipeline-overlap fig11
 	python3 scripts/check_bench_smoke.py BENCH_SMOKE.json
+
+# Tracked macro-benchmark: replays one mixed read/write history through
+# seq, par:4 and pipe:4, measuring the final-meld critical path
+# (fm_ns_per_txn) and exact per-stage GC words/txn.  The fresh run is
+# gated against the committed BENCH_MACRO.json baseline: any backend
+# diverging from sequential, the fm loop allocating more minor words/txn
+# (tight tolerance — the number is deterministic) or a large fm-ns/txn
+# regression (loose tolerance — wall clock on shared CI) fails the make.
+bench-macro:
+	dune exec bench/main.exe -- --json=BENCH_MACRO.run.json macro
+	python3 scripts/check_bench_smoke.py --macro BENCH_MACRO.run.json BENCH_MACRO.json
+
+# Refresh the committed baseline (run on a quiet machine, then commit).
+bench-macro-baseline:
+	dune exec bench/main.exe -- --json=BENCH_MACRO.json macro
+	python3 scripts/check_bench_smoke.py --macro BENCH_MACRO.json
 
 bench:
 	dune exec bench/main.exe

@@ -32,6 +32,7 @@ module Stats = Hyder_util.Stats
 module Table = Hyder_util.Table
 module I = Hyder_codec.Intention
 module Json = Hyder_obs.Json
+module Metrics = Hyder_obs.Metrics
 
 (* ---------------------------------------------------------------------- *)
 (* Scale                                                                    *)
@@ -935,26 +936,15 @@ let runtime_backends () =
 (* backend moves off the driver's critical path, on one wire stream         *)
 (* ---------------------------------------------------------------------- *)
 
-let pipeline_overlap () =
-  let module Tree = Hyder_tree.Tree in
-  let module Payload = Hyder_tree.Payload in
+(* Record a deterministic wire stream for replay figures.  The generator
+   is wire-fed, like a real replica — it melds what it decodes — so the
+   encoder's payload elisions and version references resolve on any
+   replay of the same bytes.  Returns the (pos, bytes) list in log
+   order. *)
+let record_wire_stream ~seed ~txns ~n ~config ~genesis =
   let module Executor = Hyder_core.Executor in
   let module Codec = Hyder_codec.Codec in
-  let txns = if !scale.records <= 100_000 then 1_500 else 6_000 in
-  let n = 50_000 in
-  let config =
-    { Pipeline.premeld = Some { Premeld.threads = 5; distance = 10 };
-      group_size = 2 }
-  in
-  let genesis =
-    Tree.of_sorted_array
-      (Array.init n (fun k -> (k, Payload.value ("v" ^ string_of_int k))))
-  in
-  (* Phase 1: record a wire stream.  The generator is wire-fed, like a
-     real replica — it melds what it decodes — so the encoder's payload
-     elisions and version references resolve on any replay of the same
-     bytes. *)
-  let rng = Hyder_util.Rng.create 171717L in
+  let rng = Hyder_util.Rng.create seed in
   let gen = Pipeline.create ~config ~genesis () in
   let history = ref [ (-1, genesis) ] (* newest first *) in
   let hist_len = ref 1 in
@@ -986,22 +976,37 @@ let pipeline_overlap () =
         incr hist_len
   done;
   ignore (Pipeline.flush gen);
-  let wires = List.rev !wires in
-  let count = List.length wires in
-  let batches =
-    let slab = 256 in
-    let rec take k acc = function
-      | x :: tl when k > 0 -> take (k - 1) (x :: acc) tl
-      | rest -> (List.rev acc, rest)
-    in
-    let rec go = function
-      | [] -> []
-      | l ->
-          let s, rest = take slab [] l in
-          s :: go rest
-    in
-    go wires
+  List.rev !wires
+
+let batches_of ~slab wires =
+  let rec take k acc = function
+    | x :: tl when k > 0 -> take (k - 1) (x :: acc) tl
+    | rest -> (List.rev acc, rest)
   in
+  let rec go = function
+    | [] -> []
+    | l ->
+        let s, rest = take slab [] l in
+        s :: go rest
+  in
+  go wires
+
+let pipeline_overlap () =
+  let module Tree = Hyder_tree.Tree in
+  let module Payload = Hyder_tree.Payload in
+  let txns = if !scale.records <= 100_000 then 1_500 else 6_000 in
+  let n = 50_000 in
+  let config =
+    { Pipeline.premeld = Some { Premeld.threads = 5; distance = 10 };
+      group_size = 2 }
+  in
+  let genesis =
+    Tree.of_sorted_array
+      (Array.init n (fun k -> (k, Payload.value ("v" ^ string_of_int k))))
+  in
+  let wires = record_wire_stream ~seed:171717L ~txns ~n ~config ~genesis in
+  let count = List.length wires in
+  let batches = batches_of ~slab:256 wires in
   (* Phase 2: replay the identical bytes under each backend through
      submit_wire_batch.  The driver's critical path per intention is the
      stage seconds it executed itself: total stage time minus what worker
@@ -1126,6 +1131,176 @@ let pipeline_overlap () =
      loaded one the offload columns carry the signal)\n"
 
 (* ---------------------------------------------------------------------- *)
+(* Macro benchmark: the tracked perf trajectory (BENCH_MACRO.json)          *)
+(* ---------------------------------------------------------------------- *)
+
+(* Steady-state numbers for the final-meld critical path, tracked across
+   PRs via `make bench-macro` → BENCH_MACRO.json and gated by
+   scripts/check_bench_smoke.py.  A fixed-seed wire stream (identical
+   bytes run to run, so gate movement is code, not workload) is replayed
+   under seq/par:4/pipe:4; the first [warm_txns] intentions are warmup —
+   counters, metrics and offload stats are snapshotted at the boundary
+   and diffed at the end.  Per-stage GC words come from the pipeline's
+   Fcounter instruments (Gc.counters deltas around the stage work; each
+   sample covers the stage work executed on the domain that owns the
+   stage — see Pipeline's instruments for the exact coverage; under
+   pipe:<n>, fm on the driver is precisely what the figure is about). *)
+let macro () =
+  let module Tree = Hyder_tree.Tree in
+  let module Payload = Hyder_tree.Payload in
+  let txns = 6_000 in
+  let warm_txns = 1_000 in
+  let n = 50_000 in
+  let config =
+    { Pipeline.premeld = Some { Premeld.threads = 5; distance = 10 };
+      group_size = 2 }
+  in
+  let genesis =
+    Tree.of_sorted_array
+      (Array.init n (fun k -> (k, Payload.value ("v" ^ string_of_int k))))
+  in
+  let wires = record_wire_stream ~seed:271828L ~txns ~n ~config ~genesis in
+  let count = List.length wires in
+  let warm, rest =
+    let rec split k acc = function
+      | x :: tl when k > 0 -> split (k - 1) (x :: acc) tl
+      | tl -> (List.rev acc, tl)
+    in
+    split warm_txns [] wires
+  in
+  let warm_batches = batches_of ~slab:256 warm in
+  let meas_batches = batches_of ~slab:256 rest in
+  let fval snap name =
+    match List.assoc_opt name snap with
+    | Some (Metrics.Fcounter_v x) -> x
+    | _ -> 0.0
+  in
+  let run backend =
+    let metrics = Metrics.create () in
+    let p = Pipeline.create ~config ~runtime:backend ~metrics ~genesis () in
+    let warm_decisions =
+      List.concat_map (fun b -> Pipeline.submit_wire_batch p b) warm_batches
+    in
+    let c0 = Counters.copy (Pipeline.counters p) in
+    let m0 = Metrics.snapshot metrics in
+    let off0 = Pipeline.offload p in
+    let t0 = Clock.now () in
+    let decisions =
+      List.concat_map (fun b -> Pipeline.submit_wire_batch p b) meas_batches
+      @ Pipeline.flush p
+    in
+    let wall = Clock.elapsed t0 in
+    let c1 = Pipeline.counters p in
+    let gc = Metrics.diff ~base:m0 (Metrics.snapshot metrics) in
+    let off1 = Pipeline.offload p in
+    let _, _, final = Pipeline.lcs p in
+    Pipeline.shutdown p;
+    (warm_decisions @ decisions, List.length decisions, final, wall,
+     (c0, c1), gc, (off0, off1))
+  in
+  let base = run Runtime.sequential in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Macro: %d intentions (last %d measured, warmup excluded) — \
+            melds/s, fm critical path and GC words per txn"
+           count (count - warm_txns))
+      ~columns:
+        [ "runtime"; "melds/s"; "fm ns/txn"; "driver us/int";
+          "fm minor w/txn"; "same as seq" ]
+  in
+  let report name (decisions, melded, final, wall, (c0, c1), gc, (off0, off1))
+      =
+    let bdecisions, _, bfinal, _, _, _, _ = base in
+    let same =
+      List.length decisions = List.length bdecisions
+      && List.for_all2
+           (fun (a : Pipeline.decision) (b : Pipeline.decision) ->
+             a.Pipeline.seq = b.Pipeline.seq
+             && a.Pipeline.committed = b.Pipeline.committed
+             && a.Pipeline.decided_at = b.Pipeline.decided_at)
+           decisions bdecisions
+      && Tree.physically_equal final bfinal
+    in
+    let meldedf = float_of_int melded in
+    let sdelta f = f c1 -. f c0 in
+    let ds = sdelta (fun c -> c.Counters.deserialize.Counters.seconds) in
+    let pm = sdelta (fun c -> (Counters.premeld_total c).Counters.seconds) in
+    let gm = sdelta (fun c -> c.Counters.group_meld.Counters.seconds) in
+    let fm = sdelta (fun c -> c.Counters.final_meld.Counters.seconds) in
+    let wds, wpm, wgm =
+      match (off0, off1) with
+      | Some a, Some b ->
+          ( b.Pipeline.worker_ds_seconds -. a.Pipeline.worker_ds_seconds,
+            b.Pipeline.worker_pm_seconds -. a.Pipeline.worker_pm_seconds,
+            b.Pipeline.worker_gm_seconds -. a.Pipeline.worker_gm_seconds )
+      | _ -> (0.0, 0.0, 0.0)
+    in
+    let driver_s = ds -. wds +. (pm -. wpm) +. (gm -. wgm) +. fm in
+    let melds_per_s = meldedf /. wall in
+    let fm_ns = fm /. meldedf *. 1e9 in
+    let driver_us = driver_s /. meldedf *. 1e6 in
+    let per_txn name = fval gc name /. meldedf in
+    let fm_minor = per_txn "pipeline_fm_gc_minor_words" in
+    Table.add_row t
+      [
+        name;
+        Printf.sprintf "%.0f" melds_per_s;
+        Printf.sprintf "%.0f" fm_ns;
+        Printf.sprintf "%.2f" driver_us;
+        Printf.sprintf "%.1f" fm_minor;
+        (if same then "yes" else "NO");
+      ];
+    if !json_path <> None then begin
+      let us x = Json.Float (x /. meldedf *. 1e6) in
+      report_runs :=
+        Json.Obj
+          [
+            ("figure", Json.String "macro");
+            ("runtime", Json.String name);
+            ("intentions_total", Json.Int count);
+            ("intentions_measured", Json.Int melded);
+            ("wall_s", Json.Float wall);
+            ("melds_per_s", Json.Float melds_per_s);
+            ("fm_ns_per_txn", Json.Float fm_ns);
+            ("driver_critical_path_us", Json.Float driver_us);
+            ("driver_share_of_wall", Json.Float (driver_s /. wall));
+            ( "stage_us",
+              Json.Obj
+                [ ("ds", us ds); ("pm", us pm); ("gm", us gm); ("fm", us fm) ]
+            );
+            ( "gc_words_per_txn",
+              Json.Obj
+                [
+                  ("ds_minor", Json.Float (per_txn "pipeline_ds_gc_minor_words"));
+                  ( "ds_promoted",
+                    Json.Float (per_txn "pipeline_ds_gc_promoted_words") );
+                  ("pm_minor", Json.Float (per_txn "pipeline_pm_gc_minor_words"));
+                  ( "pm_promoted",
+                    Json.Float (per_txn "pipeline_pm_gc_promoted_words") );
+                  ("gm_minor", Json.Float (per_txn "pipeline_gm_gc_minor_words"));
+                  ( "gm_promoted",
+                    Json.Float (per_txn "pipeline_gm_gc_promoted_words") );
+                  ("fm_minor", Json.Float fm_minor);
+                  ( "fm_promoted",
+                    Json.Float (per_txn "pipeline_fm_gc_promoted_words") );
+                ] );
+            ("same_as_seq", Json.Bool same);
+          ]
+        :: !report_runs
+    end
+  in
+  report "seq" base;
+  report "par:4" (run (Runtime.parallel ~domains:4));
+  report "pipe:4" (run (Runtime.pipelined ~domains:4));
+  Table.print t;
+  Printf.printf
+    "(fm minor w/txn = minor-heap words allocated by the driver's final \
+     meld per measured intention; under pipe:4 the ds/pm GC columns in \
+     the JSON cover only the driver-inline share of those stages)\n"
+
+(* ---------------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks of the meld operator                           *)
 (* ---------------------------------------------------------------------- *)
 
@@ -1157,8 +1332,8 @@ let micro () =
   let bytes = Hyder_codec.Codec.encode draft in
   let resolve ~snapshot:_ ~key ~vn:_ =
     match Hyder_tree.Tree.find genesis key with
-    | Some n -> Hyder_tree.Node.Node n
-    | None -> Hyder_tree.Node.Empty
+    | Some n -> n
+    | None -> Hyder_tree.Node.empty
   in
   let test_decode =
     Test.make ~name:"deserialize intention"
@@ -1224,6 +1399,7 @@ let figures =
     ("abl-index-size", abl_index_size);
     ("runtime", runtime_backends);
     ("pipeline-overlap", pipeline_overlap);
+    ("macro", macro);
     ("micro", micro);
   ]
 

@@ -84,6 +84,9 @@ type result = {
   blocks_per_intention : float;
   appends_per_sec : float;
   stage_us : float * float * float * float;
+  gc_minor_words_per_txn : float;
+  gc_promoted_words_per_txn : float;
+  gc_major_words_per_txn : float;
   abort_reasons : (string * int) list;
 }
 
@@ -261,6 +264,7 @@ let run cfg =
   in
   let appends = ref 0 and appends_in_window = ref 0 in
   let counters_at_window_start = ref None in
+  let gc_at_window_start = ref None in
   let stage_sums = Array.make 4 0.0 in
   let stage_counts = Array.make 4 0 in
   let blocks_sum = ref 0 and blocks_count = ref 0 and bytes_sum = ref 0 in
@@ -658,7 +662,14 @@ let run cfg =
   (* Snapshot the work counters at the start of the measurement window so
      per-transaction statistics exclude warmup. *)
   Engine.schedule eng ~delay:cfg.warmup (fun () ->
-      counters_at_window_start := Some (Counters.copy counters));
+      counters_at_window_start := Some (Counters.copy counters);
+      (* [Gc.minor_words] is exact to the word (it adds the allocations
+         made since the last minor collection); [quick_stat]'s promoted
+         and major words advance only at collections, a quantization
+         that is negligible over a whole measurement window. *)
+      let st = Gc.quick_stat () in
+      gc_at_window_start :=
+        Some (Gc.minor_words (), st.Gc.promoted_words, st.Gc.major_words));
 
   Engine.run ~until:stop_time eng;
 
@@ -696,6 +707,14 @@ let run cfg =
   let per_txn stage base_stage =
     float_of_int (stage.Counters.nodes_visited - base_stage.Counters.nodes_visited)
     /. melded_f
+  in
+  let gc_minor_w, gc_promoted_w, gc_major_w =
+    match !gc_at_window_start with
+    | None -> (0.0, 0.0, 0.0)
+    | Some (mw0, pw0, jw0) ->
+        let st = Gc.quick_stat () in
+        (Gc.minor_words () -. mw0, st.Gc.promoted_words -. pw0,
+         st.Gc.major_words -. jw0)
   in
   let decided = !commits + !aborts in
   let write_tps = float_of_int !commits /. cfg.duration in
@@ -748,6 +767,9 @@ let run cfg =
     blocks_per_intention = avg_blocks;
     appends_per_sec = float_of_int !appends_in_window /. cfg.duration;
     stage_us = (stage_mean 0, stage_mean 1, stage_mean 2, stage_mean 3);
+    gc_minor_words_per_txn = gc_minor_w /. melded_f;
+    gc_promoted_words_per_txn = gc_promoted_w /. melded_f;
+    gc_major_words_per_txn = gc_major_w /. melded_f;
     abort_reasons =
       Hashtbl.fold (fun k n acc -> (k, n) :: acc) abort_reasons_tbl []
       |> List.sort (fun (ka, na) (kb, nb) ->
@@ -762,12 +784,14 @@ let pp_result fmt r =
     "write %.0f tps, read %.0f tps, total %.0f tps; aborts %.2f%%; fm \
      %.1f nodes/txn; zone %.1f intentions (%.1f blocks); eph %.1f/txn; \
      intention %.0fB in %.1f blocks; %.0f appends/s; stages ds=%.1fus \
-     pm=%.1fus gm=%.1fus fm=%.1fus"
+     pm=%.1fus gm=%.1fus fm=%.1fus; gc %.0f minor w/txn (%.0f promoted, \
+     %.0f major)"
     r.write_tps r.read_tps r.total_tps
     (100.0 *. r.abort_rate)
     r.fm_nodes_per_txn r.conflict_zone_intentions r.conflict_zone_blocks
     r.ephemerals_per_txn r.intention_bytes r.blocks_per_intention
-    r.appends_per_sec ds pm gm fm;
+    r.appends_per_sec ds pm gm fm r.gc_minor_words_per_txn
+    r.gc_promoted_words_per_txn r.gc_major_words_per_txn;
   match r.abort_reasons with
   | [] -> ()
   | reasons ->
@@ -802,5 +826,12 @@ let result_to_json r =
             ("pm", Json.Float pm);
             ("gm", Json.Float gm);
             ("fm", Json.Float fm);
+          ] );
+      ( "gc_words_per_txn",
+        Json.Obj
+          [
+            ("minor", Json.Float r.gc_minor_words_per_txn);
+            ("promoted", Json.Float r.gc_promoted_words_per_txn);
+            ("major", Json.Float r.gc_major_words_per_txn);
           ] );
     ]

@@ -79,6 +79,15 @@ type result = {
   appends_per_sec : float;
   stage_us : float * float * float * float;
       (** mean (ds, pm, gm, fm) CPU microseconds per intention *)
+  gc_minor_words_per_txn : float;
+      (** process-wide minor-heap words allocated per melded intention
+          over the measurement window (exact: from [Gc.minor_words]) *)
+  gc_promoted_words_per_txn : float;
+      (** words promoted to the major heap per melded intention (from
+          [Gc.quick_stat]; advances only at minor collections) *)
+  gc_major_words_per_txn : float;
+      (** words allocated directly on the major heap per melded
+          intention (same quantization) *)
   abort_reasons : (string * int) list;
       (** in-window aborts at their origin server, keyed by conflict kind
           ([write_conflict] / [read_conflict] / [phantom_conflict]),

@@ -41,6 +41,20 @@ let r_vn r =
       Vn.ephemeral ~thread ~seq
   | tag -> corrupt "bad VN tag %d" tag
 
+(* [w_vn] over the packed source-version words — same bytes, no boxed
+   [Vn.t] in between. *)
+let w_vn_parts w ~eph ~a ~b =
+  if eph then begin
+    Wire.Writer.u8 w 1;
+    Wire.Writer.varint w a;
+    Wire.Writer.varint w b
+  end
+  else begin
+    Wire.Writer.u8 w 0;
+    w_zint w a;
+    Wire.Writer.varint w b
+  end
+
 let isolation_to_int = function
   | Intention.Serializable -> 0
   | Intention.Snapshot_isolation -> 1
@@ -66,32 +80,26 @@ let encode_onto w (d : Intention.draft) =
   Wire.Writer.varint w d.txn_seq;
   Wire.Writer.u8 w (isolation_to_int d.isolation);
   (* Count inside nodes first so the decoder can size its index table. *)
-  let rec count = function
-    | Empty -> 0
-    | Node n ->
-        if n.owner <> Intention.draft_owner then 0
-        else 1 + count n.left + count n.right
+  let rec count t =
+    if t == Node.empty || Node.owner t <> Intention.draft_owner then 0
+    else 1 + count t.left + count t.right
   in
   Wire.Writer.varint w (count d.root);
   let next_idx = ref 0 in
-  let w_child = function
-    | Empty -> Wire.Writer.u8 w tag_empty
-    | Node c ->
-        if c.owner = Intention.draft_owner then corrupt "child before parent"
-        else begin
-          Wire.Writer.u8 w tag_ref;
-          w_vn w c.vn;
-          w_zint w c.key
-        end
+  let w_child c =
+    if c == Node.empty then Wire.Writer.u8 w tag_empty
+    else if Node.owner c = Intention.draft_owner then corrupt "child before parent"
+    else begin
+      Wire.Writer.u8 w tag_ref;
+      w_vn w c.vn;
+      w_zint w c.key
+    end
   in
   (* Post-order: children first; an inside child's index is the value the
      recursion returns. *)
-  let rec go t =
-    match t with
-    | Empty -> None
-    | Node n ->
-        if n.owner <> Intention.draft_owner then None
-        else begin
+  let rec go n =
+    if n == Node.empty || Node.owner n <> Intention.draft_owner then None
+    else begin
           let li = go n.left in
           let ri = go n.right in
           w_zint w n.key;
@@ -99,13 +107,14 @@ let encode_onto w (d : Intention.draft) =
              is not shipped: the decoder recovers it through ssv.  This is
              what keeps serializable-isolation intentions metadata-sized
              despite carrying the whole readset (Section 6.4.4). *)
-          let elide_payload = (not n.altered) && n.ssv <> None in
+          let elide_payload =
+            n.meta land Meta.altered = 0 && n.meta land Meta.ssv_present <> 0
+          in
+          (* The low three meta bits are the low three wire flag bits. *)
           let flags =
-            (if n.altered then 1 else 0)
-            lor (if n.depends_on_content then 2 else 0)
-            lor (if n.depends_on_structure then 4 else 0)
-            lor (match n.ssv with Some _ -> 8 | None -> 0)
-            lor (match n.scv with Some _ -> 16 | None -> 0)
+            n.meta land 0x7
+            lor (if n.meta land Meta.ssv_present <> 0 then 8 else 0)
+            lor (if n.meta land Meta.scv_present <> 0 then 16 else 0)
             lor (if Payload.is_tombstone n.payload then 32 else 0)
             lor (if elide_payload then 64 else 0)
           in
@@ -114,8 +123,14 @@ let encode_onto w (d : Intention.draft) =
           | Payload.Tombstone -> ()
           | Payload.Value _ when elide_payload -> ()
           | Payload.Value s -> Wire.Writer.bytes w s);
-          (match n.ssv with Some v -> w_vn w v | None -> ());
-          (match n.scv with Some v -> w_vn w v | None -> ());
+          if n.meta land Meta.ssv_present <> 0 then
+            w_vn_parts w
+              ~eph:(n.meta land Meta.ssv_ephemeral <> 0)
+              ~a:n.ssv_a ~b:n.ssv_b;
+          if n.meta land Meta.scv_present <> 0 then
+            w_vn_parts w
+              ~eph:(n.meta land Meta.scv_ephemeral <> 0)
+              ~a:n.scv_a ~b:n.scv_b;
           (match li with
           | Some i ->
               Wire.Writer.u8 w tag_inside;
@@ -131,14 +146,12 @@ let encode_onto w (d : Intention.draft) =
           Some idx
         end
   in
-  (match go d.root with
+  match go d.root with
   | Some _ -> ()
-  | None -> (
+  | None ->
       (* Empty intention trees (pure read-only txns under SI produce no
          nodes) are legal; nothing more to write. *)
-      match d.root with
-      | Empty -> ()
-      | Node _ -> corrupt "intention root is not a draft node"))
+      if d.root != Node.empty then corrupt "intention root is not a draft node"
 
 let encode (d : Intention.draft) =
   let w = Wire.Writer.create ~capacity:8192 () in
@@ -185,7 +198,7 @@ let decode_core r ~len ~pos ~resolve ~get_nodes =
     let nodes : Node.tree array = get_nodes node_count in
     let r_child self =
       match Wire.Reader.u8 r with
-      | t when t = tag_empty -> Empty
+      | t when t = tag_empty -> Node.empty
       | t when t = tag_inside ->
           let i = Wire.Reader.varint r in
           if i < 0 || i >= self then corrupt "child index %d out of order" i;
@@ -194,40 +207,69 @@ let decode_core r ~len ~pos ~resolve ~get_nodes =
           let vn = r_vn r in
           let key = r_zint r in
           let resolved = resolve ~snapshot ~key ~vn in
-          (match resolved with
-          | Empty -> corrupt "unresolvable reference to key %d" key
-          | Node m ->
-              if not (Vn.equal m.vn vn) then
-                corrupt "reference to key %d resolved to wrong version" key);
+          if resolved == Node.empty then
+            corrupt "unresolvable reference to key %d" key
+          else if not (Vn.equal resolved.vn vn) then
+            corrupt "reference to key %d resolved to wrong version" key;
           resolved
       | t -> corrupt "bad child tag %d" t
     in
+    let ob = Meta.owner_bits pos in
     for idx = 0 to node_count - 1 do
       let key = r_zint r in
       let flags = Wire.Reader.u8 r in
-      let payload =
-        if flags land 32 <> 0 then Some Payload.Tombstone
-        else if flags land 64 <> 0 then None (* elided: recovered via ssv *)
-        else Some (Payload.Value (Wire.Reader.bytes r))
+      (* Straight-line part reads into plain ints — no option or boxed VN
+         per source version; the same wire bytes in the same order. *)
+      let payload_str =
+        if flags land (32 lor 64) = 0 then Wire.Reader.bytes r else ""
       in
-      let ssv = if flags land 8 <> 0 then Some (r_vn r) else None in
-      let scv = if flags land 16 <> 0 then Some (r_vn r) else None in
+      let has_ssv = flags land 8 <> 0 in
+      let ssv_eph =
+        has_ssv
+        &&
+        match Wire.Reader.u8 r with
+        | 0 -> false
+        | 1 -> true
+        | tag -> corrupt "bad VN tag %d" tag
+      in
+      let ssv_a =
+        if has_ssv then if ssv_eph then Wire.Reader.varint r else r_zint r
+        else 0
+      in
+      let ssv_b = if has_ssv then Wire.Reader.varint r else 0 in
+      let has_scv = flags land 16 <> 0 in
+      let scv_eph =
+        has_scv
+        &&
+        match Wire.Reader.u8 r with
+        | 0 -> false
+        | 1 -> true
+        | tag -> corrupt "bad VN tag %d" tag
+      in
+      let scv_a =
+        if has_scv then if scv_eph then Wire.Reader.varint r else r_zint r
+        else 0
+      in
+      let scv_b = if has_scv then Wire.Reader.varint r else 0 in
       let payload =
-        match payload with
-        | Some p -> p
-        | None -> (
-            let source_vn =
-              match ssv with
-              | Some v -> v
-              | None -> corrupt "elided payload on a node without a source"
-            in
-            match resolve ~snapshot ~key ~vn:source_vn with
-            | Node m ->
-                if not (Vn.equal m.vn source_vn) then
-                  corrupt "elided payload: source of key %d is version %s"
-                    key (Vn.to_string m.vn);
-                m.payload
-            | Empty -> corrupt "elided payload: key %d missing from snapshot" key)
+        if flags land 32 <> 0 then Payload.Tombstone
+        else if flags land 64 = 0 then Payload.Value payload_str
+        else begin
+          (* elided: recovered via ssv *)
+          if not has_ssv then
+            corrupt "elided payload on a node without a source";
+          let source_vn =
+            if ssv_eph then Vn.ephemeral ~thread:ssv_a ~seq:ssv_b
+            else Vn.logged ~pos:ssv_a ~idx:ssv_b
+          in
+          let m = resolve ~snapshot ~key ~vn:source_vn in
+          if m == Node.empty then
+            corrupt "elided payload: key %d missing from snapshot" key
+          else if not (Vn.equal m.vn source_vn) then
+            corrupt "elided payload: source of key %d is version %s" key
+              (Vn.to_string m.vn);
+          m.payload
+        end
       in
       let left = r_child idx in
       let right = r_child idx in
@@ -235,20 +277,31 @@ let decode_core r ~len ~pos ~resolve ~get_nodes =
       let vn = Vn.logged ~pos ~idx in
       let cv =
         if altered then vn
-        else
-          match scv with
-          | Some v -> v
-          | None -> corrupt "unaltered node %d lacks a content version" key
+        else begin
+          if not has_scv then
+            corrupt "unaltered node %d lacks a content version" key;
+          if scv_eph then Vn.ephemeral ~thread:scv_a ~seq:scv_b
+          else Vn.logged ~pos:scv_a ~idx:scv_b
+        end
+      in
+      let meta =
+        ob lor (flags land 0x7)
+        lor (if has_ssv then
+               if ssv_eph then Meta.ssv_present lor Meta.ssv_ephemeral
+               else Meta.ssv_present
+             else 0)
+        lor
+        if has_scv then
+          if scv_eph then Meta.scv_present lor Meta.scv_ephemeral
+          else Meta.scv_present
+        else 0
       in
       nodes.(idx) <-
-        Node
-          (Node.make ~key ~payload ~left ~right ~vn ~cv ~ssv ~scv ~altered
-             ~depends_on_content:(flags land 2 <> 0)
-             ~depends_on_structure:(flags land 4 <> 0)
-             ~owner:pos)
+        Node.pack ~key ~payload ~left ~right ~vn ~cv ~meta ~ssv_a ~ssv_b
+          ~scv_a ~scv_b
     done;
     if Wire.Reader.remaining r <> 0 then corrupt "trailing bytes";
-    let root = if node_count = 0 then Empty else nodes.(node_count - 1) in
+    let root = if node_count = 0 then Node.empty else nodes.(node_count - 1) in
     {
       Intention.pos;
       snapshot;
@@ -268,7 +321,7 @@ let decode_indexed ~pos ~resolve s =
       (Wire.Reader.of_string s)
       ~len:(String.length s) ~pos ~resolve
       ~get_nodes:(fun count ->
-        nodes := Array.make (max 1 count) Empty;
+        nodes := Array.make (max 1 count) Node.empty;
         !nodes)
   in
   (i, !nodes)
@@ -279,7 +332,7 @@ let decode_indexed ~pos ~resolve s =
 module Scratch = struct
   type t = { mutable nodes : Node.tree array; mutable last_count : int }
 
-  let create () = { nodes = Array.make 64 Empty; last_count = 0 }
+  let create () = { nodes = Array.make 64 Node.empty; last_count = 0 }
 
   let table t count =
     let need = max 1 count in
@@ -288,7 +341,7 @@ module Scratch = struct
       while !cap < need do
         cap := 2 * !cap
       done;
-      t.nodes <- Array.make !cap Empty
+      t.nodes <- Array.make !cap Node.empty
     end;
     t.last_count <- count;
     t.nodes
@@ -296,7 +349,7 @@ module Scratch = struct
   let export t = Array.sub t.nodes 0 (max 1 t.last_count)
 
   let clear t =
-    Array.fill t.nodes 0 (Array.length t.nodes) Empty;
+    Array.fill t.nodes 0 (Array.length t.nodes) Node.empty;
     t.last_count <- 0
 end
 

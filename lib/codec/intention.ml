@@ -27,31 +27,34 @@ type t = {
   byte_size : int;
 }
 
-let draft_owner = max_int
+(* The draft owner must outrank every real log position and still leave
+   [Meta.owner_bits draft_owner] an immediate int (owner + 1 shifted left
+   by [Meta.owner_shift] has to fit in 62 bits — [max_int] would wrap to
+   the state owner's zero bits). *)
+let draft_owner = 1 lsl 53
 let draft_vn ~idx = Vn.logged ~pos:max_int ~idx
+let draft_owner_bits = Meta.owner_bits draft_owner
 
 let assign ~pos ?(byte_size = 0) (d : draft) =
   let count = ref 0 in
+  let ob = Meta.owner_bits pos in
   (* Post-order renumbering of draft nodes; shared (snapshot) subtrees are
      left untouched.  Must mirror the decoder exactly. *)
   let rec go t =
-    match t with
-    | Empty -> Empty
-    | Node n ->
-        if n.owner <> draft_owner then t
-        else begin
-          let left = go n.left in
-          let right = go n.right in
-          let idx = !count in
-          incr count;
-          let vn = Vn.logged ~pos ~idx in
-          let cv = if n.altered then vn else n.cv in
-          Node
-            (Node.make ~key:n.key ~payload:n.payload ~left ~right ~vn ~cv
-               ~ssv:n.ssv ~scv:n.scv ~altered:n.altered
-               ~depends_on_content:n.depends_on_content
-               ~depends_on_structure:n.depends_on_structure ~owner:pos)
-        end
+    (* The sentinel's meta (0) never carries the draft owner bits, so the
+       same-owner test also stops the recursion at empty. *)
+    if t.meta land Meta.owner_mask <> draft_owner_bits then t
+    else begin
+      let left = go t.left in
+      let right = go t.right in
+      let idx = !count in
+      incr count;
+      let vn = Vn.logged ~pos ~idx in
+      let cv = if t.meta land Meta.altered <> 0 then vn else t.cv in
+      Node.pack ~key:t.key ~payload:t.payload ~left ~right ~vn ~cv
+        ~meta:(ob lor (t.meta land Meta.carry_mask))
+        ~ssv_a:t.ssv_a ~ssv_b:t.ssv_b ~scv_a:t.scv_a ~scv_b:t.scv_b
+    end
   in
   let root = go d.root in
   {
@@ -66,4 +69,4 @@ let assign ~pos ?(byte_size = 0) (d : draft) =
   }
 
 let node_count t = t.node_count
-let inside t (n : Node.node) = n.owner = t.pos
+let inside t (n : Node.node) = Node.owner n = t.pos

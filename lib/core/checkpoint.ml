@@ -14,7 +14,7 @@ let compact ~pos state =
   let items = Array.of_list (List.rev !live) in
   let n = Array.length items in
   let rec build lo hi =
-    if lo >= hi then Empty
+    if lo >= hi then Node.empty
     else begin
       let best = ref lo in
       for i = lo + 1 to hi - 1 do
@@ -25,10 +25,9 @@ let compact ~pos state =
       let left = build lo !best in
       let right = build (!best + 1) hi in
       let vn = Vn.logged ~pos ~idx:!best in
-      Node
-        (Node.make ~key ~payload ~left ~right ~vn ~cv ~ssv:None ~scv:None
-           ~altered:false ~depends_on_content:false ~depends_on_structure:false
-           ~owner:state_owner)
+      Node.make ~key ~payload ~left ~right ~vn ~cv ~ssv:None ~scv:None
+        ~altered:false ~depends_on_content:false ~depends_on_structure:false
+        ~owner:state_owner
     end
   in
   let tree = build 0 n in

@@ -56,7 +56,7 @@ let read t key =
       t.reads <- key :: t.reads;
       (* Own writes first, then the freshest committed state. *)
       match Tree.find t.working key with
-      | Some n when n.Node.owner = owner ->
+      | Some n when Node.owner n = owner ->
           if Payload.is_tombstone n.Node.payload then None
           else Some n.Node.payload
       | _ -> Tree.lookup (t.current ()) key)

@@ -27,7 +27,7 @@ let dead ?premeld_input ~seq intention reason =
   {
     members = [];
     early_aborts = [ ({ seq; intention; premeld_input }, reason, `Premeld) ];
-    root = Node.Empty;
+    root = Node.empty;
     member_positions = [];
     snapshot = intention.Hyder_codec.Intention.snapshot;
   }

@@ -32,6 +32,373 @@ exception
    the single earlier reference sufficient: no third transaction can sit
    between them. *)
 
+(* The hot loop works directly on the packed metadata word (Node.Meta):
+   every per-visit test is a mask-and-compare on [meta], every constructed
+   node is a single [Node.pack] — no options, tuples or [caml_equal] per
+   visit.  The workers below are top-level functions over one [env] record
+   so a meld call allocates exactly one block of bookkeeping; the happy
+   path then allocates only the ephemeral nodes themselves and their
+   fresh VNs. *)
+
+type env = {
+  counters : Counters.stage;
+  alloc : Vn.Alloc.t;
+  (* Owner bits of the melding members: [b0]/[b1] cover the common
+     one-intention and group-pair shapes with straight compares ([b1 = b0]
+     for a singleton); [more] holds any further members (empty in
+     practice).  [no_member] marks an empty member list. *)
+  b0 : int;
+  b1 : int;
+  more : int list;
+  transaction_mode : bool;
+  state_is_intention : bool;
+  out_bits : int;
+  intention_snapshot : int;
+  state_snapshot : int;
+}
+
+(* Owner bits are [(owner + 1) lsl owner_shift] with owner >= -1, so any
+   real value is >= 0 and a negative sentinel never matches. *)
+let no_member = min_int
+
+let[@inline] inside_meta env meta =
+  let ob = meta land Meta.owner_mask in
+  ob = env.b0 || ob = env.b1
+  || (match env.more with [] -> false | ms -> List.mem ob ms)
+
+let[@inline] visit env =
+  env.counters.Counters.nodes_visited <-
+    env.counters.Counters.nodes_visited + 1
+
+let[@inline] fresh env =
+  env.counters.Counters.ephemerals <- env.counters.Counters.ephemerals + 1;
+  Vn.Alloc.next env.alloc
+
+(* A node's ssv doubles as the graft precondition: "this subtree equals
+   version ssv plus my own changes".  A copy made on a SPLIT PATH holds
+   only half of its source's subtree, so it must never be graftable: it
+   keeps its content metadata (scv) but takes its own fresh VN as ssv — a
+   version no state will ever hold — unless it was an insert (no ssv),
+   which stays an insert. *)
+(* Under group meld every created node additionally degrafts: the merge
+   can mix the newer member's view with the older member's stale snapshot
+   subtrees, so no created node may claim its subtree is current.  Nodes
+   adopted wholesale from one member keep their honest claims. *)
+
+(* Ephemeral copy of a state-side (or snapshot) node with new children. *)
+let eph_of_state env ~restructured (nl : node) ~left ~right =
+  let vn = fresh env in
+  if not env.transaction_mode then
+    Node.pack ~key:nl.key ~payload:nl.payload ~left ~right ~vn ~cv:nl.cv
+      ~meta:0 ~ssv_a:0 ~ssv_b:0 ~scv_a:0 ~scv_b:0
+  else if env.state_is_intention && inside_meta env nl.meta then begin
+    (* mine: keep snapshot-relative metadata, new owner *)
+    let m = env.out_bits lor (nl.meta land Meta.flags_mask) in
+    if
+      nl.meta land Meta.ssv_present <> 0
+      && (restructured || env.state_is_intention)
+    then
+      Node.pack ~key:nl.key ~payload:nl.payload ~left ~right ~vn ~cv:nl.cv
+        ~meta:(m lor Meta.ssv_ephemeral)
+        ~ssv_a:(Node.vn_a vn) ~ssv_b:(Node.vn_b vn) ~scv_a:nl.scv_a
+        ~scv_b:nl.scv_b
+    else
+      Node.pack ~key:nl.key ~payload:nl.payload ~left ~right ~vn ~cv:nl.cv
+        ~meta:m ~ssv_a:nl.ssv_a ~ssv_b:nl.ssv_b ~scv_a:nl.scv_a
+        ~scv_b:nl.scv_b
+  end
+  else if restructured || env.state_is_intention then
+    (* snapshot node becomes the source, immediately degrafted *)
+    Node.pack ~key:nl.key ~payload:nl.payload ~left ~right ~vn ~cv:nl.cv
+      ~meta:
+        (env.out_bits lor Meta.ssv_present lor Meta.ssv_ephemeral
+       lor Node.scv_class nl.cv)
+      ~ssv_a:(Node.vn_a vn) ~ssv_b:(Node.vn_b vn) ~scv_a:(Node.vn_a nl.cv)
+      ~scv_b:(Node.vn_b nl.cv)
+  else
+    Node.pack ~key:nl.key ~payload:nl.payload ~left ~right ~vn ~cv:nl.cv
+      ~meta:(env.out_bits lor Node.ssv_class nl.vn lor Node.scv_class nl.cv)
+      ~ssv_a:(Node.vn_a nl.vn) ~ssv_b:(Node.vn_b nl.vn)
+      ~scv_a:(Node.vn_a nl.cv) ~scv_b:(Node.vn_b nl.cv)
+
+(* Ephemeral copy of an intention-side node whose conflict checks have not
+   happened yet (restructuring around a concurrent insert): metadata and
+   ownership must survive so the checks still fire deeper in the merge. *)
+let eph_of_intention env ~restructured (ni : node) ~left ~right =
+  let vn = fresh env in
+  if
+    ni.meta land Meta.ssv_present <> 0
+    && (restructured || env.state_is_intention)
+  then
+    Node.pack ~key:ni.key ~payload:ni.payload ~left ~right ~vn ~cv:ni.cv
+      ~meta:(ni.meta lor Meta.ssv_ephemeral)
+      ~ssv_a:(Node.vn_a vn) ~ssv_b:(Node.vn_b vn) ~scv_a:ni.scv_a
+      ~scv_b:ni.scv_b
+  else
+    Node.pack ~key:ni.key ~payload:ni.payload ~left ~right ~vn ~cv:ni.cv
+      ~meta:ni.meta ~ssv_a:ni.ssv_a ~ssv_b:ni.ssv_b ~scv_a:ni.scv_a
+      ~scv_b:ni.scv_b
+
+(* Merged node for a key present on both sides, after conflict checks.
+   The source metadata (ssv/scv) — and, for unaltered nodes, the payload
+   it must stay consistent with — comes from whichever side speaks for the
+   earlier history. *)
+let merged_node env (ni : node) (nl : node) ~left ~right =
+  let vn = fresh env in
+  if not env.transaction_mode then begin
+    if ni.meta land Meta.altered <> 0 then
+      Node.pack ~key:ni.key ~payload:ni.payload ~left ~right ~vn ~cv:ni.cv
+        ~meta:0 ~ssv_a:0 ~ssv_b:0 ~scv_a:0 ~scv_b:0
+    else
+      Node.pack ~key:ni.key ~payload:nl.payload ~left ~right ~vn ~cv:nl.cv
+        ~meta:0 ~ssv_a:0 ~ssv_b:0 ~scv_a:0 ~scv_b:0
+  end
+  else begin
+    let nl_mine = env.state_is_intention && inside_meta env nl.meta in
+    let meta_from_state =
+      if not env.state_is_intention then true (* premeld: refresh vs LCS *)
+      else begin
+        let ni_dep = ni.meta land Meta.dependent_mask <> 0 in
+        let nl_dep = nl_mine && nl.meta land Meta.dependent_mask <> 0 in
+        if ni_dep && nl_dep then env.state_snapshot <= env.intention_snapshot
+        else if nl_dep then true
+        else if ni_dep then false
+        else nl_mine
+      end
+    in
+    let dep =
+      ni.meta land Meta.dependent_mask
+      lor if nl_mine then nl.meta land Meta.dependent_mask else 0
+    in
+    let ni_w = ni.meta land Meta.altered <> 0 in
+    let nl_w = nl_mine && nl.meta land Meta.altered <> 0 in
+    let payload =
+      if ni_w then ni.payload
+      else if nl_w || meta_from_state then nl.payload
+      else ni.payload
+    in
+    let cv =
+      if ni_w then ni.cv
+      else if nl_w || meta_from_state then nl.cv
+      else ni.cv
+    in
+    (* degraft created nodes under group meld *)
+    if meta_from_state then
+      if nl_mine then begin
+        let m = env.out_bits lor dep lor (nl.meta land Meta.source_mask) in
+        if env.state_is_intention && nl.meta land Meta.ssv_present <> 0 then
+          Node.pack ~key:ni.key ~payload ~left ~right ~vn ~cv
+            ~meta:(m lor Meta.ssv_ephemeral)
+            ~ssv_a:(Node.vn_a vn) ~ssv_b:(Node.vn_b vn) ~scv_a:nl.scv_a
+            ~scv_b:nl.scv_b
+        else
+          Node.pack ~key:ni.key ~payload ~left ~right ~vn ~cv ~meta:m
+            ~ssv_a:nl.ssv_a ~ssv_b:nl.ssv_b ~scv_a:nl.scv_a ~scv_b:nl.scv_b
+      end
+      else if env.state_is_intention then
+        Node.pack ~key:ni.key ~payload ~left ~right ~vn ~cv
+          ~meta:
+            (env.out_bits lor dep lor Meta.ssv_present lor Meta.ssv_ephemeral
+           lor Node.scv_class nl.cv)
+          ~ssv_a:(Node.vn_a vn) ~ssv_b:(Node.vn_b vn)
+          ~scv_a:(Node.vn_a nl.cv) ~scv_b:(Node.vn_b nl.cv)
+      else
+        Node.pack ~key:ni.key ~payload ~left ~right ~vn ~cv
+          ~meta:
+            (env.out_bits lor dep lor Node.ssv_class nl.vn
+           lor Node.scv_class nl.cv)
+          ~ssv_a:(Node.vn_a nl.vn) ~ssv_b:(Node.vn_b nl.vn)
+          ~scv_a:(Node.vn_a nl.cv) ~scv_b:(Node.vn_b nl.cv)
+    else begin
+      let m = env.out_bits lor dep lor (ni.meta land Meta.source_mask) in
+      if env.state_is_intention && ni.meta land Meta.ssv_present <> 0 then
+        Node.pack ~key:ni.key ~payload ~left ~right ~vn ~cv
+          ~meta:(m lor Meta.ssv_ephemeral)
+          ~ssv_a:(Node.vn_a vn) ~ssv_b:(Node.vn_b vn) ~scv_a:ni.scv_a
+          ~scv_b:ni.scv_b
+      else
+        Node.pack ~key:ni.key ~payload ~left ~right ~vn ~cv ~meta:m
+          ~ssv_a:ni.ssv_a ~ssv_b:ni.ssv_b ~scv_a:ni.scv_a ~scv_b:ni.scv_b
+    end
+  end
+
+(* Split the state side around a key it does not contain; the copies along
+   the split path are ephemeral. *)
+let rec split_state env nl key =
+  if nl == empty then (empty, empty)
+  else begin
+    visit env;
+    if Key.compare nl.key key < 0 then begin
+      let a, b = split_state env nl.right key in
+      (eph_of_state env ~restructured:true nl ~left:nl.left ~right:a, b)
+    end
+    else begin
+      let a, b = split_state env nl.left key in
+      (a, eph_of_state env ~restructured:true nl ~left:b ~right:nl.right)
+    end
+  end
+
+(* Split the intention side around a concurrently inserted key. *)
+let rec split_intention env ni key =
+  if ni == empty then (empty, empty)
+  else begin
+    visit env;
+    if Key.compare ni.key key < 0 then begin
+      let a, b = split_intention env ni.right key in
+      let n =
+        if inside_meta env ni.meta then
+          eph_of_intention env ~restructured:true ni ~left:ni.left ~right:a
+        else eph_of_state env ~restructured:true ni ~left:ni.left ~right:a
+      in
+      (n, b)
+    end
+    else begin
+      let a, b = split_intention env ni.left key in
+      let n =
+        if inside_meta env ni.meta then
+          eph_of_intention env ~restructured:true ni ~left:b ~right:ni.right
+        else eph_of_state env ~restructured:true ni ~left:b ~right:ni.right
+      in
+      (a, n)
+    end
+  end
+
+(* Conflict checks for a key present on both sides. *)
+let check_node env (ni : node) (nl : node) =
+  if ni.meta land Meta.ssv_present = 0 then begin
+    (* T inserted the key, yet the state has it.  Even in group meld
+       this is a genuine conflict: keys never disappear, so the key was
+       created inside the later member's conflict zone. *)
+    if ni.meta land Meta.altered <> 0 then raise (Abort (Write_conflict ni.key))
+    else
+      raise
+        (Corrupt_intention
+           (Printf.sprintf "non-insert node %d without ssv" ni.key))
+  end
+  else begin
+    let nl_mine = env.state_is_intention && inside_meta env nl.meta in
+    if ni.meta land (Meta.altered lor Meta.dep_content) <> 0 then begin
+      let do_check =
+        if not env.state_is_intention then true
+        else
+          (* Against an earlier intention, only its own writes can
+             conflict here; anything else is older/newer snapshot skew
+             and is re-checked by final meld. *)
+          nl_mine && nl.meta land Meta.altered <> 0
+      in
+      if do_check then begin
+        if ni.meta land Meta.scv_present = 0 then
+          raise
+            (Corrupt_intention
+               (Printf.sprintf "node %d has ssv but no scv" ni.key));
+        if not (Node.scv_equals ni nl.cv) then
+          raise
+            (Abort
+               (if ni.meta land Meta.altered <> 0 then Write_conflict ni.key
+                else Read_conflict ni.key))
+      end
+    end;
+    if ni.meta land Meta.dep_structure <> 0 then begin
+      (* The graft fast path did not fire, so the subtree version
+         differs from what the transaction read. *)
+      if not env.state_is_intention then raise (Abort (Phantom_conflict ni.key))
+      else if nl_mine && nl.meta land Meta.has_writes <> 0 then
+        (* The earlier member restructured this subtree. *)
+        raise (Abort (Phantom_conflict ni.key))
+      else if env.intention_snapshot < env.state_snapshot then
+        (* The state side's view is newer: the structural change is
+           committed and inside the conflict zone. *)
+        raise (Abort (Phantom_conflict ni.key))
+      (* else: our view is newer than the earlier member's; defer. *)
+    end
+  end
+
+let rec go env i l =
+  if i == l then l
+  else if i == empty || not (inside_meta env i.meta) then
+    (* Empty or untouched by the transaction: the state side wins
+       unconditionally.  (The sentinel's meta is 0, which never matches a
+       member's owner bits.) *)
+    l
+  else if l == empty then
+    (* Virgin territory on the state side: adopt the intention's
+       subtree wholesale.  (Under group meld the region may also be
+       merely invisible to the earlier member; the metadata rides
+       along and final meld revalidates it.) *)
+    i
+  else begin
+    let ni = i and nl = l in
+    visit env;
+        if Node.ssv_equals ni nl.vn then begin
+          (* Graft fast path: the version this subtree was derived from
+             is still current — nothing concurrent happened below. *)
+          env.counters.Counters.grafts <- env.counters.Counters.grafts + 1;
+          if ni.meta land Meta.has_writes <> 0 then i
+          else if env.transaction_mode then
+            (* Section 3.3: keep the intention's read-only subtree so
+               the output retains readset metadata. *)
+            i
+          else l
+        end
+        else begin
+          let c = Key.compare ni.key nl.key in
+          if c = 0 then begin
+            check_node env ni nl;
+            let left = go env ni.left nl.left in
+            let right = go env ni.right nl.right in
+            if
+              ni.meta land Meta.dependent_mask = 0
+              && left == nl.left && right == nl.right
+            then l
+            else if
+              (not env.transaction_mode)
+              && ni.meta land Meta.altered <> 0
+              && left == ni.left && right == ni.right
+            then i
+            else if
+              (not env.transaction_mode)
+              && ni.meta land Meta.altered = 0
+              && left == nl.left && right == nl.right
+            then l
+            else merged_node env ni nl ~left ~right
+          end
+          else if Key.priority_greater ni.key nl.key then begin
+            (* The intention holds a key that outranks this whole state
+               region: splice it in, splitting the state around it.  In
+               a full state this can only be a fresh insert; under group
+               meld it can also be snapshot data the earlier member
+               cannot see yet. *)
+            if ni.meta land Meta.ssv_present <> 0 && not env.state_is_intention
+            then
+              raise
+                (Corrupt_intention
+                   (Printf.sprintf
+                      "node %d outranks state root %d but has a source \
+                       (ssv=%s owner=%d altered=%b vn=%s mode=%s)"
+                      ni.key nl.key
+                      (match Node.ssv ni with
+                      | Some v -> Vn.to_string v
+                      | None -> "-")
+                      (Node.owner ni) (Node.altered ni) (Vn.to_string ni.vn)
+                      (if env.transaction_mode then "txn" else "final")));
+            let ll, lr = split_state env l ni.key in
+            let left = go env ni.left ll in
+            let right = go env ni.right lr in
+            if left == ni.left && right == ni.right then i
+            else eph_of_intention env ~restructured:false ni ~left ~right
+          end
+          else begin
+            (* A key unknown to the intention outranks its region: the
+               state's node roots the merge and the intention splits. *)
+            let il, ir = split_intention env i nl.key in
+            let left = go env il nl.left in
+            let right = go env ir nl.right in
+            if left == nl.left && right == nl.right then l
+            else eph_of_state env ~restructured:false nl ~left ~right
+          end
+        end
+  end
+
 let meld ~mode ?(state_is_intention = false) ?(intention_snapshot = 0)
     ?(state_snapshot = -1) ~members ~alloc ~(counters : Counters.stage)
     ~intention ~state () =
@@ -40,290 +407,31 @@ let meld ~mode ?(state_is_intention = false) ?(intention_snapshot = 0)
     | Final -> (false, Node.state_owner)
     | Transaction { out_owner } -> (true, out_owner)
   in
-  (* [inside] runs on every node visit; members is almost always one
-     intention or a group pair, so specialize those shapes to straight
-     integer compares — no closure allocated per visit, no list walk. *)
-  let inside =
+  let b0, b1, more =
     match members with
-    | [] -> fun _ -> false
-    | [ m0 ] -> fun owner -> owner = m0
-    | [ m0; m1 ] -> fun owner -> owner = m0 || owner = m1
-    | ms -> fun owner -> List.mem owner ms
+    | [] -> (no_member, no_member, [])
+    | [ m0 ] ->
+        let b = Meta.owner_bits m0 in
+        (b, b, [])
+    | [ m0; m1 ] -> (Meta.owner_bits m0, Meta.owner_bits m1, [])
+    | m0 :: m1 :: ms ->
+        (Meta.owner_bits m0, Meta.owner_bits m1, List.map Meta.owner_bits ms)
   in
-  let visit () = counters.nodes_visited <- counters.nodes_visited + 1 in
-  let fresh () =
-    counters.ephemerals <- counters.ephemerals + 1;
-    Vn.Alloc.next alloc
+  let env =
+    {
+      counters;
+      alloc;
+      b0;
+      b1;
+      more;
+      transaction_mode;
+      state_is_intention;
+      out_bits = Meta.owner_bits out_owner;
+      intention_snapshot;
+      state_snapshot;
+    }
   in
-  let state_side_mine (nl : node) = state_is_intention && inside nl.owner in
-  (* A node's ssv doubles as the graft precondition: "this subtree equals
-     version ssv plus my own changes".  A copy made on a SPLIT PATH holds
-     only half of its source's subtree, so it must never be graftable: it
-     keeps its content metadata (scv) but takes its own fresh VN as ssv — a
-     version no state will ever hold — unless it was an insert (ssv = None),
-     which stays an insert. *)
-  (* Under group meld every created node additionally degrafts: the merge
-     can mix the newer member's view with the older member's stale snapshot
-     subtrees, so no created node may claim its subtree is current.  Nodes
-     adopted wholesale from one member keep their honest claims. *)
-  let degraft ~restructured ~vn = function
-    | None -> None
-    | Some _ when restructured || state_is_intention -> Some vn
-    | some -> some
-  in
-  (* Ephemeral copy of a state-side (or snapshot) node with new children. *)
-  let eph_of_state ?(restructured = false) (nl : node) ~left ~right =
-    let vn = fresh () in
-    if transaction_mode then begin
-      let mine = state_side_mine nl in
-      let ssv, scv =
-        if mine then (nl.ssv, nl.scv) else (Some nl.vn, Some nl.cv)
-      in
-      let ssv = degraft ~restructured ~vn ssv in
-      Node.make ~key:nl.key ~payload:nl.payload ~left ~right ~vn ~cv:nl.cv
-        ~ssv ~scv ~altered:(mine && nl.altered)
-        ~depends_on_content:(mine && nl.depends_on_content)
-        ~depends_on_structure:(mine && nl.depends_on_structure)
-        ~owner:out_owner
-    end
-    else
-      Node.make ~key:nl.key ~payload:nl.payload ~left ~right ~vn ~cv:nl.cv
-        ~ssv:None ~scv:None ~altered:false ~depends_on_content:false
-        ~depends_on_structure:false ~owner:state_owner
-  in
-  (* Ephemeral copy of an intention-side node whose conflict checks have not
-     happened yet (restructuring around a concurrent insert): metadata and
-     ownership must survive so the checks still fire deeper in the merge. *)
-  let eph_of_intention ?(restructured = false) (ni : node) ~left ~right =
-    let vn = fresh () in
-    Node.make ~key:ni.key ~payload:ni.payload ~left ~right ~vn ~cv:ni.cv
-      ~ssv:(degraft ~restructured ~vn ni.ssv)
-      ~scv:ni.scv ~altered:ni.altered
-      ~depends_on_content:ni.depends_on_content
-      ~depends_on_structure:ni.depends_on_structure ~owner:ni.owner
-  in
-  let dependent (n : node) =
-    n.altered || n.depends_on_content || n.depends_on_structure
-  in
-  (* Merged node for a key present on both sides, after conflict checks.
-     The source metadata (ssv/scv) — and, for unaltered nodes, the payload
-     it must stay consistent with — comes from whichever side speaks for the
-     earlier history. *)
-  let merged_node (ni : node) (nl : node) ~left ~right =
-    if not transaction_mode then begin
-      let payload, cv =
-        if ni.altered then (ni.payload, ni.cv) else (nl.payload, nl.cv)
-      in
-      Node.make ~key:ni.key ~payload ~left ~right ~vn:(fresh ()) ~cv ~ssv:None
-        ~scv:None ~altered:false ~depends_on_content:false
-        ~depends_on_structure:false ~owner:state_owner
-    end
-    else begin
-      let nl_mine = state_side_mine nl in
-      let meta_from_state =
-        if not state_is_intention then true (* premeld: refresh against LCS *)
-        else begin
-          let ni_dep = dependent ni in
-          let nl_dep = nl_mine && dependent nl in
-          if ni_dep && nl_dep then state_snapshot <= intention_snapshot
-          else if nl_dep then true
-          else if ni_dep then false
-          else nl_mine
-        end
-      in
-      let vn = fresh () in
-      let ssv, scv =
-        if meta_from_state then
-          if nl_mine then (nl.ssv, nl.scv) else (Some nl.vn, Some nl.cv)
-        else (ni.ssv, ni.scv)
-      in
-      let ssv = degraft ~restructured:false ~vn ssv in
-      let payload, cv =
-        if ni.altered then (ni.payload, ni.cv)
-        else if nl_mine && nl.altered then (nl.payload, nl.cv)
-        else if meta_from_state then (nl.payload, nl.cv)
-        else (ni.payload, ni.cv)
-      in
-      Node.make ~key:ni.key ~payload ~left ~right ~vn ~cv ~ssv ~scv
-        ~altered:(ni.altered || (nl_mine && nl.altered))
-        ~depends_on_content:
-          (ni.depends_on_content || (nl_mine && nl.depends_on_content))
-        ~depends_on_structure:
-          (ni.depends_on_structure || (nl_mine && nl.depends_on_structure))
-        ~owner:out_owner
-    end
-  in
-  (* Split the state side around a key it does not contain; the copies along
-     the split path are ephemeral. *)
-  let rec split_state l key =
-    match l with
-    | Empty -> (Empty, Empty)
-    | Node nl ->
-        visit ();
-        if Key.compare nl.key key < 0 then begin
-          let a, b = split_state nl.right key in
-          (Node (eph_of_state ~restructured:true nl ~left:nl.left ~right:a), b)
-        end
-        else begin
-          let a, b = split_state nl.left key in
-          (a, Node (eph_of_state ~restructured:true nl ~left:b ~right:nl.right))
-        end
-  in
-  (* Split the intention side around a concurrently inserted key. *)
-  let rec split_intention i key =
-    match i with
-    | Empty -> (Empty, Empty)
-    | Node ni ->
-        visit ();
-        let copy ~left ~right =
-          if inside ni.owner then
-            eph_of_intention ~restructured:true ni ~left ~right
-          else eph_of_state ~restructured:true ni ~left ~right
-        in
-        if Key.compare ni.key key < 0 then begin
-          let a, b = split_intention ni.right key in
-          (Node (copy ~left:ni.left ~right:a), b)
-        end
-        else begin
-          let a, b = split_intention ni.left key in
-          (a, Node (copy ~left:b ~right:ni.right))
-        end
-  in
-  (* Conflict checks for a key present on both sides. *)
-  let check_node (ni : node) (nl : node) =
-    match ni.ssv with
-    | None ->
-        (* T inserted the key, yet the state has it.  Even in group meld
-           this is a genuine conflict: keys never disappear, so the key was
-           created inside the later member's conflict zone. *)
-        if ni.altered then raise (Abort (Write_conflict ni.key))
-        else
-          raise
-            (Corrupt_intention
-               (Printf.sprintf "non-insert node %d without ssv" ni.key))
-    | Some _ ->
-        let nl_mine = state_side_mine nl in
-        if ni.altered || ni.depends_on_content then begin
-          let do_check =
-            if not state_is_intention then true
-            else
-              (* Against an earlier intention, only its own writes can
-                 conflict here; anything else is older/newer snapshot skew
-                 and is re-checked by final meld. *)
-              nl_mine && nl.altered
-          in
-          if do_check then begin
-            match ni.scv with
-            | None ->
-                raise
-                  (Corrupt_intention
-                     (Printf.sprintf "node %d has ssv but no scv" ni.key))
-            | Some scv ->
-                if not (Vn.equal scv nl.cv) then
-                  raise
-                    (Abort
-                       (if ni.altered then Write_conflict ni.key
-                        else Read_conflict ni.key))
-          end
-        end;
-        if ni.depends_on_structure then begin
-          (* The graft fast path did not fire, so the subtree version
-             differs from what the transaction read. *)
-          if not state_is_intention then raise (Abort (Phantom_conflict ni.key))
-          else if nl_mine && nl.has_writes then
-            (* The earlier member restructured this subtree. *)
-            raise (Abort (Phantom_conflict ni.key))
-          else if intention_snapshot < state_snapshot then
-            (* The state side's view is newer: the structural change is
-               committed and inside the conflict zone. *)
-            raise (Abort (Phantom_conflict ni.key))
-          (* else: our view is newer than the earlier member's; defer. *)
-        end
-  in
-  let rec go i l =
-    if i == l then l
-    else
-      match (i, l) with
-      | Empty, _ -> l
-      | Node ni, _ when not (inside ni.owner) ->
-          (* The transaction did not touch this subtree: the state side wins
-             unconditionally. *)
-          l
-      | Node _, Empty ->
-          (* Virgin territory on the state side: adopt the intention's
-             subtree wholesale.  (Under group meld the region may also be
-             merely invisible to the earlier member; the metadata rides
-             along and final meld revalidates it.) *)
-          i
-      | Node ni, Node nl -> begin
-          visit ();
-          match ni.ssv with
-          | Some ssv when Vn.equal ssv nl.vn ->
-              (* Graft fast path: the version this subtree was derived from
-                 is still current — nothing concurrent happened below. *)
-              counters.grafts <- counters.grafts + 1;
-              if ni.has_writes then i
-              else if transaction_mode then
-                (* Section 3.3: keep the intention's read-only subtree so
-                   the output retains readset metadata. *)
-                i
-              else l
-          | _ ->
-              let c = Key.compare ni.key nl.key in
-              if c = 0 then begin
-                check_node ni nl;
-                let left = go ni.left nl.left in
-                let right = go ni.right nl.right in
-                let i_contributes = dependent ni in
-                if (not i_contributes) && left == nl.left && right == nl.right
-                then l
-                else if
-                  (not transaction_mode)
-                  && ni.altered && left == ni.left && right == ni.right
-                then i
-                else if
-                  (not transaction_mode)
-                  && (not ni.altered)
-                  && left == nl.left && right == nl.right
-                then l
-                else Node (merged_node ni nl ~left ~right)
-              end
-              else if Key.priority_greater ni.key nl.key then begin
-                (* The intention holds a key that outranks this whole state
-                   region: splice it in, splitting the state around it.  In
-                   a full state this can only be a fresh insert; under group
-                   meld it can also be snapshot data the earlier member
-                   cannot see yet. *)
-                if ni.ssv <> None && not state_is_intention then
-                  raise
-                    (Corrupt_intention
-                       (Printf.sprintf
-                          "node %d outranks state root %d but has a source \
-                           (ssv=%s owner=%d altered=%b vn=%s mode=%s)"
-                          ni.key nl.key
-                          (match ni.ssv with
-                          | Some v -> Vn.to_string v
-                          | None -> "-")
-                          ni.owner ni.altered (Vn.to_string ni.vn)
-                          (if transaction_mode then "txn" else "final")));
-                let ll, lr = split_state l ni.key in
-                let left = go ni.left ll in
-                let right = go ni.right lr in
-                if left == ni.left && right == ni.right then i
-                else Node (eph_of_intention ni ~left ~right)
-              end
-              else begin
-                (* A key unknown to the intention outranks its region: the
-                   state's node roots the merge and the intention splits. *)
-                let il, ir = split_intention i nl.key in
-                let left = go il nl.left in
-                let right = go ir nl.right in
-                if left == nl.left && right == nl.right then l
-                else Node (eph_of_state nl ~left ~right)
-              end
-        end
-  in
-  match go intention state with
+  match go env intention state with
   | merged -> Merged merged
   | exception Abort reason ->
       counters.aborts <- counters.aborts + 1;

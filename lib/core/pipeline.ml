@@ -37,7 +37,61 @@ type instruments = {
   m_fm_nodes : Metrics.Histogram.t;
   m_commits : Metrics.Counter.t;
   m_aborts : Metrics.Counter.t;
+  (* Per-stage GC deltas ([Gc.counters] minor/promoted words), sampled
+     around the stage work executed on the domain that owns the stage:
+     fm on the driver (every backend), ds/pm on the driver's inline path,
+     gm wherever the single gm writer runs (the driver inline, or the
+     dedicated gm worker under the pipelined backend — GC counters are
+     domain-local, so the worker's sample measures exactly the gm work).
+     Fan-out stages (worker ds, parallel premeld windows) are not
+     sampled: several domains would race on one accumulator. *)
+  m_ds_gc_minor : Metrics.Fcounter.t;
+  m_ds_gc_promoted : Metrics.Fcounter.t;
+  m_pm_gc_minor : Metrics.Fcounter.t;
+  m_pm_gc_promoted : Metrics.Fcounter.t;
+  m_gm_gc_minor : Metrics.Fcounter.t;
+  m_gm_gc_promoted : Metrics.Fcounter.t;
+  m_fm_gc_minor : Metrics.Fcounter.t;
+  m_fm_gc_promoted : Metrics.Fcounter.t;
 }
+
+(* GC sampling around a stage, inert when metrics are off: one branch,
+   no allocation (the off-branch pair is a static constant).
+
+   Minor words come from [Gc.minor_words] — the only cumulative-allocation
+   reading that includes words allocated since the last minor collection
+   (on OCaml 5.1, [Gc.counters] and [Gc.quick_stat] update their
+   minor_words only AT minor collections, which turns small bracket
+   deltas into collection-timing noise).  Promoted words have no such
+   exact reading — promotion only happens at minor collections — so that
+   column is naturally quantized to the collections that fired inside
+   the bracket. *)
+let gc_begin inst =
+  match inst with
+  | None -> (0.0, 0.0)
+  | Some _ ->
+      (* Promoted first: [Gc.counters]'s own result tuple then lands
+         before the minor reading, outside the measured span. *)
+      let _, pw, _ = Gc.counters () in
+      let mw = Gc.minor_words () in
+      (mw, pw)
+
+let gc_end inst ~stage (mw0, pw0) =
+  match inst with
+  | None -> ()
+  | Some i ->
+      (* Minor first, for the same reason. *)
+      let mw1 = Gc.minor_words () in
+      let _, pw1, _ = Gc.counters () in
+      let minor, promoted =
+        match stage with
+        | `Ds -> (i.m_ds_gc_minor, i.m_ds_gc_promoted)
+        | `Pm -> (i.m_pm_gc_minor, i.m_pm_gc_promoted)
+        | `Gm -> (i.m_gm_gc_minor, i.m_gm_gc_promoted)
+        | `Fm -> (i.m_fm_gc_minor, i.m_fm_gc_promoted)
+      in
+      Metrics.Fcounter.add minor (mw1 -. mw0);
+      Metrics.Fcounter.add promoted (pw1 -. pw0)
 
 (* ------------------------------------------------------------------ *)
 (* Pipelined backend: job/result plumbing types                         *)
@@ -186,14 +240,14 @@ let cached_resolver t : Codec.resolver =
   let fallback = State_store.resolver t.states in
   fun ~snapshot ~key ~vn ->
     let from_state =
-      match fallback ~snapshot ~key ~vn with
-      | Node.Node n as tree when Vn.equal n.Node.vn vn -> Some tree
-      | tree -> (
-          (* wrong version (or absent): the state at [snapshot] no longer
-             holds this node — only the cache can still name it *)
-          match vn with
-          | Vn.Logged _ -> None
-          | Vn.Ephemeral _ -> Some tree)
+      let tree = fallback ~snapshot ~key ~vn in
+      if (not (Node.is_empty tree)) && Vn.equal tree.Node.vn vn then Some tree
+      else
+        (* wrong version (or absent): the state at [snapshot] no longer
+           holds this node — only the cache can still name it *)
+        match vn with
+        | Vn.Logged _ -> None
+        | Vn.Ephemeral _ -> Some tree
     in
     match from_state with
     | Some tree -> tree
@@ -201,19 +255,23 @@ let cached_resolver t : Codec.resolver =
         match vn with
         | Vn.Logged { pos = p; idx } -> (
             match Intention_cache.find t.cache ~pos:p ~idx with
-            | Some (Node.Node n as tree) when Key.equal n.Node.key key -> tree
+            | Some tree
+              when (not (Node.is_empty tree)) && Key.equal tree.Node.key key
+              -> tree
             | Some _ | None -> fallback ~snapshot ~key ~vn)
         | Vn.Ephemeral _ -> fallback ~snapshot ~key ~vn)
 
 let decode t ~pos bytes =
   let ds = t.counters.deserialize in
   let t0 = Clock.now () in
+  let gc0 = gc_begin t.inst in
   ds.intentions <- ds.intentions + 1;
   let resolve = cached_resolver t in
   let i, nodes = Codec.decode_indexed ~pos ~resolve bytes in
   Intention_cache.add t.cache ~pos nodes;
   ds.nodes_visited <- ds.nodes_visited + i.Intention.node_count;
   Summary.add t.counters.intention_bytes (float_of_int i.Intention.byte_size);
+  gc_end t.inst ~stage:`Ds gc0;
   let t1 = Clock.now () in
   ds.seconds <- ds.seconds +. (t1 -. t0);
   (* [next_seq] is the sequence number this intention receives if it is
@@ -232,12 +290,14 @@ let decode t ~pos bytes =
 let decode_slice t ~scratch ~seq ~pos ~off ~len src =
   let ds = t.counters.deserialize in
   let t0 = Clock.now () in
+  let gc0 = gc_begin t.inst in
   ds.intentions <- ds.intentions + 1;
   let resolve = cached_resolver t in
   let i = Codec.decode_pooled ~scratch ~pos ~off ~len ~resolve src in
   Intention_cache.add t.cache ~pos (Codec.Scratch.export scratch);
   ds.nodes_visited <- ds.nodes_visited + i.Intention.node_count;
   Summary.add t.counters.intention_bytes (float_of_int i.Intention.byte_size);
+  gc_end t.inst ~stage:`Ds gc0;
   let t1 = Clock.now () in
   ds.seconds <- ds.seconds +. (t1 -. t0);
   if Trace.enabled t.trace then
@@ -255,12 +315,14 @@ let final_meld t (group : Group_meld.group) =
     if alive = 0 then Meld.Merged lcs_tree
     else begin
       let t0 = Clock.now () in
+      let gc0 = gc_begin t.inst in
       fm.intentions <- fm.intentions + alive;
       let r =
         Meld.meld ~mode:Meld.Final ~members:group.member_positions
           ~alloc:t.fm_alloc ~counters:fm ~intention:group.root ~state:lcs_tree
           ()
       in
+      gc_end t.inst ~stage:`Fm gc0;
       let t1 = Clock.now () in
       fm.seconds <- fm.seconds +. (t1 -. t0);
       if Trace.enabled t.trace then begin
@@ -361,9 +423,11 @@ let gm_step t ~track ~seq (unit_group : Group_meld.group) =
           let gm = t.counters.group_meld in
           let nodes_before = gm.nodes_visited in
           let t0 = Clock.now () in
+          let gc0 = gc_begin t.inst in
           let merged =
             Group_meld.combine ~alloc:t.gm_alloc ~counters:gm g unit_group
           in
+          gc_end t.inst ~stage:`Gm gc0;
           let t1 = Clock.now () in
           gm.seconds <- gm.seconds +. (t1 -. t0);
           if Trace.enabled t.trace then
@@ -409,10 +473,12 @@ let submit t (intention : Intention.t) =
           t.counters.premeld_shards.(Premeld.thread_for pc ~seq - 1)
         in
         let t0 = Clock.now () in
+        let gc0 = gc_begin t.inst in
         let outcome =
           Premeld.run ~trace:t.trace pc ~allocs:t.pm_allocs
             ~shards:t.counters.premeld_shards ~states:t.states ~seq intention
         in
+        gc_end t.inst ~stage:`Pm gc0;
         shard.Counters.seconds <- shard.Counters.seconds +. Clock.elapsed t0;
         group_of_outcome ~seq intention outcome
   in
@@ -1083,6 +1149,14 @@ let make_instruments metrics =
         m_fm_nodes = Metrics.histogram m "pipeline_fm_nodes_per_txn";
         m_commits = Metrics.counter m "pipeline_commits";
         m_aborts = Metrics.counter m "pipeline_aborts";
+        m_ds_gc_minor = Metrics.fcounter m "pipeline_ds_gc_minor_words";
+        m_ds_gc_promoted = Metrics.fcounter m "pipeline_ds_gc_promoted_words";
+        m_pm_gc_minor = Metrics.fcounter m "pipeline_pm_gc_minor_words";
+        m_pm_gc_promoted = Metrics.fcounter m "pipeline_pm_gc_promoted_words";
+        m_gm_gc_minor = Metrics.fcounter m "pipeline_gm_gc_minor_words";
+        m_gm_gc_promoted = Metrics.fcounter m "pipeline_gm_gc_promoted_words";
+        m_fm_gc_minor = Metrics.fcounter m "pipeline_fm_gc_minor_words";
+        m_fm_gc_promoted = Metrics.fcounter m "pipeline_fm_gc_promoted_words";
       })
     metrics
 
@@ -1148,8 +1222,9 @@ let create ?(config = plain) ?(runtime = Runtime.sequential)
 (* --- checkpoint / restore ----------------------------------------------- *)
 
 let checkpoint t =
-  if t.pending <> None then None
-  else
+  match t.pending with
+  | Some _ -> None
+  | None ->
     Some
       (Checkpoint.capture
          ~store:(State_store.snapshot t.states)

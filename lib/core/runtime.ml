@@ -157,7 +157,10 @@ module Stage_pool = struct
     if Atomic.get t.events = seen then begin
       Mutex.lock t.lock;
       Atomic.set t.parked true;
-      while Atomic.get t.events = seen && Atomic.get t.failure = None do
+      while
+        Atomic.get t.events = seen
+        && (match Atomic.get t.failure with None -> true | Some _ -> false)
+      do
         Condition.wait t.cond t.lock
       done;
       Atomic.set t.parked false;

@@ -132,8 +132,8 @@ let make_resolver ~stage ~by_pos : Hyder_codec.Codec.resolver =
     | None -> not_retained ~stage ~what:"position" snapshot (-1) (-1)
     | Some state -> (
         match Tree.find state key with
-        | None -> Node.Empty
-        | Some n -> Node.Node n)
+        | None -> Node.empty
+        | Some n -> n)
 
 let resolver ?(stage = "ds") t = make_resolver ~stage ~by_pos:(by_pos t)
 

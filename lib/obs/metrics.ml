@@ -12,6 +12,13 @@ module Gauge = struct
   let value g = g.v
 end
 
+module Fcounter = struct
+  type t = { mutable v : float }
+
+  let add c x = c.v <- c.v +. x
+  let value c = c.v
+end
+
 module Histogram = struct
   let n_buckets = 64
   let min_exp = -16
@@ -42,13 +49,18 @@ end
 type instrument =
   | C of Counter.t
   | G of Gauge.t
+  | F of Fcounter.t
   | H of Histogram.t
 
 type t = { items : (string, instrument) Hashtbl.t }
 
 let create () = { items = Hashtbl.create 32 }
 
-let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+let kind_name = function
+  | C _ -> "counter"
+  | G _ -> "gauge"
+  | F _ -> "fcounter"
+  | H _ -> "histogram"
 
 let resolve t name make match_ =
   match Hashtbl.find_opt t.items name with
@@ -73,6 +85,11 @@ let gauge t name =
     (fun () -> G { Gauge.v = 0.0 })
     (function G g -> Some g | _ -> None)
 
+let fcounter t name =
+  resolve t name
+    (fun () -> F { Fcounter.v = 0.0 })
+    (function F c -> Some c | _ -> None)
+
 let histogram t name =
   resolve t name
     (fun () ->
@@ -86,6 +103,7 @@ let histogram t name =
 type value =
   | Counter_v of int
   | Gauge_v of float
+  | Fcounter_v of float
   | Histogram_v of { counts : int array; count : int; sum : float }
 
 type snapshot = (string * value) list
@@ -97,6 +115,7 @@ let snapshot t =
         match i with
         | C c -> Counter_v c.Counter.v
         | G g -> Gauge_v g.Gauge.v
+        | F c -> Fcounter_v c.Fcounter.v
         | H h ->
             Histogram_v
               { counts = Array.copy h.Histogram.counts; count = h.n; sum = h.sum }
@@ -111,6 +130,7 @@ let diff ~base current =
       let v' =
         match (v, List.assoc_opt name base) with
         | Counter_v n, Some (Counter_v n0) -> Counter_v (n - n0)
+        | Fcounter_v x, Some (Fcounter_v x0) -> Fcounter_v (x -. x0)
         | ( Histogram_v { counts; count; sum },
             Some (Histogram_v { counts = c0; count = n0; sum = s0 }) ) ->
             Histogram_v
@@ -148,6 +168,9 @@ let to_prometheus snap =
       | Gauge_v x ->
           Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" name);
           Buffer.add_string buf (Printf.sprintf "%s %.12g\n" name x)
+      | Fcounter_v x ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" name);
+          Buffer.add_string buf (Printf.sprintf "%s %.12g\n" name x)
       | Histogram_v { counts; count; sum } ->
           Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name);
           let cumulative = ref 0 in
@@ -175,6 +198,7 @@ let to_json snap =
            match v with
            | Counter_v n -> Json.Int n
            | Gauge_v x -> Json.Float x
+           | Fcounter_v x -> Json.Float x
            | Histogram_v { counts; count; sum } ->
                let buckets = ref [] in
                Array.iteri

@@ -26,6 +26,16 @@ module Gauge : sig
   val value : t -> float
 end
 
+module Fcounter : sig
+  type t
+  (** A monotonically accumulating float counter — for quantities that are
+      naturally fractional sums, like GC word deltas ([Gc.counters]
+      returns floats).  Diffs like an integer counter. *)
+
+  val add : t -> float -> unit
+  val value : t -> float
+end
+
 module Histogram : sig
   type t
 
@@ -54,6 +64,7 @@ val create : unit -> t
 
 val counter : t -> string -> Counter.t
 val gauge : t -> string -> Gauge.t
+val fcounter : t -> string -> Fcounter.t
 val histogram : t -> string -> Histogram.t
 (** Find-or-create by name.  Raises [Invalid_argument] if the name is
     already registered as a different instrument kind. *)
@@ -63,6 +74,7 @@ val histogram : t -> string -> Histogram.t
 type value =
   | Counter_v of int
   | Gauge_v of float
+  | Fcounter_v of float
   | Histogram_v of { counts : int array; count : int; sum : float }
 
 type snapshot = (string * value) list

@@ -1,4 +1,15 @@
-type tree = Empty | Node of node
+(* Per-node OCC metadata lives in one immediate int ([meta]) plus four
+   plain int words for the source-version payloads, so the meld hot loops
+   test flags with masks instead of option allocation + caml_equal.  See
+   node.mli and DESIGN.md §11 for the layout.
+
+   The empty tree is a statically-allocated sentinel node ([empty],
+   self-referential children) rather than a variant constructor: child
+   links point straight at node records, so constructing an ephemeral
+   node is ONE 12-word block — no per-node [Node of node] wrapper — and
+   traversal follows one pointer per child instead of two. *)
+
+type tree = node
 
 and node = {
   key : Key.t;
@@ -7,77 +18,205 @@ and node = {
   right : tree;
   vn : Vn.t;
   cv : Vn.t;
-  ssv : Vn.t option;
-  scv : Vn.t option;
-  altered : bool;
-  depends_on_content : bool;
-  depends_on_structure : bool;
-  owner : int;
-  has_writes : bool;
+  meta : int;
+  ssv_a : int;
+  ssv_b : int;
+  scv_a : int;
+  scv_b : int;
 }
 
 let state_owner = -1
 
-let child_has_writes owner = function
-  | Empty -> false
-  | Node n -> n.owner = owner && n.has_writes
+module Meta = struct
+  (* The low three bits deliberately equal the wire flag byte's low bits
+     (Codec), so encode is [meta land 0x7] and decode ORs the wire flags
+     straight in. *)
+  let altered = 0x01
+  let dep_content = 0x02
+  let dep_structure = 0x04
+  let has_writes = 0x08
+  let ssv_present = 0x10
+  let ssv_ephemeral = 0x20
+  let scv_present = 0x40
+  let scv_ephemeral = 0x80
+  let flags_mask = 0xff
 
-let make ~key ~payload ~left ~right ~vn ~cv ~ssv ~scv ~altered
-    ~depends_on_content ~depends_on_structure ~owner =
-  let has_writes =
-    altered || ssv = None
-    || child_has_writes owner left
-    || child_has_writes owner right
-  in
+  let dependent_mask = altered lor dep_content lor dep_structure
+  let source_mask = ssv_present lor ssv_ephemeral lor scv_present lor scv_ephemeral
+
+  (* Flag bits that survive [Intention.assign]'s owner rewrite: everything
+     but [has_writes], which is recomputed against the new owner. *)
+  let carry_mask = flags_mask land lnot has_writes
+
+  (* Owner (a log position, or [state_owner]) in the bits above the flags,
+     biased by one so state nodes have zero owner bits. *)
+  let owner_shift = 8
+  let owner_mask = -1 lsl owner_shift
+  let owner_bits owner = (owner + 1) lsl owner_shift
+  let owner_of meta = (meta asr owner_shift) - 1
+
+  (* [meta land hw_mask = owner_bits o lor has_writes] tests "same owner
+     and has writes" in one compare. *)
+  let hw_mask = owner_mask lor has_writes
+end
+
+(* The empty sentinel.  [meta = 0] can never satisfy a same-owner
+   has-writes test ([hw_mask] compares always carry the has_writes bit),
+   so [pack]'s child summaries need no emptiness branch.  Its fields are
+   never otherwise read: every traversal stops on [t == empty]. *)
+let rec empty =
   {
-    key;
-    payload;
-    left;
-    right;
-    vn;
-    cv;
-    ssv;
-    scv;
-    altered;
-    depends_on_content;
-    depends_on_structure;
-    owner;
-    has_writes;
+    key = 0;
+    payload = Payload.tombstone;
+    left = empty;
+    right = empty;
+    vn = Vn.logged ~pos:min_int ~idx:0;
+    cv = Vn.logged ~pos:min_int ~idx:0;
+    meta = 0;
+    ssv_a = 0;
+    ssv_b = 0;
+    scv_a = 0;
+    scv_b = 0;
   }
 
-let with_children n ~left ~right ~vn =
-  let has_writes =
-    n.altered || n.ssv = None
-    || child_has_writes n.owner left
-    || child_has_writes n.owner right
+let[@inline] is_empty t = t == empty
+
+(* Low-level constructor over the packed representation.  [meta] supplies
+   the flag and owner bits; the [has_writes] bit is recomputed here from
+   the other bits and the same-owner children, so callers never carry it
+   across structural edits. *)
+let pack ~key ~payload ~left ~right ~vn ~cv ~meta ~ssv_a ~ssv_b ~scv_a ~scv_b
+    =
+  let obh = (meta land Meta.owner_mask) lor Meta.has_writes in
+  let hw =
+    meta land Meta.altered <> 0
+    || meta land Meta.ssv_present = 0
+    || left.meta land Meta.hw_mask = obh
+    || right.meta land Meta.hw_mask = obh
   in
-  { n with left; right; vn; has_writes }
+  let meta =
+    if hw then meta lor Meta.has_writes else meta land lnot Meta.has_writes
+  in
+  { key; payload; left; right; vn; cv; meta; ssv_a; ssv_b; scv_a; scv_b }
 
-let rec size = function
-  | Empty -> 0
-  | Node n -> 1 + size n.left + size n.right
+(* Flag accessors. *)
+let owner n = Meta.owner_of n.meta
+let altered n = n.meta land Meta.altered <> 0
+let depends_on_content n = n.meta land Meta.dep_content <> 0
+let depends_on_structure n = n.meta land Meta.dep_structure <> 0
+let has_writes n = n.meta land Meta.has_writes <> 0
+let has_ssv n = n.meta land Meta.ssv_present <> 0
+let has_scv n = n.meta land Meta.scv_present <> 0
 
-let rec live_size = function
-  | Empty -> 0
-  | Node n ->
-      (if Payload.is_tombstone n.payload then 0 else 1)
-      + live_size n.left + live_size n.right
+(* Option views of the packed source versions — cold paths only (tests,
+   pretty-printing, reference checks); the hot loops use the [_equals]
+   tests below. *)
+let ssv n =
+  if n.meta land Meta.ssv_present = 0 then None
+  else if n.meta land Meta.ssv_ephemeral <> 0 then
+    Some (Vn.ephemeral ~thread:n.ssv_a ~seq:n.ssv_b)
+  else Some (Vn.logged ~pos:n.ssv_a ~idx:n.ssv_b)
 
-let rec depth = function
-  | Empty -> 0
-  | Node n -> 1 + max (depth n.left) (depth n.right)
+let scv n =
+  if n.meta land Meta.scv_present = 0 then None
+  else if n.meta land Meta.scv_ephemeral <> 0 then
+    Some (Vn.ephemeral ~thread:n.scv_a ~seq:n.scv_b)
+  else Some (Vn.logged ~pos:n.scv_a ~idx:n.scv_b)
+
+(* Allocation-free equality of a packed source version against a boxed
+   [Vn.t]; false when the source version is absent. *)
+let ssv_equals n (vn : Vn.t) =
+  match vn with
+  | Vn.Logged { pos; idx } ->
+      n.meta land (Meta.ssv_present lor Meta.ssv_ephemeral) = Meta.ssv_present
+      && n.ssv_a = pos && n.ssv_b = idx
+  | Vn.Ephemeral { thread; seq } ->
+      n.meta land (Meta.ssv_present lor Meta.ssv_ephemeral)
+      = Meta.ssv_present lor Meta.ssv_ephemeral
+      && n.ssv_a = thread && n.ssv_b = seq
+
+let scv_equals n (vn : Vn.t) =
+  match vn with
+  | Vn.Logged { pos; idx } ->
+      n.meta land (Meta.scv_present lor Meta.scv_ephemeral) = Meta.scv_present
+      && n.scv_a = pos && n.scv_b = idx
+  | Vn.Ephemeral { thread; seq } ->
+      n.meta land (Meta.scv_present lor Meta.scv_ephemeral)
+      = Meta.scv_present lor Meta.scv_ephemeral
+      && n.scv_a = thread && n.scv_b = seq
+
+(* Packed-word views of a boxed VN: the payload words and the
+   presence/class bits for storing it as a source version.  Pure int
+   extraction — no allocation. *)
+let vn_a = function
+  | Vn.Logged { pos; _ } -> pos
+  | Vn.Ephemeral { thread; _ } -> thread
+
+let vn_b = function
+  | Vn.Logged { idx; _ } -> idx
+  | Vn.Ephemeral { seq; _ } -> seq
+
+let ssv_class = function
+  | Vn.Logged _ -> Meta.ssv_present
+  | Vn.Ephemeral _ -> Meta.ssv_present lor Meta.ssv_ephemeral
+
+let scv_class = function
+  | Vn.Logged _ -> Meta.scv_present
+  | Vn.Ephemeral _ -> Meta.scv_present lor Meta.scv_ephemeral
+
+(* Compatibility smart constructor over the unpacked field view; cold
+   paths (bulk load, checkpoint compaction, tests). *)
+let make ~key ~payload ~left ~right ~vn ~cv ~ssv ~scv ~altered
+    ~depends_on_content ~depends_on_structure ~owner =
+  let meta = Meta.owner_bits owner in
+  let meta = if altered then meta lor Meta.altered else meta in
+  let meta = if depends_on_content then meta lor Meta.dep_content else meta in
+  let meta =
+    if depends_on_structure then meta lor Meta.dep_structure else meta
+  in
+  let meta, ssv_a, ssv_b =
+    match ssv with
+    | None -> (meta, 0, 0)
+    | Some (Vn.Logged { pos; idx }) -> (meta lor Meta.ssv_present, pos, idx)
+    | Some (Vn.Ephemeral { thread; seq }) ->
+        (meta lor Meta.ssv_present lor Meta.ssv_ephemeral, thread, seq)
+  in
+  let meta, scv_a, scv_b =
+    match scv with
+    | None -> (meta, 0, 0)
+    | Some (Vn.Logged { pos; idx }) -> (meta lor Meta.scv_present, pos, idx)
+    | Some (Vn.Ephemeral { thread; seq }) ->
+        (meta lor Meta.scv_present lor Meta.scv_ephemeral, thread, seq)
+  in
+  pack ~key ~payload ~left ~right ~vn ~cv ~meta ~ssv_a ~ssv_b ~scv_a ~scv_b
+
+let with_children n ~left ~right ~vn =
+  pack ~key:n.key ~payload:n.payload ~left ~right ~vn ~cv:n.cv ~meta:n.meta
+    ~ssv_a:n.ssv_a ~ssv_b:n.ssv_b ~scv_a:n.scv_a ~scv_b:n.scv_b
+
+let rec size t = if t == empty then 0 else 1 + size t.left + size t.right
+
+let rec live_size t =
+  if t == empty then 0
+  else
+    (if Payload.is_tombstone t.payload then 0 else 1)
+    + live_size t.left + live_size t.right
+
+let rec depth t =
+  if t == empty then 0 else 1 + max (depth t.left) (depth t.right)
 
 let pp fmt tree =
-  let rec go indent = function
-    | Empty -> ()
-    | Node n ->
-        go (indent ^ "  ") n.right;
-        Format.fprintf fmt "%s%a=%a vn=%a cv=%a%s%s%s own=%d@." indent Key.pp
-          n.key Payload.pp n.payload Vn.pp n.vn Vn.pp n.cv
-          (if n.altered then " W" else "")
-          (if n.depends_on_content then " Rc" else "")
-          (if n.depends_on_structure then " Rs" else "")
-          n.owner;
-        go (indent ^ "  ") n.left
+  let rec go indent t =
+    if t == empty then ()
+    else begin
+      go (indent ^ "  ") t.right;
+      Format.fprintf fmt "%s%a=%a vn=%a cv=%a%s%s%s own=%d@." indent Key.pp
+        t.key Payload.pp t.payload Vn.pp t.vn Vn.pp t.cv
+        (if altered t then " W" else "")
+        (if depends_on_content t then " Rc" else "")
+        (if depends_on_structure t then " Rs" else "")
+        (owner t);
+      go (indent ^ "  ") t.left
+    end
   in
   go "" tree

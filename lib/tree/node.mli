@@ -13,25 +13,53 @@
       makes the conflict rules uniform:  a dependent access of key [k]
       conflicts iff the LCS's [cv] for [k] differs from the [scv] the
       intention recorded.
-    - [ssv]: source structure version — the VN of the same-key node in the
-      state this node was derived from ([None] for a fresh insert).
-    - [scv]: source content version — the [cv] of that same-key source node.
-    - [altered]: the producing transaction changed the payload.
-    - [depends_on_content]: the transaction read the payload and runs at an
+    - ssv: source structure version — the VN of the same-key node in the
+      state this node was derived from (absent for a fresh insert).
+    - scv: source content version — the [cv] of that same-key source node.
+    - altered: the producing transaction changed the payload.
+    - depends_on_content: the transaction read the payload and runs at an
       isolation level that validates reads (the paper's DependsOn flag).
-    - [depends_on_structure]: the transaction depends on the whole subtree
+    - depends_on_structure: the transaction depends on the whole subtree
       under this node being unchanged — used for range scans and reads of
       absent keys (phantom avoidance; the paper defers this metadata
       to [8]).
-    - [owner]: log position of the intention this node belongs to, or
+    - owner: log position of the intention this node belongs to, or
       [state_owner] for nodes of melded states (including genesis and
       ephemeral nodes created by final meld).  Meld uses it to decide
       whether a node is "inside" the intention being melded.
-    - [has_writes]: subtree summary — true iff this node or any descendant
+    - has_writes: subtree summary — true iff this node or any descendant
       {e belonging to the same intention} was altered or inserted.  Drives
-      the Section 3.3 read-only-subtree rule. *)
+      the Section 3.3 read-only-subtree rule.
 
-type tree = Empty | Node of node
+    {2 Packed representation}
+
+    All of the above except [vn]/[cv] is packed into one immediate [int]
+    ([meta]) plus four plain int words, so the meld/premeld/group-meld hot
+    loops test metadata with masks — no option allocation, no [caml_equal]
+    — and constructing an ephemeral node allocates exactly one block:
+
+    - [meta] bits 0..7 are flags (see {!Meta}; the low three equal the
+      wire codec's flag-byte bits), bits 8.. hold [owner + 1] so state
+      nodes ([owner = -1]) have zero owner bits.
+    - [ssv_a]/[ssv_b] hold the ssv's payload when the
+      {!Meta.ssv_present} bit is set: [(pos, idx)] of a logged VN, or
+      [(thread, seq)] of an ephemeral one ({!Meta.ssv_ephemeral} selects
+      which).  [scv_a]/[scv_b] likewise for the scv.
+
+    The packing is a pure re-encoding of the old record — the wire format
+    and all meld decisions are unchanged (DESIGN.md §11).
+
+    {2 Sentinel empty}
+
+    The empty tree is the statically-allocated sentinel {!empty} (its
+    children point to itself) rather than a variant constructor: child
+    links reference node records directly, so an ephemeral node is one
+    12-word block with no [Node of node] wrapper, and traversals follow
+    one pointer per child.  Test emptiness with {!is_empty} (physical
+    equality); recursions must check it before touching children — the
+    sentinel's children are the sentinel itself. *)
+
+type tree = node
 
 and node = {
   key : Key.t;
@@ -40,18 +68,89 @@ and node = {
   right : tree;
   vn : Vn.t;
   cv : Vn.t;
-  ssv : Vn.t option;
-  scv : Vn.t option;
-  altered : bool;
-  depends_on_content : bool;
-  depends_on_structure : bool;
-  owner : int;
-  has_writes : bool;
+  meta : int;  (** flag bits + biased owner; see {!Meta} *)
+  ssv_a : int;
+  ssv_b : int;
+  scv_a : int;
+  scv_b : int;
 }
 
 val state_owner : int
-(** The [owner] value (-1) marking nodes that belong to a database state
+(** The owner value (-1) marking nodes that belong to a database state
     rather than to a pending intention. *)
+
+val empty : tree
+(** The empty tree: a unique sentinel node.  Its [meta] is 0 (so it never
+    matches a same-owner has-writes mask test) and its children are
+    itself; no other field may be read. *)
+
+val is_empty : tree -> bool
+(** Physical equality with {!empty}. *)
+
+(** Bit layout of {!node.meta}. *)
+module Meta : sig
+  val altered : int  (** 0x01 — also the wire flag bit *)
+
+  val dep_content : int  (** 0x02 — also the wire flag bit *)
+
+  val dep_structure : int  (** 0x04 — also the wire flag bit *)
+
+  val has_writes : int  (** 0x08; recomputed by {!pack}, never carried *)
+
+  val ssv_present : int  (** 0x10 *)
+
+  val ssv_ephemeral : int  (** 0x20 — value class of [ssv_a]/[ssv_b] *)
+
+  val scv_present : int  (** 0x40 *)
+
+  val scv_ephemeral : int  (** 0x80 *)
+
+  val flags_mask : int  (** 0xff *)
+
+  val dependent_mask : int
+  (** [altered lor dep_content lor dep_structure]: non-zero meta
+      intersection ⇔ the node is dependent (read or written). *)
+
+  val source_mask : int
+  (** The four ssv/scv presence + class bits. *)
+
+  val carry_mask : int
+  (** Flag bits that survive an owner rewrite ([flags_mask] minus
+      [has_writes]). *)
+
+  val owner_shift : int
+
+  val owner_mask : int
+  (** All bits above the flags. *)
+
+  val owner_bits : int -> int
+  (** [(owner + 1) lsl owner_shift]. *)
+
+  val owner_of : int -> int
+
+  val hw_mask : int
+  (** [owner_mask lor has_writes]: [meta land hw_mask = owner_bits o lor
+      has_writes] tests "same owner and has writes" in one compare. *)
+end
+
+val pack :
+  key:Key.t ->
+  payload:Payload.t ->
+  left:tree ->
+  right:tree ->
+  vn:Vn.t ->
+  cv:Vn.t ->
+  meta:int ->
+  ssv_a:int ->
+  ssv_b:int ->
+  scv_a:int ->
+  scv_b:int ->
+  node
+(** Low-level constructor over the packed representation: [meta] supplies
+    flag and owner bits, and the [has_writes] bit is recomputed from the
+    other bits and the same-owner children (any [has_writes] bit in the
+    given [meta] is ignored).  This is the hot-path constructor — one
+    block allocated, no closures. *)
 
 val make :
   key:Key.t ->
@@ -67,11 +166,43 @@ val make :
   depends_on_structure:bool ->
   owner:int ->
   node
-(** Smart constructor; computes [has_writes] from the fields and the
-    same-owner children. *)
+(** Smart constructor over the unpacked field view; computes [has_writes]
+    from the fields and the same-owner children.  Cold paths only. *)
 
 val with_children : node -> left:tree -> right:tree -> vn:Vn.t -> node
 (** Copy-on-write: same key/payload/metadata, new children and identity. *)
+
+(** {2 Metadata accessors} *)
+
+val owner : node -> int
+val altered : node -> bool
+val depends_on_content : node -> bool
+val depends_on_structure : node -> bool
+val has_writes : node -> bool
+val has_ssv : node -> bool
+val has_scv : node -> bool
+
+val ssv : node -> Vn.t option
+(** Option view of the packed ssv — allocates; cold paths only. *)
+
+val scv : node -> Vn.t option
+
+val ssv_equals : node -> Vn.t -> bool
+(** Allocation-free [ssv n = Some vn]; false when the ssv is absent. *)
+
+val scv_equals : node -> Vn.t -> bool
+
+(** {2 Packed-word views of a boxed VN}
+
+    For storing a [Vn.t] as a source version without allocating:
+    [vn_a]/[vn_b] extract the two payload words ([pos]/[idx] of a logged
+    VN, [thread]/[seq] of an ephemeral one); [ssv_class]/[scv_class] give
+    the matching presence + value-class meta bits. *)
+
+val vn_a : Vn.t -> int
+val vn_b : Vn.t -> int
+val ssv_class : Vn.t -> int
+val scv_class : Vn.t -> int
 
 val size : tree -> int
 (** Total nodes (including tombstones). *)

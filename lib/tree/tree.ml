@@ -2,75 +2,74 @@ open Node
 
 type t = Node.tree
 
-let empty = Empty
+let empty = Node.empty
 
 (* ------------------------------------------------------------------ *)
 (* Queries                                                             *)
 (* ------------------------------------------------------------------ *)
 
+(* All recursions test [== empty] before touching children: the sentinel's
+   children are the sentinel itself (see node.mli). *)
+
 let rec find t key =
-  match t with
-  | Empty -> None
-  | Node n ->
-      let c = Key.compare key n.key in
-      if c = 0 then Some n else if c < 0 then find n.left key else find n.right key
+  if t == empty then None
+  else
+    let c = Key.compare key t.key in
+    if c = 0 then Some t else if c < 0 then find t.left key else find t.right key
 
 let lookup t key =
   match find t key with
   | None -> None
   | Some n -> if Payload.is_tombstone n.payload then None else Some n.payload
 
-let mem t key = lookup t key <> None
+let mem t key = match lookup t key with None -> false | Some _ -> true
 
 let rec pred t key =
-  match t with
-  | Empty -> None
-  | Node n ->
-      if Key.compare n.key key < 0 then
-        match pred n.right key with None -> Some n | Some m -> Some m
-      else pred n.left key
+  if t == empty then None
+  else if Key.compare t.key key < 0 then
+    match pred t.right key with None -> Some t | Some m -> Some m
+  else pred t.left key
 
 let rec succ t key =
-  match t with
-  | Empty -> None
-  | Node n ->
-      if Key.compare n.key key > 0 then
-        match succ n.left key with None -> Some n | Some m -> Some m
-      else succ n.right key
+  if t == empty then None
+  else if Key.compare t.key key > 0 then
+    match succ t.left key with None -> Some t | Some m -> Some m
+  else succ t.right key
 
 let range_items t ~lo ~hi =
   let rec go t acc =
-    match t with
-    | Empty -> acc
-    | Node n ->
-        let acc = if Key.compare n.key hi < 0 then go n.right acc else acc in
-        let acc =
-          if Key.compare lo n.key <= 0 && Key.compare n.key hi <= 0
-             && not (Payload.is_tombstone n.payload)
-          then (n.key, n.payload) :: acc
-          else acc
-        in
-        if Key.compare lo n.key < 0 then go n.left acc else acc
+    if t == empty then acc
+    else begin
+      let acc = if Key.compare t.key hi < 0 then go t.right acc else acc in
+      let acc =
+        if Key.compare lo t.key <= 0 && Key.compare t.key hi <= 0
+           && not (Payload.is_tombstone t.payload)
+        then (t.key, t.payload) :: acc
+        else acc
+      in
+      if Key.compare lo t.key < 0 then go t.left acc else acc
+    end
   in
   go t []
 
 let rec iter t f =
-  match t with
-  | Empty -> ()
-  | Node n ->
-      iter n.left f;
-      f n;
-      iter n.right f
+  if t == empty then ()
+  else begin
+    iter t.left f;
+    f t;
+    iter t.right f
+  end
 
 let to_alist t =
   let acc = ref [] in
-  let rec go = function
-    | Empty -> ()
-    | Node n ->
-        go n.right;
-        if not (Payload.is_tombstone n.payload) then
-          acc := (n.key, n.payload) :: !acc;
-        go n.left
+  let rec go t =
+    if t == empty then ()
+    else begin
+      go t.right;
+      if not (Payload.is_tombstone t.payload) then
+        acc := (t.key, t.payload) :: !acc;
+      go t.left
+    end
   in
   go t;
   !acc
@@ -79,161 +78,186 @@ let to_alist t =
 (* Copy-on-write mutators                                              *)
 (* ------------------------------------------------------------------ *)
 
-(* ssv/scv of a new draft derived from [old]: a node already owned by this
-   intention keeps its snapshot-relative metadata; a snapshot node becomes
-   the source. *)
-let source_meta ~owner (old : node) =
-  if old.owner = owner then (old.ssv, old.scv) else (Some old.vn, Some old.cv)
+(* A new draft node derived from [old]: a node already owned by this
+   intention keeps its snapshot-relative metadata (flags and packed
+   source versions); a snapshot node becomes the source — ssv := its vn,
+   scv := its cv, access flags cleared.  Both arms are single packed
+   constructions, no option or tuple allocation. *)
 
 (* Structural copy: same payload and access flags, new children. *)
 let copy ~owner ~fresh (old : node) ~left ~right =
-  let ssv, scv = source_meta ~owner old in
-  let mine = old.owner = owner in
-  Node.make ~key:old.key ~payload:old.payload ~left ~right ~vn:(fresh ())
-    ~cv:old.cv ~ssv ~scv
-    ~altered:(mine && old.altered)
-    ~depends_on_content:(mine && old.depends_on_content)
-    ~depends_on_structure:(mine && old.depends_on_structure)
-    ~owner
+  if Node.owner old = owner then
+    Node.pack ~key:old.key ~payload:old.payload ~left ~right ~vn:(fresh ())
+      ~cv:old.cv ~meta:old.meta ~ssv_a:old.ssv_a ~ssv_b:old.ssv_b
+      ~scv_a:old.scv_a ~scv_b:old.scv_b
+  else
+    let meta =
+      Meta.owner_bits owner lor Node.ssv_class old.vn lor Node.scv_class old.cv
+    in
+    Node.pack ~key:old.key ~payload:old.payload ~left ~right ~vn:(fresh ())
+      ~cv:old.cv ~meta ~ssv_a:(Node.vn_a old.vn) ~ssv_b:(Node.vn_b old.vn)
+      ~scv_a:(Node.vn_a old.cv) ~scv_b:(Node.vn_b old.cv)
 
 (* Split a subtree around an absent key, copying the split path. *)
 let rec split t key ~owner ~fresh =
-  match t with
-  | Empty -> (Empty, Empty)
-  | Node n ->
-      if Key.compare n.key key < 0 then begin
-        let l2, r2 = split n.right key ~owner ~fresh in
-        (Node (copy ~owner ~fresh n ~left:n.left ~right:l2), r2)
-      end
-      else begin
-        let l2, r2 = split n.left key ~owner ~fresh in
-        (l2, Node (copy ~owner ~fresh n ~left:r2 ~right:n.right))
-      end
+  if t == empty then (empty, empty)
+  else if Key.compare t.key key < 0 then begin
+    let l2, r2 = split t.right key ~owner ~fresh in
+    (copy ~owner ~fresh t ~left:t.left ~right:l2, r2)
+  end
+  else begin
+    let l2, r2 = split t.left key ~owner ~fresh in
+    (l2, copy ~owner ~fresh t ~left:r2 ~right:t.right)
+  end
 
 let upsert t ~owner ~fresh key payload =
   let fresh_insert ~left ~right =
     let vn = fresh () in
-    Node.make ~key ~payload ~left ~right ~vn ~cv:vn ~ssv:None ~scv:None
-      ~altered:true ~depends_on_content:false ~depends_on_structure:false
-      ~owner
+    Node.pack ~key ~payload ~left ~right ~vn ~cv:vn
+      ~meta:(Meta.owner_bits owner lor Meta.altered)
+      ~ssv_a:0 ~ssv_b:0 ~scv_a:0 ~scv_b:0
   in
   let rec go t =
-    match t with
-    | Empty -> Node (fresh_insert ~left:Empty ~right:Empty)
-    | Node n ->
-        let c = Key.compare key n.key in
-        if c = 0 then begin
-          (* Payload update in place (copy-on-write). *)
-          let ssv, scv = source_meta ~owner n in
-          let mine = n.owner = owner in
-          let vn = fresh () in
-          Node
-            (Node.make ~key ~payload ~left:n.left ~right:n.right ~vn ~cv:vn
-               ~ssv ~scv ~altered:true
-               ~depends_on_content:(mine && n.depends_on_content)
-               ~depends_on_structure:(mine && n.depends_on_structure)
-               ~owner)
-        end
-        else if Key.priority_greater key n.key then begin
-          (* The new key outranks this subtree's root: splice it here. *)
-          let left, right = split t key ~owner ~fresh in
-          Node (fresh_insert ~left ~right)
-        end
-        else if c < 0 then Node (copy ~owner ~fresh n ~left:(go n.left) ~right:n.right)
-        else Node (copy ~owner ~fresh n ~left:n.left ~right:(go n.right))
+    if t == empty then fresh_insert ~left:empty ~right:empty
+    else
+      let c = Key.compare key t.key in
+      if c = 0 then begin
+        (* Payload update in place (copy-on-write). *)
+        let vn = fresh () in
+        if Node.owner t = owner then
+          Node.pack ~key ~payload ~left:t.left ~right:t.right ~vn ~cv:vn
+            ~meta:(t.meta lor Meta.altered)
+            ~ssv_a:t.ssv_a ~ssv_b:t.ssv_b ~scv_a:t.scv_a ~scv_b:t.scv_b
+        else
+          let meta =
+            Meta.owner_bits owner lor Meta.altered lor Node.ssv_class t.vn
+            lor Node.scv_class t.cv
+          in
+          Node.pack ~key ~payload ~left:t.left ~right:t.right ~vn ~cv:vn ~meta
+            ~ssv_a:(Node.vn_a t.vn) ~ssv_b:(Node.vn_b t.vn)
+            ~scv_a:(Node.vn_a t.cv) ~scv_b:(Node.vn_b t.cv)
+      end
+      else if Key.priority_greater key t.key then begin
+        (* The new key outranks this subtree's root: splice it here. *)
+        let left, right = split t key ~owner ~fresh in
+        fresh_insert ~left ~right
+      end
+      else if c < 0 then copy ~owner ~fresh t ~left:(go t.left) ~right:t.right
+      else copy ~owner ~fresh t ~left:t.left ~right:(go t.right)
   in
   go t
 
 (* Mark the node (copying it) with extra dependency flags; keep payload. *)
 let mark ~owner ~fresh (n : node) ~content ~structure =
-  let ssv, scv = source_meta ~owner n in
-  let mine = n.owner = owner in
-  Node.make ~key:n.key ~payload:n.payload ~left:n.left ~right:n.right
-    ~vn:(fresh ()) ~cv:n.cv ~ssv ~scv ~altered:(mine && n.altered)
-    ~depends_on_content:((mine && n.depends_on_content) || content)
-    ~depends_on_structure:((mine && n.depends_on_structure) || structure)
-    ~owner
+  let extra =
+    (if content then Meta.dep_content else 0)
+    lor if structure then Meta.dep_structure else 0
+  in
+  if Node.owner n = owner then
+    Node.pack ~key:n.key ~payload:n.payload ~left:n.left ~right:n.right
+      ~vn:(fresh ()) ~cv:n.cv ~meta:(n.meta lor extra)
+      ~ssv_a:n.ssv_a ~ssv_b:n.ssv_b ~scv_a:n.scv_a ~scv_b:n.scv_b
+  else
+    let meta =
+      Meta.owner_bits owner lor extra lor Node.ssv_class n.vn
+      lor Node.scv_class n.cv
+    in
+    Node.pack ~key:n.key ~payload:n.payload ~left:n.left ~right:n.right
+      ~vn:(fresh ()) ~cv:n.cv ~meta
+      ~ssv_a:(Node.vn_a n.vn) ~ssv_b:(Node.vn_b n.vn)
+      ~scv_a:(Node.vn_a n.cv) ~scv_b:(Node.vn_b n.cv)
 
 let touch_read t ~owner ~fresh key =
   (* Returns the rebuilt subtree, or physically the same subtree when no
      marking was needed (so repeated reads do not churn versions). *)
+  let ob = Meta.owner_bits owner in
   let rec go t =
-    match t with
-    | Empty -> Empty
-    | Node n ->
-        let c = Key.compare key n.key in
-        if c = 0 then
-          if n.owner = owner && (n.altered || n.depends_on_content) then t
-          else Node (mark ~owner ~fresh n ~content:true ~structure:false)
-        else begin
-          let child = if c < 0 then n.left else n.right in
-          match child with
-          | Empty ->
-              (* Absent key: the transaction depends on this gap staying
-                 empty — guard the node where the search ended. *)
-              if n.owner = owner && n.depends_on_structure then t
-              else Node (mark ~owner ~fresh n ~content:false ~structure:true)
-          | Node _ ->
-              let child' = go child in
-              if child' == child then t
-              else if c < 0 then
-                Node (copy ~owner ~fresh n ~left:child' ~right:n.right)
-              else Node (copy ~owner ~fresh n ~left:n.left ~right:child')
+    if t == empty then empty
+    else
+      let c = Key.compare key t.key in
+      if c = 0 then
+        if
+          t.meta land Meta.owner_mask = ob
+          && t.meta land (Meta.altered lor Meta.dep_content) <> 0
+        then t
+        else mark ~owner ~fresh t ~content:true ~structure:false
+      else begin
+        let child = if c < 0 then t.left else t.right in
+        if child == empty then begin
+          (* Absent key: the transaction depends on this gap staying
+             empty — guard the node where the search ended. *)
+          if
+            t.meta land (Meta.owner_mask lor Meta.dep_structure)
+            = ob lor Meta.dep_structure
+          then t
+          else mark ~owner ~fresh t ~content:false ~structure:true
         end
+        else begin
+          let child' = go child in
+          if child' == child then t
+          else if c < 0 then copy ~owner ~fresh t ~left:child' ~right:t.right
+          else copy ~owner ~fresh t ~left:t.left ~right:child'
+        end
+      end
   in
   go t
 
 (* Materialize the path to an existing key and set depends_on_structure on
    it; used as the phantom guard for empty-range neighbours. *)
 let mark_structure t ~owner ~fresh key =
+  let ob = Meta.owner_bits owner in
   let rec go t =
-    match t with
-    | Empty -> Empty
-    | Node n ->
-        let c = Key.compare key n.key in
-        if c = 0 then
-          if n.owner = owner && n.depends_on_structure then t
-          else Node (mark ~owner ~fresh n ~content:false ~structure:true)
-        else begin
-          let child = if c < 0 then n.left else n.right in
-          let child' = go child in
-          if child' == child then t
-          else if c < 0 then Node (copy ~owner ~fresh n ~left:child' ~right:n.right)
-          else Node (copy ~owner ~fresh n ~left:n.left ~right:child')
-        end
+    if t == empty then empty
+    else
+      let c = Key.compare key t.key in
+      if c = 0 then
+        if
+          t.meta land (Meta.owner_mask lor Meta.dep_structure)
+          = ob lor Meta.dep_structure
+        then t
+        else mark ~owner ~fresh t ~content:false ~structure:true
+      else begin
+        let child = if c < 0 then t.left else t.right in
+        let child' = go child in
+        if child' == child then t
+        else if c < 0 then copy ~owner ~fresh t ~left:child' ~right:t.right
+        else copy ~owner ~fresh t ~left:t.left ~right:child'
+      end
   in
   go t
 
 let touch_range t ~owner ~fresh ~lo ~hi =
   let found = ref false in
+  let ob = Meta.owner_bits owner in
   let rec go t =
-    match t with
-    | Empty -> Empty
-    | Node n ->
-        let below = Key.compare n.key lo < 0 in
-        let above = Key.compare n.key hi > 0 in
-        if below then begin
-          let r = go n.right in
-          if r == n.right then t else Node (copy ~owner ~fresh n ~left:n.left ~right:r)
-        end
-        else if above then begin
-          let l = go n.left in
-          if l == n.left then t else Node (copy ~owner ~fresh n ~left:l ~right:n.right)
-        end
-        else begin
-          (* In range: the scan's result depends on this node's subtree. *)
-          found := true;
-          let l = go n.left in
-          let r = go n.right in
-          if n.owner = owner && n.depends_on_structure && l == n.left
-             && r == n.right
-          then t
-          else
-            Node
-              (mark ~owner ~fresh
-                 { n with left = l; right = r }
-                 ~content:true ~structure:true)
-        end
+    if t == empty then empty
+    else begin
+      let below = Key.compare t.key lo < 0 in
+      let above = Key.compare t.key hi > 0 in
+      if below then begin
+        let r = go t.right in
+        if r == t.right then t else copy ~owner ~fresh t ~left:t.left ~right:r
+      end
+      else if above then begin
+        let l = go t.left in
+        if l == t.left then t else copy ~owner ~fresh t ~left:l ~right:t.right
+      end
+      else begin
+        (* In range: the scan's result depends on this node's subtree. *)
+        found := true;
+        let l = go t.left in
+        let r = go t.right in
+        if
+          t.meta land (Meta.owner_mask lor Meta.dep_structure)
+          = ob lor Meta.dep_structure
+          && l == t.left && r == t.right
+        then t
+        else
+          mark ~owner ~fresh
+            { t with left = l; right = r }
+            ~content:true ~structure:true
+      end
+    end
   in
   let t' = go t in
   if !found then t'
@@ -263,7 +287,7 @@ let of_sorted_array items =
   (* Recursive canonical construction: the root of a segment is its
      maximum-priority key.  In-order index is the genesis VN index. *)
   let rec build lo hi =
-    if lo >= hi then Empty
+    if lo >= hi then empty
     else begin
       let best = ref lo in
       for i = lo + 1 to hi - 1 do
@@ -274,10 +298,9 @@ let of_sorted_array items =
       let left = build lo !best in
       let right = build (!best + 1) hi in
       let vn = Vn.genesis ~idx:!best in
-      Node
-        (Node.make ~key ~payload ~left ~right ~vn ~cv:vn ~ssv:None ~scv:None
-           ~altered:false ~depends_on_content:false ~depends_on_structure:false
-           ~owner:state_owner)
+      Node.make ~key ~payload ~left ~right ~vn ~cv:vn ~ssv:None ~scv:None
+        ~altered:false ~depends_on_content:false ~depends_on_structure:false
+        ~owner:state_owner
     end
   in
   build 0 n
@@ -290,39 +313,38 @@ let validate t =
   let exception Bad of string in
   let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt in
   let rec go t lo hi =
-    match t with
-    | Empty -> ()
-    | Node n ->
-        (match lo with
-        | Some l when Key.compare n.key l <= 0 ->
-            fail "BST violation at key %s" (Key.to_string n.key)
-        | _ -> ());
-        (match hi with
-        | Some h when Key.compare n.key h >= 0 ->
-            fail "BST violation at key %s" (Key.to_string n.key)
-        | _ -> ());
-        let check_child = function
-          | Empty -> ()
-          | Node c ->
-              if not (Key.priority_greater n.key c.key) then
-                fail "heap violation: %s under %s" (Key.to_string c.key)
-                  (Key.to_string n.key)
-        in
-        check_child n.left;
-        check_child n.right;
-        let expect =
-          n.altered || n.ssv = None
-          || (match n.left with
-             | Node c -> c.owner = n.owner && c.has_writes
-             | Empty -> false)
-          || match n.right with
-             | Node c -> c.owner = n.owner && c.has_writes
-             | Empty -> false
-        in
-        if n.has_writes <> expect then
-          fail "has_writes summary wrong at key %s" (Key.to_string n.key);
-        go n.left lo (Some n.key);
-        go n.right (Some n.key) hi
+    if t == empty then ()
+    else begin
+      (match lo with
+      | Some l when Key.compare t.key l <= 0 ->
+          fail "BST violation at key %s" (Key.to_string t.key)
+      | _ -> ());
+      (match hi with
+      | Some h when Key.compare t.key h >= 0 ->
+          fail "BST violation at key %s" (Key.to_string t.key)
+      | _ -> ());
+      let check_child c =
+        if c == empty then ()
+        else if not (Key.priority_greater t.key c.key) then
+          fail "heap violation: %s under %s" (Key.to_string c.key)
+            (Key.to_string t.key)
+      in
+      check_child t.left;
+      check_child t.right;
+      let same_owner_writes c =
+        c != empty && Node.owner c = Node.owner t && Node.has_writes c
+      in
+      let expect =
+        Node.altered t
+        || (not (Node.has_ssv t))
+        || same_owner_writes t.left
+        || same_owner_writes t.right
+      in
+      if Node.has_writes t <> expect then
+        fail "has_writes summary wrong at key %s" (Key.to_string t.key);
+      go t.left lo (Some t.key);
+      go t.right (Some t.key) hi
+    end
   in
   match go t None None with () -> Ok () | exception Bad s -> Error s
 
@@ -332,13 +354,12 @@ let depth = Node.depth
 
 let path_length t key =
   let rec go t acc =
-    match t with
-    | Empty -> acc
-    | Node n ->
-        let c = Key.compare key n.key in
-        if c = 0 then acc + 1
-        else if c < 0 then go n.left (acc + 1)
-        else go n.right (acc + 1)
+    if t == empty then acc
+    else
+      let c = Key.compare key t.key in
+      if c = 0 then acc + 1
+      else if c < 0 then go t.left (acc + 1)
+      else go t.right (acc + 1)
   in
   go t 0
 
@@ -357,47 +378,44 @@ let digest t =
     | None -> Buffer.add_char b '-'
     | Some v -> vn b v
   in
-  let rec go = function
-    | Empty -> Buffer.add_char b '.'
-    | Node n ->
-        Buffer.add_char b '(';
-        Printf.bprintf b "%d|" n.key;
-        (match n.payload with
-        | Payload.Tombstone -> Buffer.add_char b 'T'
-        | Payload.Value v ->
-            Printf.bprintf b "V%d:" (String.length v);
-            Buffer.add_string b v);
-        Buffer.add_char b '|';
-        vn b n.vn;
-        Buffer.add_char b '|';
-        vn b n.cv;
-        Buffer.add_char b '|';
-        vn_opt b n.ssv;
-        Buffer.add_char b '|';
-        vn_opt b n.scv;
-        Printf.bprintf b "|%b%b%b|%d" n.altered n.depends_on_content
-          n.depends_on_structure n.owner;
-        go n.left;
-        go n.right;
-        Buffer.add_char b ')'
+  let rec go t =
+    if t == empty then Buffer.add_char b '.'
+    else begin
+      Buffer.add_char b '(';
+      Printf.bprintf b "%d|" t.key;
+      (match t.payload with
+      | Payload.Tombstone -> Buffer.add_char b 'T'
+      | Payload.Value v ->
+          Printf.bprintf b "V%d:" (String.length v);
+          Buffer.add_string b v);
+      Buffer.add_char b '|';
+      vn b t.vn;
+      Buffer.add_char b '|';
+      vn b t.cv;
+      Buffer.add_char b '|';
+      vn_opt b (Node.ssv t);
+      Buffer.add_char b '|';
+      vn_opt b (Node.scv t);
+      Printf.bprintf b "|%b%b%b|%d" (Node.altered t)
+        (Node.depends_on_content t)
+        (Node.depends_on_structure t)
+        (Node.owner t);
+      go t.left;
+      go t.right;
+      Buffer.add_char b ')'
+    end
   in
   go t;
   Digest.to_hex (Digest.string (Buffer.contents b))
 
 let rec physically_equal a b =
-  match (a, b) with
-  | Empty, Empty -> true
-  | Node x, Node y ->
-      x == y
-      || Key.equal x.key y.key
-         && Payload.equal x.payload y.payload
-         && Vn.equal x.vn y.vn && Vn.equal x.cv y.cv
-         && Option.equal Vn.equal x.ssv y.ssv
-         && Option.equal Vn.equal x.scv y.scv
-         && x.altered = y.altered
-         && x.depends_on_content = y.depends_on_content
-         && x.depends_on_structure = y.depends_on_structure
-         && x.owner = y.owner
-         && physically_equal x.left y.left
-         && physically_equal x.right y.right
-  | Empty, Node _ | Node _, Empty -> false
+  a == b
+  || a != empty && b != empty
+     && Key.equal a.key b.key
+     && Payload.equal a.payload b.payload
+     && Vn.equal a.vn b.vn && Vn.equal a.cv b.cv
+     && a.meta = b.meta
+     && a.ssv_a = b.ssv_a && a.ssv_b = b.ssv_b
+     && a.scv_a = b.scv_a && a.scv_b = b.scv_b
+     && physically_equal a.left b.left
+     && physically_equal a.right b.right

@@ -16,10 +16,28 @@ The driver-critical-path metric is deliberately wall-clock-free: it sums
 the stage seconds the driver itself executed, so the gate holds even on
 a loaded single-core CI box where true overlap cannot show up in elapsed
 time.
+
+With --macro, gates a BENCH_MACRO.json run instead (see `make
+bench-macro`): every backend bit-identical to sequential, sane
+throughput, and — when a committed baseline is given via --baseline —
+no regression of the fm critical path.  The GC words/txn comparison is
+tight (the fm loop's minor allocation is deterministic, measured with
+the exact Gc.minor_words counter); the fm-ns/txn comparison is loose,
+because wall time on a shared CI box is not.
 """
 
 import json
 import sys
+
+# fm minor words/txn are exact and deterministic for a fixed seed; allow
+# only rounding-level drift.  Promoted words are quantized to minor
+# collections, so they breathe with collection timing.
+GC_MINOR_TOLERANCE = 1.05
+# Wall-clock metric on shared CI hardware.  The sequential row is the
+# stable one; under par/pipe the driver's fm contends with worker
+# domains for cores, so those rows get a much looser bound.
+FM_NS_TOLERANCE_SEQ = 1.75
+FM_NS_TOLERANCE_MULTI = 3.0
 
 
 def fail(msg: str) -> None:
@@ -27,8 +45,81 @@ def fail(msg: str) -> None:
     sys.exit(1)
 
 
+def load_rows(path: str, figure: str) -> dict:
+    with open(path) as f:
+        report = json.load(f)
+    return {
+        r["runtime"]: r
+        for r in report.get("runs", [])
+        if r.get("figure") == figure
+    }
+
+
+def check_macro(run_path: str, baseline_path: str | None) -> None:
+    rows = load_rows(run_path, "macro")
+    if not rows:
+        fail("no macro rows in the report (run `make bench-macro`?)")
+    for want in ("seq", "par:", "pipe:"):
+        if not any(name == want or name.startswith(want) for name in rows):
+            fail(f"missing backend {want}* in {sorted(rows)}")
+
+    for name, r in sorted(rows.items()):
+        if r["same_as_seq"] is not True:
+            fail(f"{name}: results diverged from the sequential backend")
+        if not r["melds_per_s"] > 0:
+            fail(f"{name}: no melds measured")
+        if not r["fm_ns_per_txn"] > 0:
+            fail(f"{name}: fm critical path not measured")
+
+    # The fm loop's minor allocation per intention is backend-invariant
+    # (same melds, same nodes); a spread here means the measurement or the
+    # determinism contract broke.
+    fm_minors = {n: r["gc_words_per_txn"]["fm_minor"] for n, r in rows.items()}
+    lo, hi = min(fm_minors.values()), max(fm_minors.values())
+    if lo <= 0 or hi > lo * 1.01:
+        fail(f"fm minor words/txn not backend-invariant: {fm_minors}")
+
+    msgs = []
+    if baseline_path is not None:
+        base = load_rows(baseline_path, "macro")
+        for name, r in sorted(rows.items()):
+            b = base.get(name)
+            if b is None:
+                continue
+            cur_gc = r["gc_words_per_txn"]["fm_minor"]
+            base_gc = b["gc_words_per_txn"]["fm_minor"]
+            if cur_gc > base_gc * GC_MINOR_TOLERANCE:
+                fail(f"{name}: fm minor words/txn regressed "
+                     f"{base_gc:.1f} -> {cur_gc:.1f} "
+                     f"(tolerance x{GC_MINOR_TOLERANCE})")
+            cur_ns = r["fm_ns_per_txn"]
+            base_ns = b["fm_ns_per_txn"]
+            tol = FM_NS_TOLERANCE_SEQ if name == "seq" else FM_NS_TOLERANCE_MULTI
+            if cur_ns > base_ns * tol:
+                fail(f"{name}: fm ns/txn regressed "
+                     f"{base_ns:.0f} -> {cur_ns:.0f} "
+                     f"(tolerance x{tol})")
+            msgs.append(f"{name} fm {cur_ns:.0f}ns/txn "
+                        f"(base {base_ns:.0f}) {cur_gc:.1f}w/txn "
+                        f"(base {base_gc:.1f})")
+    else:
+        msgs = [f"{n} fm {r['fm_ns_per_txn']:.0f}ns/txn "
+                f"{r['gc_words_per_txn']['fm_minor']:.1f}w/txn"
+                for n, r in sorted(rows.items())]
+
+    print("bench-macro gate: OK: all backends bit-identical to sequential; "
+          + "; ".join(msgs))
+
+
 def main() -> None:
-    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_SMOKE.json"
+    argv = sys.argv[1:]
+    if argv and argv[0] == "--macro":
+        if len(argv) < 2:
+            fail("usage: check_bench_smoke.py --macro RUN.json [BASELINE.json]")
+        check_macro(argv[1], argv[2] if len(argv) > 2 else None)
+        return
+
+    path = argv[0] if argv else "BENCH_SMOKE.json"
     with open(path) as f:
         report = json.load(f)
 

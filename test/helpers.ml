@@ -22,11 +22,11 @@ let check_tree_valid name t =
   | Error e -> Alcotest.failf "%s: invalid tree: %s" name e
 
 (* Structural key shape, ignoring versions: canonical-form comparisons. *)
-let rec shape = function
-  | Node.Empty -> "."
-  | Node.Node n ->
-      Printf.sprintf "(%d %s %s)" n.Node.key (shape n.Node.left)
-        (shape n.Node.right)
+let rec shape t =
+  if Node.is_empty t then "."
+  else
+    Printf.sprintf "(%d %s %s)" t.Node.key (shape t.Node.left)
+      (shape t.Node.right)
 
 let txn_counter = ref 1000
 

@@ -22,8 +22,8 @@ let resolver_of snapshot ~snapshot_pos : Codec.resolver =
   ignore vn;
   check_int "resolver asked for the right snapshot" snapshot_pos pos;
   match Tree.find snapshot key with
-  | Some n -> Node.Node n
-  | None -> Node.Empty
+  | Some n -> n
+  | None -> Node.empty
 
 let test_roundtrip_matches_assign () =
   let snapshot = Helpers.genesis ~gap:10 500 in
@@ -259,8 +259,8 @@ let prop_roundtrip =
         Codec.decode ~pos:11
           ~resolve:(fun ~snapshot:_ ~key ~vn:_ ->
             match Tree.find snapshot key with
-            | Some n -> Node.Node n
-            | None -> Node.Empty)
+            | Some n -> n
+            | None -> Node.empty)
           bytes
       in
       Tree.physically_equal decoded.I.root (I.assign ~pos:11 draft).I.root)

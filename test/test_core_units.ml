@@ -27,9 +27,13 @@ let test_state_store_basics () =
   check_int "latest seq" 1 seq;
   check_int "latest pos" 7 pos;
   check "latest tree" true (tree == s1);
-  check "by_seq genesis" true (State_store.by_seq s (-1) = Some genesis);
-  check "by_seq 0" true (State_store.by_seq s 0 = Some s0);
-  check "by_seq missing" true (State_store.by_seq s 5 = None)
+  let is_phys what opt t =
+    check what true (match opt with Some x -> x == t | None -> false)
+  in
+  is_phys "by_seq genesis" (State_store.by_seq s (-1)) genesis;
+  is_phys "by_seq 0" (State_store.by_seq s 0) s0;
+  check "by_seq missing" true
+    (match State_store.by_seq s 5 with None -> true | Some _ -> false)
 
 let test_state_store_by_pos () =
   let genesis = mini_state 3 in
@@ -38,9 +42,12 @@ let test_state_store_by_pos () =
   State_store.record s ~seq:1 ~pos:7 (mini_state 5);
   State_store.record s ~seq:2 ~pos:8 (mini_state 6);
   (* position between entries resolves to the newest at-or-before *)
-  check "pos -1 genesis" true (State_store.by_pos s (-1) = Some genesis);
-  check "pos 1 -> genesis (nothing recorded yet)" true
-    (State_store.by_pos s 1 = Some genesis);
+  let is_phys what opt t =
+    check what true (match opt with Some x -> x == t | None -> false)
+  in
+  is_phys "pos -1 genesis" (State_store.by_pos s (-1)) genesis;
+  is_phys "pos 1 -> genesis (nothing recorded yet)" (State_store.by_pos s 1)
+    genesis;
   check_int "seq_of_pos 7" 1 (State_store.seq_of_pos s 7);
   check_int "seq_of_pos 7.5-ish" 1 (State_store.seq_of_pos s 7);
   check_int "seq_of_pos big" 2 (State_store.seq_of_pos s 100);
@@ -117,27 +124,35 @@ let test_resolver_finds_snapshot_nodes () =
   let genesis = mini_state 10 in
   let s = State_store.create ~genesis () in
   let resolve = State_store.resolver s in
-  (match resolve ~snapshot:(-1) ~key:5 ~vn:(Vn.genesis ~idx:0) with
-  | Node.Node n -> check_int "found key" 5 n.Node.key
-  | Node.Empty -> Alcotest.fail "expected node");
-  match resolve ~snapshot:(-1) ~key:555 ~vn:(Vn.genesis ~idx:0) with
-  | Node.Empty -> ()
-  | Node.Node _ -> Alcotest.fail "expected empty"
+  (let n = resolve ~snapshot:(-1) ~key:5 ~vn:(Vn.genesis ~idx:0) in
+   if Node.is_empty n then Alcotest.fail "expected node"
+   else check_int "found key" 5 n.Node.key);
+  if not (Node.is_empty (resolve ~snapshot:(-1) ~key:555 ~vn:(Vn.genesis ~idx:0)))
+  then Alcotest.fail "expected empty"
 
 (* --- intention cache ------------------------------------------------------ *)
 
 let node_for k =
   match Tree.find (mini_state (k + 1)) k with
-  | Some n -> Node.Node n
+  | Some n -> n
   | None -> assert false
 
 let test_cache_add_find () =
   let c = Intention_cache.create ~capacity:4 () in
   let nodes = [| node_for 0; node_for 1 |] in
   Intention_cache.add c ~pos:10 nodes;
-  check "hit" true (Intention_cache.find c ~pos:10 ~idx:1 = Some nodes.(1));
-  check "miss idx" true (Intention_cache.find c ~pos:10 ~idx:9 = None);
-  check "miss pos" true (Intention_cache.find c ~pos:11 ~idx:0 = None)
+  check "hit" true
+    (match Intention_cache.find c ~pos:10 ~idx:1 with
+    | Some n -> n == nodes.(1)
+    | None -> false);
+  check "miss idx" true
+    (match Intention_cache.find c ~pos:10 ~idx:9 with
+    | None -> true
+    | Some _ -> false);
+  check "miss pos" true
+    (match Intention_cache.find c ~pos:11 ~idx:0 with
+    | None -> true
+    | Some _ -> false)
 
 let test_cache_eviction_fifo () =
   let c = Intention_cache.create ~capacity:2 () in
@@ -146,8 +161,14 @@ let test_cache_eviction_fifo () =
   Intention_cache.add c ~pos:2 keep;
   Intention_cache.add c ~pos:3 keep;
   check_int "bounded" 2 (Intention_cache.cached c);
-  check "oldest evicted" true (Intention_cache.find c ~pos:1 ~idx:0 = None);
-  check "newest kept" true (Intention_cache.find c ~pos:3 ~idx:0 <> None)
+  check "oldest evicted" true
+    (match Intention_cache.find c ~pos:1 ~idx:0 with
+    | None -> true
+    | Some _ -> false);
+  check "newest kept" true
+    (match Intention_cache.find c ~pos:3 ~idx:0 with
+    | Some _ -> true
+    | None -> false)
 
 let test_cache_is_weak () =
   let c = Intention_cache.create () in
@@ -159,8 +180,8 @@ let test_cache_is_weak () =
   Gc.full_major ();
   match Intention_cache.find c ~pos:5 ~idx:0 with
   | None -> ()
-  | Some (Node.Node n) -> check_int "if alive, it is the right node" 2 n.Node.key
-  | Some Node.Empty -> Alcotest.fail "never Empty"
+  | Some n when Node.is_empty n -> Alcotest.fail "never empty"
+  | Some n -> check_int "if alive, it is the right node" 2 n.Node.key
 
 (* --- executor isolation paths --------------------------------------------- *)
 
@@ -201,8 +222,8 @@ let test_executor_si_records_no_deps () =
   let draft = Option.get (Executor.finish e) in
   let deps = ref 0 in
   Tree.iter draft.I.root (fun n ->
-      if n.Node.owner = I.draft_owner
-         && (n.Node.depends_on_content || n.Node.depends_on_structure)
+      if Node.owner n = I.draft_owner
+         && (Node.depends_on_content n || Node.depends_on_structure n)
       then incr deps);
   check_int "no dependency metadata under SI" 0 !deps
 

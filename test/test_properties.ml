@@ -259,6 +259,116 @@ let prop_mutators_preserve_invariants =
       in
       Result.is_ok (Tree.validate t))
 
+(* ---------------- packed node metadata vs reference record ----------- *)
+
+(* Reference implementation of the pre-packing per-node metadata: options
+   and booleans, compared with [Vn.equal] — the semantics the packed
+   [Node.Meta] bitfield must reproduce exactly.  Kept here, in the test,
+   so the library carries only the packed form. *)
+type ref_meta = {
+  r_ssv : Vn.t option;
+  r_scv : Vn.t option;
+  r_altered : bool;
+  r_dep_content : bool;
+  r_dep_structure : bool;
+  r_owner : int;
+}
+
+let ref_has_writes ~left ~right r =
+  (* old smart-constructor rule: own write, insert (no ssv), or a
+     same-owner child subtree with writes *)
+  let child_writes c =
+    (not (Node.is_empty c)) && Node.owner c = r.r_owner && Node.has_writes c
+  in
+  r.r_altered
+  || (match r.r_ssv with None -> true | Some _ -> false)
+  || child_writes left || child_writes right
+
+(* The meld conflict tests the bitfield replaces: presence and equality of
+   the packed source versions against a state node's versions. *)
+let ref_scv_conflict r ~state_cv =
+  match r.r_scv with None -> true | Some v -> not (Vn.equal v state_cv)
+
+let ref_graftable r ~state_vn =
+  match r.r_ssv with None -> false | Some v -> Vn.equal v state_vn
+
+let vn_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        map2 (fun pos idx -> Vn.logged ~pos ~idx)
+          (int_range (-1) 200) (int_bound 50);
+        map2 (fun thread seq -> Vn.ephemeral ~thread ~seq)
+          (int_bound 7) (int_bound 200);
+      ])
+
+let ref_meta_gen =
+  QCheck2.Gen.(
+    map3
+      (fun (ssv, scv) (a, (dc, ds)) owner ->
+        {
+          r_ssv = ssv;
+          r_scv = scv;
+          r_altered = a;
+          r_dep_content = dc;
+          r_dep_structure = ds;
+          r_owner = owner;
+        })
+      (pair (option vn_gen) (option vn_gen))
+      (pair bool (pair bool bool))
+      (oneofl [ -1; 0; 3; 77; I.draft_owner ]))
+
+let node_of_ref ?(left = Node.empty) ?(right = Node.empty) ~vn ~cv r =
+  Node.make ~key:1 ~payload:(Payload.value "p") ~left ~right ~vn ~cv
+    ~ssv:r.r_ssv ~scv:r.r_scv ~altered:r.r_altered
+    ~depends_on_content:r.r_dep_content ~depends_on_structure:r.r_dep_structure
+    ~owner:r.r_owner
+
+let prop_packed_meta_matches_reference =
+  QCheck2.Test.make ~name:"packed Node.Meta == reference record semantics"
+    ~count:2000
+    QCheck2.Gen.(
+      pair
+        (pair ref_meta_gen (pair vn_gen vn_gen))
+        (pair (pair vn_gen vn_gen) (pair ref_meta_gen ref_meta_gen)))
+    (fun ((r, (vn, cv)), ((state_vn, state_cv), (rl, rr))) ->
+      let opt_eq = Option.equal Vn.equal in
+      (* leaf round-trip: every accessor recovers the reference fields *)
+      let n = node_of_ref ~vn ~cv r in
+      let roundtrip =
+        opt_eq (Node.ssv n) r.r_ssv
+        && opt_eq (Node.scv n) r.r_scv
+        && Node.altered n = r.r_altered
+        && Node.depends_on_content n = r.r_dep_content
+        && Node.depends_on_structure n = r.r_dep_structure
+        && Node.owner n = r.r_owner
+        && Node.has_writes n
+           = ref_has_writes ~left:Node.empty ~right:Node.empty r
+      in
+      (* the mask tests meld uses decide exactly like the option compares *)
+      let decisions =
+        Node.ssv_equals n state_vn = ref_graftable r ~state_vn
+        && Node.scv_equals n state_cv
+           = not (ref_scv_conflict r ~state_cv)
+      in
+      (* has_writes summary over same/other-owner children *)
+      let left = node_of_ref ~vn:state_vn ~cv:state_cv rl in
+      let right = node_of_ref ~vn:state_vn ~cv:state_cv rr in
+      let parent = node_of_ref ~left ~right ~vn ~cv r in
+      let summary =
+        Node.has_writes parent = ref_has_writes ~left ~right r
+      in
+      (* re-packing an existing node (the meld hot path's [pack] on carried
+         meta words) changes nothing *)
+      let repacked =
+        Node.pack ~key:parent.Node.key ~payload:parent.Node.payload ~left
+          ~right ~vn ~cv ~meta:parent.Node.meta ~ssv_a:parent.Node.ssv_a
+          ~ssv_b:parent.Node.ssv_b ~scv_a:parent.Node.scv_a
+          ~scv_b:parent.Node.scv_b
+      in
+      let stable = repacked.Node.meta = parent.Node.meta in
+      roundtrip && decisions && summary && stable)
+
 let () =
   Alcotest.run "properties"
     [
@@ -279,4 +389,7 @@ let () =
       ( "tree invariants",
         List.map QCheck_alcotest.to_alcotest
           [ prop_mutators_preserve_invariants ] );
+      ( "packed metadata",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_packed_meta_matches_reference ] );
     ]

@@ -66,11 +66,11 @@ let test_upsert_update () =
   check_int "same size" 100 (Tree.size t1);
   (* The updated node is a draft with source metadata. *)
   let n = Option.get (Tree.find t1 42) in
-  check "altered" true n.Node.altered;
-  check "owner" true (n.Node.owner = owner);
+  check "altered" true (Node.altered n);
+  check "owner" true (Node.owner n = owner);
   let src = Option.get (Tree.find t0 42) in
-  check "ssv points at source" true (n.Node.ssv = Some src.Node.vn);
-  check "scv is source content" true (n.Node.scv = Some src.Node.cv)
+  check "ssv points at source" true (Node.ssv_equals n src.Node.vn);
+  check "scv is source content" true (Node.scv_equals n src.Node.cv)
 
 let test_upsert_insert () =
   let t0 = Helpers.genesis ~gap:10 100 in
@@ -82,8 +82,8 @@ let test_upsert_insert () =
   Alcotest.(check string) "insert visible" "inserted"
     (Helpers.value_exn (Tree.lookup t1 55));
   let n = Option.get (Tree.find t1 55) in
-  check "insert has no ssv" true (n.Node.ssv = None);
-  check "insert altered" true n.Node.altered
+  check "insert has no ssv" false (Node.has_ssv n);
+  check "insert altered" true (Node.altered n)
 
 let test_delete_is_tombstone () =
   let t0 = Helpers.genesis 50 in
@@ -97,15 +97,15 @@ let test_delete_is_tombstone () =
   let t2 = Tree.upsert t1 ~owner ~fresh 7 (Payload.value "back") in
   Alcotest.(check string) "back" "back" (Helpers.value_exn (Tree.lookup t2 7));
   let n = Option.get (Tree.find t2 7) in
-  check "revival keeps source chain" true (n.Node.ssv <> None)
+  check "revival keeps source chain" true (Node.has_ssv n)
 
 let test_touch_read_marks () =
   let t0 = Helpers.genesis 100 in
   let fresh = make_fresh () in
   let t1 = Tree.touch_read t0 ~owner ~fresh 10 in
   let n = Option.get (Tree.find t1 10) in
-  check "dep content" true n.Node.depends_on_content;
-  check "not altered" false n.Node.altered;
+  check "dep content" true (Node.depends_on_content n);
+  check "not altered" false (Node.altered n);
   check "payload kept" true (Payload.equal n.Node.payload (Helpers.payload 10));
   (* Marking again is a no-op (physically). *)
   let t2 = Tree.touch_read t1 ~owner ~fresh 10 in
@@ -124,7 +124,7 @@ let test_touch_read_absent_guards_structure () =
   let t1 = Tree.touch_read t0 ~owner ~fresh 55 in
   (* Some node on the search path must carry the structural guard. *)
   let guarded = ref 0 in
-  Tree.iter t1 (fun n -> if n.Node.depends_on_structure then incr guarded);
+  Tree.iter t1 (fun n -> if Node.depends_on_structure n then incr guarded);
   check_int "one guard" 1 !guarded
 
 let test_touch_range_marks_in_range () =
@@ -133,7 +133,7 @@ let test_touch_range_marks_in_range () =
   let t1 = Tree.touch_range t0 ~owner ~fresh ~lo:10 ~hi:20 in
   let marked = ref [] in
   Tree.iter t1 (fun n ->
-      if n.Node.depends_on_structure then marked := n.Node.key :: !marked);
+      if Node.depends_on_structure n then marked := n.Node.key :: !marked);
   List.iter
     (fun k -> check (Printf.sprintf "key %d marked" k) true (List.mem k !marked))
     [ 10; 11; 15; 20 ];
@@ -147,7 +147,7 @@ let test_touch_range_empty_guards_neighbours () =
   let t1 = Tree.touch_range t0 ~owner ~fresh ~lo:150 ~hi:180 in
   let marked = ref [] in
   Tree.iter t1 (fun n ->
-      if n.Node.depends_on_structure then marked := n.Node.key :: !marked);
+      if Node.depends_on_structure n then marked := n.Node.key :: !marked);
   check "pred guarded" true (List.mem 100 !marked);
   check "succ guarded" true (List.mem 200 !marked)
 

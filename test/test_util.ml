@@ -338,6 +338,62 @@ let test_spsc_length_never_negative () =
   check "sampler actually raced the endpoints" true (Atomic.get samples > 0);
   check_int "no negative length observed" 0 (Atomic.get bad)
 
+(* The park/unpark handshake's narrowest window: the consumer has just
+   decided the ring is empty and is about to park while the producer fills
+   it to exactly capacity — if the producer's sleeper check could pass
+   before the consumer registered (or the consumer's emptiness re-check
+   could miss the published tail), the consumer would sleep through the
+   only wakeup it will ever get and the handoff would deadlock.  Drive
+   many fill-to-capacity bursts against a parking consumer; a missed
+   doorbell shows up as the watchdog timing out. *)
+let test_spsc_doorbell_fill_to_capacity () =
+  let rounds = 400 in
+  let q = Spsc.create ~capacity:4 ~dummy:(-1) () in
+  let cap = Spsc.capacity q in
+  let total = rounds * cap in
+  let cancel = Atomic.make false in
+  let consumed = Atomic.make 0 in
+  let consumer =
+    Domain.spawn (fun () ->
+        let ok = ref true in
+        for _ = 1 to total do
+          match Spsc.pop q ~cancel:(fun () -> Atomic.get cancel) with
+          | Some _ -> Atomic.incr consumed
+          | None -> ok := false
+        done;
+        !ok)
+  in
+  let producer =
+    Domain.spawn (fun () ->
+        for round = 0 to rounds - 1 do
+          (* Wait until the previous burst is fully drained (the consumer
+             is heading for the park path), then fill the ring to exactly
+             capacity in one burst. *)
+          while Atomic.get consumed < round * cap && not (Atomic.get cancel) do
+            Domain.cpu_relax ()
+          done;
+          for i = 0 to cap - 1 do
+            while
+              (not (Spsc.try_push q ((round * cap) + i)))
+              && not (Atomic.get cancel)
+            do
+              Domain.cpu_relax ()
+            done
+          done
+        done)
+  in
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  while Atomic.get consumed < total && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.002
+  done;
+  let timed_out = Atomic.get consumed < total in
+  Atomic.set cancel true;
+  Spsc.wake q;
+  Domain.join producer;
+  let consumer_ok = Domain.join consumer in
+  check "no missed doorbell (every burst drained)" false timed_out;
+  check "every blocking pop returned an element" true consumer_ok
+
 (* ---- Buf_pool -------------------------------------------------------- *)
 
 module Buf_pool = Hyder_util.Buf_pool
@@ -426,6 +482,9 @@ let () =
             test_spsc_pop_blocks_and_cancels;
           Alcotest.test_case "length never negative under race" `Quick
             test_spsc_length_never_negative;
+          Alcotest.test_case "doorbell: fill to capacity cannot be slept \
+                              through" `Quick
+            test_spsc_doorbell_fill_to_capacity;
         ] );
       ( "buf pool",
         [
