@@ -33,9 +33,17 @@ bench-smoke:
 # diverging from sequential, the fm loop allocating more minor words/txn
 # (tight tolerance — the number is deterministic) or a large fm-ns/txn
 # regression (loose tolerance — wall clock on shared CI) fails the make.
+# A second, flight-recorded run (kept out of the gated timing run so the
+# recorder cannot touch the tracked melds/s) then feeds the analyzer,
+# whose per-stage wait/service waterfall (FLIGHT_REPORT.json) is itself
+# gated: no negative waits, stage sums bounded by end-to-end time, and
+# the p50 stage-sum covering the p50 end-to-end latency within 5%.
 bench-macro:
 	dune exec bench/main.exe -- --json=BENCH_MACRO.run.json macro
 	python3 scripts/check_bench_smoke.py --macro BENCH_MACRO.run.json BENCH_MACRO.json
+	dune exec bench/main.exe -- --flight=FLIGHT.jsonl macro
+	dune exec bin/hyder_cli.exe -- analyze FLIGHT.jsonl --json FLIGHT_REPORT.json
+	python3 scripts/check_bench_smoke.py --flight FLIGHT_REPORT.json
 
 # Refresh the committed baseline (run on a quiet machine, then commit).
 bench-macro-baseline:

@@ -33,6 +33,7 @@ module Table = Hyder_util.Table
 module I = Hyder_codec.Intention
 module Json = Hyder_obs.Json
 module Metrics = Hyder_obs.Metrics
+module Flight = Hyder_obs.Flight
 
 (* ---------------------------------------------------------------------- *)
 (* Scale                                                                    *)
@@ -88,6 +89,12 @@ let runtime = ref Runtime.sequential
 (* ---------------------------------------------------------------------- *)
 
 let json_path : string option ref = ref None
+
+(* Flight-record sink (--flight=FILE): the macro figure records every
+   transaction's per-stage wait/service flight, one recorder per backend
+   (labels "seq"/"par:4"/"pipe:4") multiplexed into this JSON-lines file
+   for [hyder-cli analyze]. *)
+let flight_path : string option ref = ref None
 let current_figure = ref ""
 let report_runs : Json.t list ref = ref [] (* newest first *)
 let report_seen : (string * string, unit) Hashtbl.t = Hashtbl.create 64
@@ -1175,9 +1182,19 @@ let macro () =
     | Some (Metrics.Fcounter_v x) -> x
     | _ -> 0.0
   in
-  let run backend =
+  let flight_sink =
+    match !flight_path with None -> None | Some path -> Some (open_out path)
+  in
+  let run name backend =
     let metrics = Metrics.create () in
-    let p = Pipeline.create ~config ~runtime:backend ~metrics ~genesis () in
+    let flight =
+      match flight_sink with
+      | None -> Flight.disabled
+      | Some oc -> Flight.create ~label:name ~metrics ~sink:oc ()
+    in
+    let p =
+      Pipeline.create ~config ~runtime:backend ~metrics ~flight ~genesis ()
+    in
     let warm_decisions =
       List.concat_map (fun b -> Pipeline.submit_wire_batch p b) warm_batches
     in
@@ -1194,11 +1211,12 @@ let macro () =
     let gc = Metrics.diff ~base:m0 (Metrics.snapshot metrics) in
     let off1 = Pipeline.offload p in
     let _, _, final = Pipeline.lcs p in
+    Flight.export_percentiles flight;
     Pipeline.shutdown p;
     (warm_decisions @ decisions, List.length decisions, final, wall,
      (c0, c1), gc, (off0, off1))
   in
-  let base = run Runtime.sequential in
+  let base = run "seq" Runtime.sequential in
   let t =
     Table.create
       ~title:
@@ -1292,8 +1310,13 @@ let macro () =
     end
   in
   report "seq" base;
-  report "par:4" (run (Runtime.parallel ~domains:4));
-  report "pipe:4" (run (Runtime.pipelined ~domains:4));
+  report "par:4" (run "par:4" (Runtime.parallel ~domains:4));
+  report "pipe:4" (run "pipe:4" (Runtime.pipelined ~domains:4));
+  (match (flight_sink, !flight_path) with
+  | Some oc, Some path ->
+      close_out oc;
+      Printf.printf "flight records -> %s\n" path
+  | _ -> ());
   Table.print t;
   Printf.printf
     "(fm minor w/txn = minor-heap words allocated by the driver's final \
@@ -1420,6 +1443,8 @@ let () =
               exit 2)
       | a when String.length a > 7 && String.sub a 0 7 = "--json=" ->
           json_path := Some (String.sub a 7 (String.length a - 7))
+      | a when String.length a > 9 && String.sub a 0 9 = "--flight=" ->
+          flight_path := Some (String.sub a 9 (String.length a - 9))
       | name when List.mem_assoc name figures ->
           if not (List.mem name !selected) then selected := name :: !selected
       | other ->

@@ -17,6 +17,8 @@ module Premeld = Hyder_core.Premeld
 module Runtime = Hyder_core.Runtime
 module Trace = Hyder_obs.Trace
 module Metrics = Hyder_obs.Metrics
+module Flight = Hyder_obs.Flight
+module Analyze = Hyder_obs.Analyze
 module Json = Hyder_obs.Json
 
 let write_file path content =
@@ -24,6 +26,19 @@ let write_file path content =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc content)
+
+(* Open the flight-record sink around [f], closing it whatever happens;
+   [f] receives [None] when no --flight file was asked for. *)
+let with_flight_sink flight_file f =
+  match flight_file with
+  | None -> f None
+  | Some path ->
+      let oc = open_out path in
+      let r =
+        Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f (Some oc))
+      in
+      Printf.eprintf "flight records -> %s\n%!" path;
+      r
 
 let pipeline_to_string (c : Pipeline.config) =
   match (c.Pipeline.premeld, c.Pipeline.group_size) with
@@ -122,26 +137,31 @@ let workload_term =
 
 let cluster_cmd =
   let run_chaos servers pipeline runtime workload seed faults checkpoint_every
-      chaos_txns metrics_file json_file =
+      chaos_txns flight_file metrics_file json_file =
     let metrics =
       if metrics_file <> None || json_file <> None then Some (Metrics.create ())
       else None
     in
-    let cfg =
-      {
-        Replica.default_config with
-        Replica.servers;
-        pipeline;
-        runtime;
-        workload;
-        faults;
-        checkpoint_every;
-        txns = chaos_txns;
-        seed = Int64.of_int seed;
-        metrics;
-      }
+    let r =
+      with_flight_sink flight_file (fun flight_sink ->
+          let cfg =
+            {
+              Replica.default_config with
+              Replica.servers;
+              pipeline;
+              runtime;
+              workload;
+              faults;
+              checkpoint_every;
+              txns = chaos_txns;
+              seed = Int64.of_int seed;
+              metrics;
+              flight_sink;
+              flight_label = "chaos/" ^ Runtime.to_string runtime;
+            }
+          in
+          Replica.run cfg)
     in
-    let r = Replica.run cfg in
     Format.printf "%a@." Replica.pp r;
     (match metrics_file with
     | None -> ()
@@ -180,14 +200,15 @@ let cluster_cmd =
   in
   let run servers pipeline runtime write_threads read_threads inflight duration
       warmup workload seed faults checkpoint_every chaos_txns trace_file
-      metrics_file json_file =
+      flight_file metrics_file json_file =
     match faults with
     | Some faults ->
         (* Chaos mode: fault injection + crash recovery instead of the
            closed-loop throughput experiment. *)
         run_chaos servers pipeline runtime workload seed faults
-          checkpoint_every chaos_txns metrics_file json_file
+          checkpoint_every chaos_txns flight_file metrics_file json_file
     | None ->
+    with_flight_sink flight_file @@ fun flight_sink ->
     let trace =
       match trace_file with
       | None -> Trace.disabled
@@ -208,6 +229,12 @@ let cluster_cmd =
       if metrics_file <> None || json_file <> None then Some (Metrics.create ())
       else None
     in
+    let flight =
+      match flight_sink with
+      | None -> Flight.disabled
+      | Some oc ->
+          Flight.create ~label:(Runtime.to_string runtime) ?metrics ~sink:oc ()
+    in
     let cfg =
       {
         Cluster.default_config with
@@ -222,6 +249,7 @@ let cluster_cmd =
         workload;
         seed = Int64.of_int seed;
         trace;
+        flight;
         metrics;
       }
     in
@@ -347,6 +375,18 @@ let cluster_cmd =
              stage spans to $(docv) (load it in Perfetto or \
              chrome://tracing).")
   in
+  let flight_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight" ] ~docv:"FILE"
+          ~doc:
+            "Record every transaction's flight (per-stage queue-wait and \
+             service times from decode to commit/abort) and stream one \
+             JSON line per completed record to $(docv); feed it to \
+             $(b,hyder-cli analyze). Works in both the throughput and the \
+             chaos experiment; off (zero-cost) when absent.")
+  in
   let metrics_file =
     Arg.(
       value
@@ -368,7 +408,52 @@ let cluster_cmd =
     Term.(
       const run $ servers $ pipeline $ runtime $ write_threads $ read_threads
       $ inflight $ duration $ warmup $ workload_term $ seed $ faults
-      $ checkpoint_every $ chaos_txns $ trace_file $ metrics_file $ json_file)
+      $ checkpoint_every $ chaos_txns $ trace_file $ flight_file $ metrics_file
+      $ json_file)
+
+(* --- analyze -------------------------------------------------------------- *)
+
+let analyze_cmd =
+  let run file top_k json_file =
+    match Analyze.load_file file with
+    | [] ->
+        Printf.eprintf "analyze: no flight records in %s\n%!" file;
+        exit 1
+    | txns -> (
+        Analyze.print_report ~top_k txns;
+        match json_file with
+        | None -> ()
+        | Some path ->
+            write_file path (Json.to_string (Analyze.report ~top_k txns));
+            Printf.eprintf "analysis report -> %s\n%!" path)
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FLIGHT.jsonl"
+          ~doc:"Flight-record dump written by --flight.")
+  in
+  let top_k =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"K"
+          ~doc:"Slowest transactions to drill into per backend.")
+  in
+  let json_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the machine-readable analysis report to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Analyze a flight-record dump: per-stage wait/service waterfall, \
+          critical-path decomposition, abort-reason x stage attribution and \
+          slowest-transaction drill-down, per backend label")
+    Term.(const run $ file $ top_k $ json_file)
 
 (* --- local ([8] setup) ---------------------------------------------------- *)
 
@@ -458,4 +543,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "hyder-cli" ~version:"1.0.0"
              ~doc:"Hyder II experiment driver")
-          [ cluster_cmd; local_cmd; log_cmd; tango_cmd ]))
+          [ cluster_cmd; analyze_cmd; local_cmd; log_cmd; tango_cmd ]))

@@ -14,6 +14,7 @@ module Ycsb = Hyder_workload.Ycsb
 module Summary = Hyder_util.Stats.Summary
 module Trace = Hyder_obs.Trace
 module Metrics = Hyder_obs.Metrics
+module Flight = Hyder_obs.Flight
 module Json = Hyder_obs.Json
 
 type config = {
@@ -42,6 +43,10 @@ type config = {
   metrics : Metrics.t option;
       (** registry for pipeline/runtime instruments, the commit-latency
           histogram and the simulated queue-depth sampler *)
+  flight : Flight.t;
+      (** per-transaction flight recorder threaded into the real
+          pipeline; {!Flight.disabled} (the default) costs one branch
+          per lifecycle edge *)
 }
 
 let default_config =
@@ -65,6 +70,7 @@ let default_config =
     seed = 0x5EEDL;
     trace = Trace.disabled;
     metrics = None;
+    flight = Flight.disabled;
   }
 
 type result = {
@@ -117,6 +123,12 @@ type cluster_inst = {
   h_commit_latency : Metrics.Histogram.t;
       (** simulated seconds from draft to origin-server commit delivery *)
   c_appends : Metrics.Counter.t;
+  (* Abort-reason breakdown as scrapeable counters (the registry
+     sanitizes label syntax away, so the reason is suffix-encoded). *)
+  c_ab_write : Metrics.Counter.t;
+  c_ab_read : Metrics.Counter.t;
+  c_ab_phantom : Metrics.Counter.t;
+  c_ab_unknown : Metrics.Counter.t;
 }
 
 type group_progress = {
@@ -162,7 +174,7 @@ let run cfg =
   let genesis = Ycsb.genesis workload in
   let pipeline =
     Pipeline.create ~config:cfg.pipeline ~runtime:cfg.runtime ~trace:cfg.trace
-      ?metrics:cfg.metrics ~genesis ()
+      ~flight:cfg.flight ?metrics:cfg.metrics ~genesis ()
   in
   let inst =
     Option.map
@@ -170,6 +182,10 @@ let run cfg =
         {
           h_commit_latency = Metrics.histogram m "cluster_commit_latency_seconds";
           c_appends = Metrics.counter m "cluster_log_appends";
+          c_ab_write = Metrics.counter m "cluster_aborts_write_conflict";
+          c_ab_read = Metrics.counter m "cluster_aborts_read_conflict";
+          c_ab_phantom = Metrics.counter m "cluster_aborts_phantom_conflict";
+          c_ab_unknown = Metrics.counter m "cluster_aborts_unknown";
         })
       cfg.metrics
   in
@@ -259,6 +275,15 @@ let run cfg =
       | Some (Meld.Read_conflict _) -> "read_conflict"
       | Some (Meld.Phantom_conflict _) -> "phantom_conflict"
     in
+    (match inst with
+    | None -> ()
+    | Some i ->
+        Metrics.Counter.incr
+          (match reason with
+          | None -> i.c_ab_unknown
+          | Some (Meld.Write_conflict _) -> i.c_ab_write
+          | Some (Meld.Read_conflict _) -> i.c_ab_read
+          | Some (Meld.Phantom_conflict _) -> i.c_ab_phantom));
     Hashtbl.replace abort_reasons_tbl k
       (1 + Option.value ~default:0 (Hashtbl.find_opt abort_reasons_tbl k))
   in
@@ -285,6 +310,14 @@ let run cfg =
     let intention = Pipeline.decode pipeline ~pos info.bytes in
     untrack_snapshot info.snap_seq;
     info.bytes <- "";
+    (* The decode opened the flight record; stamp the simulated clock
+       onto it before submit can complete (and close) it: when the
+       executor drafted the transaction and when the log order reached
+       its append. *)
+    if Flight.enabled cfg.flight then begin
+      Flight.sim_edge cfg.flight ~pos ~at:`Submit info.t_created;
+      Flight.sim_edge cfg.flight ~pos ~at:`Append (Engine.now eng)
+    end;
     info.t_ds <- clamp_stage (counters.Counters.deserialize.Counters.seconds -. ds0);
     let pm_before = Counters.premeld_total counters in
     let pm0 = pm_before.Counters.seconds in
@@ -466,7 +499,18 @@ let run cfg =
   start_ds_ref := start_ds;
 
   let on_arrival s_idx (info : info) =
-    if info.seq >= 0 then start_ds s_idx info
+    if info.seq >= 0 then begin
+      (* First post-append broadcast delivery: the earliest simulated time
+         any server held both the payload and its log position.  [sim_edge]
+         is first-wins for [`Deliver] and no-ops once the decision closed
+         the record, so later copies never overwrite it. *)
+      if Flight.enabled cfg.flight then
+        (match Hashtbl.find_opt pos_of_seq info.seq with
+        | Some pos ->
+            Flight.sim_edge cfg.flight ~pos ~at:`Deliver (Engine.now eng)
+        | None -> ());
+      start_ds s_idx info
+    end
     else info.pending_arrivals <- s_idx :: info.pending_arrivals
   in
 
@@ -634,6 +678,15 @@ let run cfg =
       let g_blocked = Metrics.gauge m "cluster_blocked_threads" in
       let h_seq = Metrics.histogram m "corfu_sequencer_queue_depth" in
       let h_unit = Metrics.histogram m "corfu_unit_queue_depth_max" in
+      (* GC observer (same cadence as the queue-depth sampler): collection
+         counts and promoted/heap words as gauges, plus the wall clock of
+         the latest sample so GC activity can be correlated with
+         flight-record timestamps (both use {!Hyder_util.Clock.now}). *)
+      let g_gc_minor = Metrics.gauge m "gc_minor_collections" in
+      let g_gc_major = Metrics.gauge m "gc_major_collections" in
+      let g_gc_promoted = Metrics.gauge m "gc_promoted_words" in
+      let g_gc_heap = Metrics.gauge m "gc_heap_words" in
+      let g_gc_wall = Metrics.gauge m "gc_sample_wall_seconds" in
       let period = Float.max 1e-4 (cfg.duration /. 200.0) in
       let rec sample () =
         let sq = Corfu.sequencer_queue corfu in
@@ -654,6 +707,12 @@ let run cfg =
         Metrics.Gauge.set g_blocked (float_of_int blocked);
         Metrics.Histogram.observe h_seq (float_of_int sq);
         Metrics.Histogram.observe h_unit (float_of_int uq);
+        let gst = Gc.quick_stat () in
+        Metrics.Gauge.set g_gc_minor (float_of_int gst.Gc.minor_collections);
+        Metrics.Gauge.set g_gc_major (float_of_int gst.Gc.major_collections);
+        Metrics.Gauge.set g_gc_promoted gst.Gc.promoted_words;
+        Metrics.Gauge.set g_gc_heap (float_of_int gst.Gc.heap_words);
+        Metrics.Gauge.set g_gc_wall (now_wall ());
         if Engine.now eng +. period < stop_time then
           Engine.schedule eng ~delay:period sample
       in
@@ -672,6 +731,17 @@ let run cfg =
         Some (Gc.minor_words (), st.Gc.promoted_words, st.Gc.major_words));
 
   Engine.run ~until:stop_time eng;
+
+  (* Surface ring overflow as a metric so a truncated trace is never read
+     as complete from the Prometheus side either (the Perfetto export
+     carries its own in-band TRUNCATED marker). *)
+  (match cfg.metrics with
+  | Some m when Trace.enabled cfg.trace ->
+      Metrics.Counter.incr
+        (Metrics.counter m "trace_spans_dropped_total")
+        ~by:(Trace.dropped cfg.trace)
+  | _ -> ());
+  Flight.export_percentiles cfg.flight;
 
   if Sys.getenv_opt "HYDER_CLUSTER_DEBUG" <> None then begin
     Printf.eprintf

@@ -53,9 +53,21 @@ type config = {
       (** when set, registers pipeline/runtime instruments, a
           [cluster_commit_latency_seconds] histogram (simulated seconds,
           draft to origin-server decision), a [cluster_log_appends]
-          counter, and a periodic sampler of simulated queue depths
-          (CORFU sequencer / storage units, broadcast NICs, blocked
-          executor threads) *)
+          counter, per-reason [cluster_aborts_*] counters, the
+          [trace_spans_dropped_total] counter (set at end of run from
+          the recorder's exact drop accounting), and a periodic sampler
+          of simulated queue depths (CORFU sequencer / storage units,
+          broadcast NICs, blocked executor threads) plus process GC
+          gauges ([gc_minor_collections], [gc_major_collections],
+          [gc_promoted_words], [gc_heap_words], with
+          [gc_sample_wall_seconds] carrying the wall-clock sample time
+          for correlation with flight-record timestamps) *)
+  flight : Hyder_obs.Flight.t;
+      (** per-transaction flight recorder threaded into the real
+          pipeline ({!Hyder_obs.Flight.disabled} by default).  Stage
+          edges are wall-clock; the simulation additionally stamps its
+          own clock onto each record (draft creation, log-order append,
+          origin-server broadcast delivery) under the [sim] key. *)
 }
 
 val default_config : config

@@ -13,6 +13,7 @@ module Checkpoint = Hyder_core.Checkpoint
 module Ycsb = Hyder_workload.Ycsb
 module Stats = Hyder_util.Stats
 module Metrics = Hyder_obs.Metrics
+module Flight = Hyder_obs.Flight
 module Json = Hyder_obs.Json
 
 type config = {
@@ -32,6 +33,8 @@ type config = {
   append_gap : float;
   seed : int64;
   metrics : Metrics.t option;
+  flight_sink : out_channel option;
+  flight_label : string;
 }
 
 let default_config =
@@ -65,6 +68,8 @@ let default_config =
     append_gap = 2.0e-5;
     seed = 0xC0FFEEL;
     metrics = None;
+    flight_sink = None;
+    flight_label = "chaos";
   }
 
 type replica_report = {
@@ -291,6 +296,13 @@ type rep = {
   mutable caught_up_in : float;
   mutable mismatches : int;
   decided : (int, bool) Hashtbl.t;
+  flight : Flight.t;
+      (** per-replica recorder: records are keyed by log position and every
+          replica melds every position, so replicas sharing one recorder
+          would stamp each other's records; the sink is shared, the label
+          disambiguates ([<flight_label>/r<id>]).  Survives crash/restart —
+          the rebuilt pipeline reuses it, so a replayed position emits a
+          second record (the replay is real work). *)
 }
 
 let run (cfg : config) =
@@ -303,15 +315,24 @@ let run (cfg : config) =
     Broadcast.create ~config:cfg.broadcast ~faults:cfg.faults eng
       ~senders:cfg.servers ~receivers:cfg.servers
   in
-  let fresh_pipeline () =
-    Pipeline.create ~config:cfg.pipeline ~runtime:cfg.runtime
+  let fresh_pipeline ?(flight = Flight.disabled) () =
+    Pipeline.create ~config:cfg.pipeline ~runtime:cfg.runtime ~flight
       ~genesis:g.genesis ()
+  in
+  let flight_for id =
+    match cfg.flight_sink with
+    | None -> Flight.disabled
+    | Some oc ->
+        Flight.create
+          ~label:(Printf.sprintf "%s/r%d" cfg.flight_label id)
+          ?metrics:cfg.metrics ~sink:oc ()
   in
   let reps =
     Array.init cfg.servers (fun id ->
+        let flight = flight_for id in
         {
           id;
-          pl = fresh_pipeline ();
+          pl = fresh_pipeline ~flight ();
           reasm = Codec.Blocks.Reassembler.create ();
           buffer = Hashtbl.create 16;
           next_pos = 0;
@@ -333,6 +354,7 @@ let run (cfg : config) =
           caught_up_in = 0.0;
           mismatches = 0;
           decided = Hashtbl.create 64;
+          flight;
         })
   in
   let record_decisions r ds =
@@ -443,9 +465,10 @@ let run (cfg : config) =
       let pl, start_pos =
         match r.last_ckpt with
         | Some c ->
-            ( Pipeline.restore ~config:cfg.pipeline ~runtime:cfg.runtime c,
+            ( Pipeline.restore ~config:cfg.pipeline ~runtime:cfg.runtime
+                ~flight:r.flight c,
               c.Checkpoint.pos + 1 )
-        | None -> (fresh_pipeline (), 0)
+        | None -> (fresh_pipeline ~flight:r.flight (), 0)
       in
       r.restarted_from <- start_pos - 1;
       r.pl <- pl;
@@ -581,6 +604,7 @@ let run (cfg : config) =
               r.caught_up_in
           end)
         reps);
+  Array.iter (fun r -> Flight.export_percentiles r.flight) reps;
   Array.iter (fun r -> Pipeline.shutdown r.pl) reps;
   {
     log_length = n;

@@ -49,6 +49,15 @@ type config = {
   seed : int64;  (** workload seed (fault seed lives in [faults]) *)
   metrics : Hyder_obs.Metrics.t option;
       (** when given, recovery counters and histograms are registered *)
+  flight_sink : out_channel option;
+      (** when given, each replica gets its own flight recorder (records
+          are keyed by log position and every replica melds every
+          position, so a shared recorder would conflate them) streaming
+          JSON lines to this shared channel, labeled
+          [<flight_label>/r<id>].  Recorders survive crash/restart, so a
+          replayed position emits a second record.  [None] (default) is
+          the inert path. *)
+  flight_label : string;
 }
 
 val default_config : config

@@ -5,6 +5,7 @@ module Summary = Hyder_util.Stats.Summary
 module Clock = Hyder_util.Clock
 module Trace = Hyder_obs.Trace
 module Metrics = Hyder_obs.Metrics
+module Flight = Hyder_obs.Flight
 
 type config = {
   premeld : Premeld.config option;
@@ -19,6 +20,18 @@ let with_both =
   { premeld = Some Premeld.default_config; group_size = 2 }
 
 type decided_at = At_premeld | At_group_meld | At_final_meld
+
+(* Short machine labels shared by the abort-reason metric counters and
+   the flight-record sink (the cluster simulator uses the same slugs). *)
+let reason_slug = function
+  | Meld.Write_conflict _ -> "write_conflict"
+  | Meld.Read_conflict _ -> "read_conflict"
+  | Meld.Phantom_conflict _ -> "phantom_conflict"
+
+let decided_at_slug = function
+  | At_premeld -> "premeld"
+  | At_group_meld -> "group_meld"
+  | At_final_meld -> "final_meld"
 
 type decision = {
   seq : int;
@@ -37,6 +50,11 @@ type instruments = {
   m_fm_nodes : Metrics.Histogram.t;
   m_commits : Metrics.Counter.t;
   m_aborts : Metrics.Counter.t;
+  (* Abort-reason breakdown (the registry sanitizes names to
+     [a-zA-Z0-9_:], so the label is suffix-encoded into the name). *)
+  m_aborts_write : Metrics.Counter.t;
+  m_aborts_read : Metrics.Counter.t;
+  m_aborts_phantom : Metrics.Counter.t;
   (* Per-stage GC deltas ([Gc.counters] minor/promoted words), sampled
      around the stage work executed on the domain that owns the stage:
      fm on the driver (every backend), ds/pm on the driver's inline path,
@@ -131,9 +149,24 @@ type presult =
           (** the decoded node table, for the driver to index into its
               intention cache ([[||]] on failure) *)
       seconds : float;
+      t0 : float;
+          (** worker-side stage start ([CLOCK_MONOTONIC] is system-wide,
+              so the driver stamps flight edges from it directly) *)
     }
-  | Rpm of { idx : int; outcome : Premeld.outcome; seconds : float }
-  | Rgm of { idx : int; completed : Group_meld.group option; seconds : float }
+  | Rpm of {
+      idx : int;
+      outcome : Premeld.outcome;
+      seconds : float;
+      t0 : float;
+    }
+  | Rgm of {
+      idx : int;
+      completed : Group_meld.group option;
+      seconds : float;
+      t0 : float;  (** wall bracket of the gm step; [0.0] when the
+                       flight recorder is off (no worker clock reads) *)
+      t1 : float;
+    }
 
 let null_resolver : Codec.resolver =
  fun ~snapshot:_ ~key:_ ~vn:_ ->
@@ -181,6 +214,10 @@ type t = {
   config : config;
   runtime : Runtime.t;
   trace : Trace.t;
+  flight : Flight.t;
+      (** per-transaction lifecycle recorder; only ever touched by the
+          driver thread — worker-domain stage timestamps ride back in
+          the {!presult} messages and are stamped on result handling *)
   inst : instruments option;
   counters : Counters.t;
   states : State_store.t;
@@ -281,6 +318,12 @@ let decode t ~pos bytes =
   if Trace.enabled t.trace then
     Trace.record t.trace ~track:0 ~stage:Trace.Deserialize ~seq:t.next_seq ~t0
       ~t1 ~nodes:i.Intention.node_count ~detail:i.Intention.byte_size;
+  if Flight.enabled t.flight then begin
+    Flight.touch t.flight ~pos ~now:t0;
+    Flight.note_identity t.flight ~pos ~server:i.Intention.server
+      ~txn_seq:i.Intention.txn_seq;
+    Flight.edge t.flight ~pos ~stage:Flight.Ds ~t0 ~t1
+  end;
   i
 
 (* Driver-side slice decode for the pipelined backend: the full inline
@@ -303,6 +346,12 @@ let decode_slice t ~scratch ~seq ~pos ~off ~len src =
   if Trace.enabled t.trace then
     Trace.record t.trace ~track:0 ~stage:Trace.Deserialize ~seq ~t0 ~t1
       ~nodes:i.Intention.node_count ~detail:i.Intention.byte_size;
+  if Flight.enabled t.flight then begin
+    Flight.touch t.flight ~pos ~now:t0;
+    Flight.note_identity t.flight ~pos ~server:i.Intention.server
+      ~txn_seq:i.Intention.txn_seq;
+    Flight.edge t.flight ~pos ~stage:Flight.Ds ~t0 ~t1
+  end;
   i
 
 (* Run final meld on a completed group and emit its decisions. *)
@@ -311,8 +360,21 @@ let final_meld t (group : Group_meld.group) =
   let lcs_seq, _lcs_pos, lcs_tree = State_store.latest t.states in
   let alive = List.length group.members in
   let nodes_before = fm.nodes_visited in
+  let flighted = Flight.enabled t.flight in
+  (* Flight attribution brackets the whole final-meld operation; every
+     member of the group (early aborts included) gets the same edge, so
+     each record's wait/service chain stays gapless through decision
+     time. *)
+  let fm_t0 = ref 0.0 and fm_t1 = ref 0.0 in
   let result =
-    if alive = 0 then Meld.Merged lcs_tree
+    if alive = 0 then begin
+      if flighted then begin
+        let now = Clock.now () in
+        fm_t0 := now;
+        fm_t1 := now
+      end;
+      Meld.Merged lcs_tree
+    end
     else begin
       let t0 = Clock.now () in
       let gc0 = gc_begin t.inst in
@@ -325,6 +387,8 @@ let final_meld t (group : Group_meld.group) =
       gc_end t.inst ~stage:`Fm gc0;
       let t1 = Clock.now () in
       fm.seconds <- fm.seconds +. (t1 -. t0);
+      fm_t0 := t0;
+      fm_t1 := t1;
       if Trace.enabled t.trace then begin
         let first_seq =
           List.fold_left
@@ -396,7 +460,27 @@ let final_meld t (group : Group_meld.group) =
       (match t.inst with
       | None -> ()
       | Some i ->
-          Metrics.Counter.incr (if committed then i.m_commits else i.m_aborts));
+          Metrics.Counter.incr (if committed then i.m_commits else i.m_aborts);
+          (match reason with
+          | Some (Meld.Write_conflict _) ->
+              Metrics.Counter.incr i.m_aborts_write
+          | Some (Meld.Read_conflict _) -> Metrics.Counter.incr i.m_aborts_read
+          | Some (Meld.Phantom_conflict _) ->
+              Metrics.Counter.incr i.m_aborts_phantom
+          | None -> ()));
+      if flighted then begin
+        let pos = m.intention.pos in
+        Flight.edge t.flight ~pos ~stage:Flight.Fm ~t0:!fm_t0 ~t1:!fm_t1;
+        let effective_snap =
+          match m.premeld_input with
+          | Some s -> s
+          | None -> State_store.seq_of_pos t.states m.intention.snapshot
+        in
+        Flight.complete t.flight ~pos ~now:!fm_t1 ~seq:m.seq ~committed
+          ~reason:(match reason with None -> "" | Some r -> reason_slug r)
+          ~decided_at:(decided_at_slug decided_at)
+          ~conflict_zone:(max 0 (lcs_seq - effective_snap))
+      end;
       {
         seq = m.seq;
         pos = m.intention.pos;
@@ -413,6 +497,21 @@ let final_meld t (group : Group_meld.group) =
    off), [None] while it is still filling.  [track] selects the trace
    ring: 0 for the inline tail, the gm worker's ring under the pipelined
    backend (same single-writer either way). *)
+(* Stamp a group-meld flight edge on every member the incoming unit
+   group carries (the combine's work is attributed to the member being
+   folded in; the waiting members' gm time shows up as fm wait).  Driver
+   thread only — the pipelined backend stamps from the [Rgm] result
+   instead. *)
+let flight_gm_edge t ~t0 ~t1 (g : Group_meld.group) =
+  List.iter
+    (fun (m : Group_meld.member) ->
+      Flight.edge t.flight ~pos:m.intention.pos ~stage:Flight.Gm ~t0 ~t1)
+    g.members;
+  List.iter
+    (fun ((m : Group_meld.member), _, _) ->
+      Flight.edge t.flight ~pos:m.intention.pos ~stage:Flight.Gm ~t0 ~t1)
+    g.early_aborts
+
 let gm_step t ~track ~seq (unit_group : Group_meld.group) =
   if t.config.group_size <= 1 then Some unit_group
   else begin
@@ -434,6 +533,10 @@ let gm_step t ~track ~seq (unit_group : Group_meld.group) =
             Trace.record t.trace ~track ~stage:Trace.Group_meld ~seq ~t0 ~t1
               ~nodes:(gm.nodes_visited - nodes_before)
               ~detail:(t.pending_members + 1);
+          (* [track = 0] ⟺ this gm step runs inline on the driver; the
+             pipelined backend's gm worker must not touch the recorder. *)
+          if track = 0 && Flight.enabled t.flight then
+            flight_gm_edge t ~t0 ~t1 unit_group;
           merged
     in
     t.pending_members <- t.pending_members + 1;
@@ -464,6 +567,15 @@ let group_of_outcome ~seq intention = function
 let submit t (intention : Intention.t) =
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
+  let flighted = Flight.enabled t.flight in
+  (* Open the flight record at submit time when decode did not already
+     (pre-decoded batch entry); idempotent otherwise. *)
+  if flighted then begin
+    let now = Clock.now () in
+    Flight.touch t.flight ~pos:intention.pos ~now;
+    Flight.note_identity t.flight ~pos:intention.pos
+      ~server:intention.server ~txn_seq:intention.txn_seq
+  end;
   (* Premeld stage, inline (the Sequential backend's scheduler). *)
   let unit_group =
     match t.config.premeld with
@@ -479,7 +591,10 @@ let submit t (intention : Intention.t) =
             ~shards:t.counters.premeld_shards ~states:t.states ~seq intention
         in
         gc_end t.inst ~stage:`Pm gc0;
-        shard.Counters.seconds <- shard.Counters.seconds +. Clock.elapsed t0;
+        let t1 = Clock.now () in
+        shard.Counters.seconds <- shard.Counters.seconds +. (t1 -. t0);
+        if flighted then
+          Flight.edge t.flight ~pos:intention.pos ~stage:Flight.Pm ~t0 ~t1;
         group_of_outcome ~seq intention outcome
   in
   tail t ~seq unit_group
@@ -571,6 +686,21 @@ let run_window t (pc : Premeld.config) (window : Intention.t array) =
       ~poss:(Array.map (fun (i : Intention.t) -> i.Intention.pos) window)
       ~snaps:(Array.map (fun (i : Intention.t) -> i.Intention.snapshot) window)
   in
+  let flighted = Flight.enabled t.flight in
+  (* Per-member trial-meld wall brackets, written at disjoint indexes by
+     the pool tasks (same single-writer argument as [outcomes]) and
+     stamped into the recorder by the driver after the join. *)
+  let pm_t0 = if flighted then Array.make b 0.0 else [||] in
+  let pm_t1 = if flighted then Array.make b 0.0 else [||] in
+  if flighted then begin
+    let now = Clock.now () in
+    Array.iter
+      (fun (i : Intention.t) ->
+        Flight.touch t.flight ~pos:i.Intention.pos ~now;
+        Flight.note_identity t.flight ~pos:i.Intention.pos
+          ~server:i.Intention.server ~txn_seq:i.Intention.txn_seq)
+      window
+  end;
   (* Fan the trial melds out, sharded by paper thread id: pool task [k]
      impersonates premeld thread [threads.(k)] and owns its allocator and
      counter shard, processing that thread's members in log order. *)
@@ -593,10 +723,15 @@ let run_window t (pc : Premeld.config) (window : Intention.t array) =
       let t0 = Clock.now () in
       List.iter
         (fun i ->
+          let ft0 = if flighted then Clock.now () else 0.0 in
           outcomes.(i) <-
             Premeld.trial ~trace:t.trace pc ~snap_seq:snap_seqs.(i) ~lookup
               ~alloc:t.pm_allocs.(k) ~counters:shard ~seq:(s0 + i)
-              window.(i))
+              window.(i);
+          if flighted then begin
+            pm_t0.(i) <- ft0;
+            pm_t1.(i) <- Clock.now ()
+          end)
         by_thread.(k);
       let t1 = Clock.now () in
       shard.Counters.seconds <- shard.Counters.seconds +. (t1 -. t0);
@@ -612,6 +747,9 @@ let run_window t (pc : Premeld.config) (window : Intention.t array) =
      same sequential tail the inline scheduler uses. *)
   let decisions = ref [] in
   for i = 0 to b - 1 do
+    if flighted then
+      Flight.edge t.flight ~pos:window.(i).Intention.pos ~stage:Flight.Pm
+        ~t0:pm_t0.(i) ~t1:pm_t1.(i);
     let dgroup = group_of_outcome ~seq:(s0 + i) window.(i) outcomes.(i) in
     decisions := List.rev_append (tail t ~seq:(s0 + i) dgroup) !decisions
   done;
@@ -643,7 +781,7 @@ let pexec t (w : wctx) ~worker job =
           ~resolve:w.wresolvers.(worker) src
       with
       | exception Codec.Corrupt _ ->
-          Rds { idx; intention = None; nodes = [||]; seconds = 0.0 }
+          Rds { idx; intention = None; nodes = [||]; seconds = 0.0; t0 }
       | i ->
           let t1 = Clock.now () in
           if traced then
@@ -657,6 +795,7 @@ let pexec t (w : wctx) ~worker job =
               intention = Some i;
               nodes = Codec.Scratch.export w.scratches.(worker);
               seconds = t1 -. t0;
+              t0;
             })
   | Jpm { idx; thread; seq; snap_seq; intention } ->
       let pc =
@@ -673,18 +812,29 @@ let pexec t (w : wctx) ~worker job =
       in
       let dt = Clock.elapsed t0 in
       shard.Counters.seconds <- shard.Counters.seconds +. dt;
-      Rpm { idx; outcome; seconds = dt }
+      Rpm { idx; outcome; seconds = dt; t0 }
   | Jgm { idx; seq; group } ->
       (* Report the gm-counter delta, not a wrapper measurement, so the
          offloaded seconds subtract exactly from the stage total.  The gm
          counter is only ever touched by this worker while a window is in
-         flight (every Jgm runs here), so the read is race-free. *)
+         flight (every Jgm runs here), so the read is race-free.  Flight
+         wall brackets are extra clock reads gated on the recorder (the
+         recorder itself is driver-only; only timestamps cross back). *)
+      let flighted = Flight.enabled t.flight in
+      let ft0 = if flighted then Clock.now () else 0.0 in
       let s0 = t.counters.group_meld.Counters.seconds in
       let completed =
         gm_step t ~track:(Trace.shards t.trace + 1 + worker) ~seq group
       in
+      let ft1 = if flighted then Clock.now () else 0.0 in
       Rgm
-        { idx; completed; seconds = t.counters.group_meld.Counters.seconds -. s0 }
+        {
+          idx;
+          completed;
+          seconds = t.counters.group_meld.Counters.seconds -. s0;
+          t0 = ft0;
+          t1 = ft1;
+        }
 
 (* Run one window of work items through the staged pipeline:
 
@@ -709,6 +859,21 @@ let run_pipelined_window t (px : pctx) (window : witem array) =
   let domains = px.pdomains in
   let qcap = px.qcap in
   let gm_worker = domains - 1 in
+  let flighted = Flight.enabled t.flight in
+  (* One shared clock read opens every member's flight record at window
+     entry: time spent queued before a stage releases (SPSC residency,
+     snapshot-lag holds) then lands in that stage's wait column. *)
+  if flighted then begin
+    let now = Clock.now () in
+    Array.iter
+      (function
+        | Wi (i : Intention.t) ->
+            Flight.touch t.flight ~pos:i.Intention.pos ~now;
+            Flight.note_identity t.flight ~pos:i.Intention.pos
+              ~server:i.Intention.server ~txn_seq:i.Intention.txn_seq
+        | Ww { pos; _ } -> Flight.touch t.flight ~pos ~now)
+      window
+  end;
   (* Freeze the retention window and publish per-worker resolvers before
      any job of this window is pushed. *)
   let snap = State_store.snapshot t.states in
@@ -866,9 +1031,14 @@ let run_pipelined_window t (px : pctx) (window : witem array) =
     in
     go ()
   in
+  let pos_of idx =
+    match window.(idx) with
+    | Wi i -> i.Intention.pos
+    | Ww { pos; _ } -> pos
+  in
   let handle = function
     | Rnone -> ()
-    | Rds { idx; intention = Some i; nodes; seconds } ->
+    | Rds { idx; intention = Some i; nodes; seconds; t0 } ->
         intentions.(idx) <- Some i;
         (* Index the worker-decoded nodes so later decodes (driver
            inline, held releases, the next window's failures) resolve
@@ -882,7 +1052,13 @@ let run_pipelined_window t (px : pctx) (window : witem array) =
         ds.seconds <- ds.seconds +. seconds;
         Summary.add t.counters.intention_bytes
           (float_of_int i.Intention.byte_size);
-        px.worker_ds_seconds <- px.worker_ds_seconds +. seconds
+        px.worker_ds_seconds <- px.worker_ds_seconds +. seconds;
+        if flighted then begin
+          Flight.note_identity t.flight ~pos:i.Intention.pos
+            ~server:i.Intention.server ~txn_seq:i.Intention.txn_seq;
+          Flight.edge t.flight ~pos:i.Intention.pos ~stage:Flight.Ds ~t0
+            ~t1:(t0 +. seconds)
+        end
     | Rds { idx; intention = None; _ } -> (
         (* The worker's cache-free decode could not resolve a reference;
            every reference of an offloadable item predates the window,
@@ -896,12 +1072,17 @@ let run_pipelined_window t (px : pctx) (window : witem array) =
             px.ds_offloaded <- px.ds_offloaded - 1;
             px.ds_inline_n <- px.ds_inline_n + 1
         | Wi _ -> assert false)
-    | Rpm { idx; outcome; seconds } ->
+    | Rpm { idx; outcome; seconds; t0 } ->
         outcomes.(idx) <- Some outcome;
-        px.worker_pm_seconds <- px.worker_pm_seconds +. seconds
-    | Rgm { idx = _; completed; seconds } -> (
+        px.worker_pm_seconds <- px.worker_pm_seconds +. seconds;
+        if flighted then
+          Flight.edge t.flight ~pos:(pos_of idx) ~stage:Flight.Pm ~t0
+            ~t1:(t0 +. seconds)
+    | Rgm { idx; completed; seconds; t0; t1 } -> (
         incr rgm;
         px.worker_gm_seconds <- px.worker_gm_seconds +. seconds;
+        if flighted then
+          Flight.edge t.flight ~pos:(pos_of idx) ~stage:Flight.Gm ~t0 ~t1;
         match completed with
         | Some g -> decisions := List.rev_append (final_meld t g) !decisions
         | None -> ())
@@ -1149,6 +1330,9 @@ let make_instruments metrics =
         m_fm_nodes = Metrics.histogram m "pipeline_fm_nodes_per_txn";
         m_commits = Metrics.counter m "pipeline_commits";
         m_aborts = Metrics.counter m "pipeline_aborts";
+        m_aborts_write = Metrics.counter m "pipeline_aborts_write_conflict";
+        m_aborts_read = Metrics.counter m "pipeline_aborts_read_conflict";
+        m_aborts_phantom = Metrics.counter m "pipeline_aborts_phantom_conflict";
         m_ds_gc_minor = Metrics.fcounter m "pipeline_ds_gc_minor_words";
         m_ds_gc_promoted = Metrics.fcounter m "pipeline_ds_gc_promoted_words";
         m_pm_gc_minor = Metrics.fcounter m "pipeline_pm_gc_minor_words";
@@ -1195,13 +1379,15 @@ let attach_pstate t runtime =
   | Runtime.Sequential | Runtime.Parallel _ -> ()
 
 let create ?(config = plain) ?(runtime = Runtime.sequential)
-    ?(trace = Trace.disabled) ?metrics ~genesis () =
+    ?(trace = Trace.disabled) ?(flight = Flight.disabled) ?metrics ~genesis ()
+    =
   let pm_threads = validate_shape ~who:"create" ~config ~runtime ~trace in
   let t =
     {
       config;
       runtime = Runtime.create ?metrics runtime;
       trace;
+      flight;
       inst = make_instruments metrics;
       counters = Counters.create ~premeld_shards:(max 1 pm_threads) ();
       states = State_store.create ~genesis ();
@@ -1238,7 +1424,8 @@ let checkpoint t =
          ~counters:t.counters)
 
 let restore ?(config = plain) ?(runtime = Runtime.sequential)
-    ?(trace = Trace.disabled) ?metrics (ckpt : Checkpoint.t) =
+    ?(trace = Trace.disabled) ?(flight = Flight.disabled) ?metrics
+    (ckpt : Checkpoint.t) =
   let pm_threads = validate_shape ~who:"restore" ~config ~runtime ~trace in
   if Array.length ckpt.Checkpoint.alloc_issued <> pm_threads + 2 then
     invalid_arg
@@ -1261,6 +1448,7 @@ let restore ?(config = plain) ?(runtime = Runtime.sequential)
       config;
       runtime = Runtime.create ?metrics runtime;
       trace;
+      flight;
       inst = make_instruments metrics;
       counters;
       states = State_store.restore ckpt.Checkpoint.store;

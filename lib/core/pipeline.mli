@@ -50,6 +50,7 @@ val create :
   ?config:config ->
   ?runtime:Runtime.backend ->
   ?trace:Hyder_obs.Trace.t ->
+  ?flight:Hyder_obs.Flight.t ->
   ?metrics:Hyder_obs.Metrics.t ->
   genesis:Tree.t ->
   unit ->
@@ -67,11 +68,23 @@ val create :
     ring instead of ring 0.  The recorder must have at least as many
     shard rings as premeld threads, and under [Pipelined] at least as
     many worker rings as domains ([Invalid_argument] otherwise).  [metrics], when given, registers pipeline instruments
-    ([pipeline_commits], [pipeline_aborts], [pipeline_conflict_zone_intentions],
-    [pipeline_fm_nodes_per_txn]) and is forwarded to {!Runtime.create}.
-    Both are provably observational: decisions, ephemeral node ids and
-    integer counter values are bit-identical with them on or off (see
-    [test/test_obs.ml]).
+    ([pipeline_commits], [pipeline_aborts], the per-reason
+    [pipeline_aborts_{write,read,phantom}_conflict] breakdown,
+    [pipeline_conflict_zone_intentions], [pipeline_fm_nodes_per_txn]) and
+    is forwarded to {!Runtime.create}.
+
+    [flight] (default {!Hyder_obs.Flight.disabled}) records one
+    lifecycle record per intention, keyed by log position: per-stage
+    queue-wait/service pairs at every edge (decode, premeld trial,
+    group-meld combine, final meld) and the decision with abort reason
+    and conflict-zone size.  The recorder is driver-only; under
+    [Parallel]/[Pipelined] the worker-side stage brackets travel back in
+    the runtime's result messages and are stamped on the driver, so the
+    wait column measures real queue residency.
+
+    Trace, metrics and flight are all provably observational: decisions,
+    ephemeral node ids and integer counter values are bit-identical with
+    them on or off (see [test/test_obs.ml]).
 
     Retention arithmetic constraint: with premeld on, [group_size] must
     not exceed [threads * distance + 1] — beyond that, a premeld-bound
@@ -171,6 +184,7 @@ val restore :
   ?config:config ->
   ?runtime:Runtime.backend ->
   ?trace:Hyder_obs.Trace.t ->
+  ?flight:Hyder_obs.Flight.t ->
   ?metrics:Hyder_obs.Metrics.t ->
   Checkpoint.t ->
   t

@@ -1,8 +1,10 @@
-(** Minimal JSON document builder and serializer.
+(** Minimal JSON document builder, serializer and parser.
 
     The observability exporters (Chrome trace events, run reports, metric
-    dumps) need to {e emit} JSON, never parse it, so a tiny value type and
-    a writer keep the repository free of external JSON dependencies. *)
+    dumps) emit JSON, and the flight-record analyzer ({!Analyze}) reads
+    back the JSON-lines dumps they produce; a tiny value type with a
+    writer and a recursive-descent reader keep the repository free of
+    external JSON dependencies. *)
 
 type t =
   | Null
@@ -20,3 +22,15 @@ val to_buffer : Buffer.t -> t -> unit
 val to_string : t -> string
 
 val to_channel : out_channel -> t -> unit
+
+exception Parse_error of string
+(** Byte offset and cause of a rejected input. *)
+
+val of_string : string -> t
+(** Parse one JSON document (the whole input, surrounding whitespace
+    allowed).  Numbers parse to [Int] when they are integral and fit,
+    [Float] otherwise; [\u] escapes decode to UTF-8.  Raises
+    {!Parse_error} on malformed input.  Round-trips everything this
+    repository emits ([to_string] output included). *)
+
+val of_string_opt : string -> t option

@@ -180,6 +180,36 @@ let to_chrome ?origin t =
              thread_meta ~tid:(40 + i)
                ~name:(Printf.sprintf "pipe worker %d" i)))
   in
+  (* A wrapped ring silently reads as a complete trace otherwise: surface
+     the loss inside the artifact itself, as a global instant event at the
+     start of the view plus a dropped-span count in its args. *)
+  let overflow =
+    let d = dropped t in
+    if d = 0 then []
+    else
+      [
+        Json.Obj
+          [
+            ( "name",
+              Json.String
+                (Printf.sprintf "TRUNCATED: %d spans dropped (ring overflow)" d)
+            );
+            ("cat", Json.String "meld");
+            ("ph", Json.String "i");
+            ("s", Json.String "g");
+            ("ts", Json.Float 0.0);
+            ("pid", Json.Int pid);
+            ("tid", Json.Int 0);
+            ( "args",
+              Json.Obj
+                [
+                  ("dropped", Json.Int d);
+                  ("recorded", Json.Int (recorded t));
+                  ("capacity", Json.Int t.cap);
+                ] );
+          ];
+      ]
+  in
   let events =
     List.map
       (fun s ->
@@ -204,7 +234,7 @@ let to_chrome ?origin t =
   in
   Json.Obj
     [
-      ("traceEvents", Json.List (metas @ events));
+      ("traceEvents", Json.List (metas @ overflow @ events));
       ("displayTimeUnit", Json.String "ms");
     ]
 

@@ -99,6 +99,8 @@ val to_chrome : ?origin:float -> t -> Json.t
     pipelined worker domain get their own named track, so stage overlap
     under [par:<n>] / [pipe:<n>] is visually auditable.  Timestamps are
     microseconds relative to [origin] (default: the earliest retained
-    span). *)
+    span).  When any ring overflowed ({!dropped} [> 0]) the export leads
+    with a global instant event naming the dropped-span count, so a
+    truncated trace is never silently read as complete. *)
 
 val to_chrome_string : ?origin:float -> t -> string

@@ -24,6 +24,15 @@ no regression of the fm critical path.  The GC words/txn comparison is
 tight (the fm loop's minor allocation is deterministic, measured with
 the exact Gc.minor_words counter); the fm-ns/txn comparison is loose,
 because wall time on a shared CI box is not.
+
+With --flight, sanity-checks a flight-analysis report (the JSON written
+by `hyder-cli analyze --json`) instead: for every backend, records were
+captured, no wait/service entry went negative, the per-record stage sums
+never exceed the measured end-to-end time (the recorder's chain
+invariant makes each record's sum exactly t_last - t_submit <= e2e), and
+the p50 stage-sum covers the p50 end-to-end latency within 5% — i.e. the
+waterfall genuinely decomposes the measured latency rather than
+sampling a fraction of it.
 """
 
 import json
@@ -38,6 +47,10 @@ GC_MINOR_TOLERANCE = 1.05
 # domains for cores, so those rows get a much looser bound.
 FM_NS_TOLERANCE_SEQ = 1.75
 FM_NS_TOLERANCE_MULTI = 3.0
+# The stage waterfall must account for the measured end-to-end p50; the
+# chain invariant makes coverage exactly 1.0 up to clock jitter, and the
+# acceptance contract allows 5%.
+FLIGHT_COVERAGE_SLACK = 0.05
 
 
 def fail(msg: str) -> None:
@@ -111,12 +124,53 @@ def check_macro(run_path: str, baseline_path: str | None) -> None:
           + "; ".join(msgs))
 
 
+def check_flight(report_path: str) -> None:
+    with open(report_path) as f:
+        report = json.load(f)
+    backends = report.get("backends", [])
+    if not backends:
+        fail("no backends in the flight report (empty --flight dump?)")
+
+    msgs = []
+    for b in backends:
+        label = b.get("label") or "(unlabeled)"
+        if b["txns"] <= 0:
+            fail(f"{label}: no flight records")
+        if b["negative_waits"] != 0:
+            fail(f"{label}: {b['negative_waits']} negative wait/service "
+                 "entries (the chain invariant broke)")
+        # Attributed stage time can never exceed measured end-to-end time:
+        # per record the sum is t_last - t_submit <= t_done - t_submit.
+        # Aggregate totals, with a hair of float slack.
+        attr_us = sum(s["wait_total_us"] + s["service_total_us"]
+                      for s in b["stages"])
+        e2e_total_us = b["e2e_us"]["mean"] * b["txns"]
+        if attr_us > e2e_total_us * 1.001:
+            fail(f"{label}: attributed stage time {attr_us:.0f}us exceeds "
+                 f"total end-to-end time {e2e_total_us:.0f}us")
+        cov = b["coverage_p50"]
+        lo, hi = 1 - FLIGHT_COVERAGE_SLACK, 1 + FLIGHT_COVERAGE_SLACK
+        if not lo <= cov <= hi:
+            fail(f"{label}: stage-sum p50 covers only {cov:.3f} of the "
+                 f"end-to-end p50 (need within [{lo:.2f}, {hi:.2f}])")
+        msgs.append(f"{label} {b['txns']} txns, e2e p50 "
+                    f"{b['e2e_us']['p50']:.1f}us, coverage {cov:.3f}, "
+                    f"critical path {b['critical_path']['stage']}")
+
+    print("flight gate: OK: " + "; ".join(msgs))
+
+
 def main() -> None:
     argv = sys.argv[1:]
     if argv and argv[0] == "--macro":
         if len(argv) < 2:
             fail("usage: check_bench_smoke.py --macro RUN.json [BASELINE.json]")
         check_macro(argv[1], argv[2] if len(argv) > 2 else None)
+        return
+    if argv and argv[0] == "--flight":
+        if len(argv) < 2:
+            fail("usage: check_bench_smoke.py --flight REPORT.json")
+        check_flight(argv[1])
         return
 
     path = argv[0] if argv else "BENCH_SMOKE.json"
