@@ -1185,7 +1185,7 @@ let macro () =
   let flight_sink =
     match !flight_path with None -> None | Some path -> Some (open_out path)
   in
-  let run name backend =
+  let run ?(lazy_decode = true) name backend =
     let metrics = Metrics.create () in
     let flight =
       match flight_sink with
@@ -1193,7 +1193,8 @@ let macro () =
       | Some oc -> Flight.create ~label:name ~metrics ~sink:oc ()
     in
     let p =
-      Pipeline.create ~config ~runtime:backend ~metrics ~flight ~genesis ()
+      Pipeline.create ~config ~runtime:backend ~lazy_decode ~metrics ~flight
+        ~genesis ()
     in
     let warm_decisions =
       List.concat_map (fun b -> Pipeline.submit_wire_batch p b) warm_batches
@@ -1226,10 +1227,10 @@ let macro () =
            count (count - warm_txns))
       ~columns:
         [ "runtime"; "melds/s"; "fm ns/txn"; "driver us/int";
-          "fm minor w/txn"; "same as seq" ]
+          "ds minor w/txn"; "mz minor w/txn"; "fm minor w/txn"; "same as seq" ]
   in
-  let report name (decisions, melded, final, wall, (c0, c1), gc, (off0, off1))
-      =
+  let report ?(lazy_decode = true) name
+      (decisions, melded, final, wall, (c0, c1), gc, (off0, off1)) =
     let bdecisions, _, bfinal, _, _, _, _ = base in
     let same =
       List.length decisions = List.length bdecisions
@@ -1261,12 +1262,16 @@ let macro () =
     let driver_us = driver_s /. meldedf *. 1e6 in
     let per_txn name = fval gc name /. meldedf in
     let fm_minor = per_txn "pipeline_fm_gc_minor_words" in
+    let ds_minor = per_txn "pipeline_ds_gc_minor_words" in
+    let mz_minor = per_txn "pipeline_mz_gc_minor_words" in
     Table.add_row t
       [
         name;
         Printf.sprintf "%.0f" melds_per_s;
         Printf.sprintf "%.0f" fm_ns;
         Printf.sprintf "%.2f" driver_us;
+        Printf.sprintf "%.1f" ds_minor;
+        Printf.sprintf "%.1f" mz_minor;
         Printf.sprintf "%.1f" fm_minor;
         (if same then "yes" else "NO");
       ];
@@ -1277,6 +1282,7 @@ let macro () =
           [
             ("figure", Json.String "macro");
             ("runtime", Json.String name);
+            ("lazy_decode", Json.Bool lazy_decode);
             ("intentions_total", Json.Int count);
             ("intentions_measured", Json.Int melded);
             ("wall_s", Json.Float wall);
@@ -1303,6 +1309,7 @@ let macro () =
                   ("fm_minor", Json.Float fm_minor);
                   ( "fm_promoted",
                     Json.Float (per_txn "pipeline_fm_gc_promoted_words") );
+                  ("mz_minor", Json.Float mz_minor);
                 ] );
             ("same_as_seq", Json.Bool same);
           ]
@@ -1310,6 +1317,12 @@ let macro () =
     end
   in
   report "seq" base;
+  (* Eager reference row, same machine same run: the lazy-vs-eager
+     speedup gate compares against this instead of cross-machine
+     absolute numbers, and its decisions double as a lazy≡eager
+     bit-identity check. *)
+  report ~lazy_decode:false "seq-eager"
+    (run ~lazy_decode:false "seq-eager" Runtime.sequential);
   report "par:4" (run "par:4" (Runtime.parallel ~domains:4));
   report "pipe:4" (run "pipe:4" (Runtime.pipelined ~domains:4));
   (match (flight_sink, !flight_path) with

@@ -195,6 +195,14 @@ let run cfg =
      power-of-two backing buffer instead of growing a fresh [Buffer]. *)
   let enc_pool = Hyder_util.Buf_pool.create () in
   let encoder = Codec.Encoder.create ~pool:enc_pool () in
+  (* Return the encoder's backing buffer on every exit path and verify
+     the pool's books balance: a run must end with zero pool-eligible
+     buffers still checked out (leak) and never a negative balance
+     (double release) — [Buf_pool] raises on the latter. *)
+  Fun.protect ~finally:(fun () ->
+      Codec.Encoder.free encoder;
+      assert (Hyder_util.Buf_pool.in_flight enc_pool = 0))
+  @@ fun () ->
   let states = Pipeline.states pipeline in
   let counters = Pipeline.counters pipeline in
   let pm_threads, pm_distance =

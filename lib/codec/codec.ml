@@ -3,7 +3,10 @@ open Node
 module Wire = Hyder_util.Wire
 module Crc32 = Hyder_util.Crc32
 
-exception Corrupt of string
+(* The canonical corruption exception lives in [View] (the lazy parser);
+   eager and lazy decoders raise the same constructor so callers can
+   catch either path uniformly. *)
+exception Corrupt = View.Corrupt
 
 let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
 
@@ -16,7 +19,15 @@ let unzigzag v =
     (Int64.shift_right_logical v 1)
     (Int64.neg (Int64.logand v 1L))
 
-let w_zint w v = Wire.Writer.varint64 w (zigzag (Int64.of_int v))
+let w_zint w v =
+  (* Unboxed fast path: for |v| < 2^60 the native zigzag equals the
+     64-bit one, and the non-negative result takes Writer.varint's
+     allocation-free loop.  Larger magnitudes (never produced by log
+     positions or keys, but the format must stay total) keep the exact
+     Int64 semantics. *)
+  let s = v asr 60 in
+  if s = 0 || s = -1 then Wire.Writer.varint w (v lsl 1 lxor (v asr 62))
+  else Wire.Writer.varint64 w (zigzag (Int64.of_int v))
 let r_zint r = Int64.to_int (unzigzag (Wire.Reader.varint64 r))
 
 let w_vn w = function
@@ -96,9 +107,10 @@ let encode_onto w (d : Intention.draft) =
     end
   in
   (* Post-order: children first; an inside child's index is the value the
-     recursion returns. *)
+     recursion returns ([-1]: not an inside node, the child is written as
+     a ref — kept as a plain int so the walk allocates nothing). *)
   let rec go n =
-    if n == Node.empty || Node.owner n <> Intention.draft_owner then None
+    if n == Node.empty || Node.owner n <> Intention.draft_owner then -1
     else begin
           let li = go n.left in
           let ri = go n.right in
@@ -131,27 +143,25 @@ let encode_onto w (d : Intention.draft) =
             w_vn_parts w
               ~eph:(n.meta land Meta.scv_ephemeral <> 0)
               ~a:n.scv_a ~b:n.scv_b;
-          (match li with
-          | Some i ->
-              Wire.Writer.u8 w tag_inside;
-              Wire.Writer.varint w i
-          | None -> w_child n.left);
-          (match ri with
-          | Some i ->
-              Wire.Writer.u8 w tag_inside;
-              Wire.Writer.varint w i
-          | None -> w_child n.right);
+          (if li >= 0 then begin
+             Wire.Writer.u8 w tag_inside;
+             Wire.Writer.varint w li
+           end
+           else w_child n.left);
+          (if ri >= 0 then begin
+             Wire.Writer.u8 w tag_inside;
+             Wire.Writer.varint w ri
+           end
+           else w_child n.right);
           let idx = !next_idx in
           incr next_idx;
-          Some idx
+          idx
         end
   in
-  match go d.root with
-  | Some _ -> ()
-  | None ->
-      (* Empty intention trees (pure read-only txns under SI produce no
-         nodes) are legal; nothing more to write. *)
-      if d.root != Node.empty then corrupt "intention root is not a draft node"
+  if go d.root < 0 then
+    (* Empty intention trees (pure read-only txns under SI produce no
+       nodes) are legal; nothing more to write. *)
+    if d.root != Node.empty then corrupt "intention root is not a draft node"
 
 let encode (d : Intention.draft) =
   let w = Wire.Writer.create ~capacity:8192 () in
@@ -311,6 +321,7 @@ let decode_core r ~len ~pos ~resolve ~get_nodes =
       root;
       node_count;
       byte_size = len;
+      view = None;
     }
   with Wire.Truncated -> corrupt "truncated intention"
 
@@ -377,7 +388,7 @@ module Blocks = struct
         Wire.Writer.varint body txn_seq;
         Wire.Writer.varint body i;
         Wire.Writer.u8 body (if i = nfrags - 1 then 1 else 0);
-        Wire.Writer.bytes body (String.sub s off len);
+        Wire.Writer.substring body s ~pos:off ~len;
         let payload = Wire.Writer.contents body in
         Wire.Writer.free body;
         let framed =
@@ -443,3 +454,20 @@ module Blocks = struct
 end
 
 let decode ~pos ~resolve s = fst (decode_indexed ~pos ~resolve s)
+
+(* Lazy decode: validate + bind in one pass, build no nodes.  [root] is a
+   placeholder; the flyweight in [view] carries the tree, and whoever
+   needs heap nodes calls [View.materialize_root]. *)
+let decode_lazy ~pos ?off ?len ?(peer = Node.empty) ~resolve s =
+  let v = View.parse ~pos ?off ?len ~peer ~resolve s in
+  {
+    Intention.pos;
+    snapshot = View.snapshot v;
+    server = View.server v;
+    txn_seq = View.txn_seq v;
+    isolation = isolation_of_int (View.isolation_code v);
+    root = Node.empty;
+    node_count = View.node_count v;
+    byte_size = View.byte_size v;
+    view = Some v;
+  }

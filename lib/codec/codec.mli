@@ -92,6 +92,22 @@ val decode_pooled :
     length.  The result is physically identical node-for-node to what
     {!decode} returns for the same bytes and resolver. *)
 
+val decode_lazy :
+  pos:int ->
+  ?off:int ->
+  ?len:int ->
+  ?peer:Node.tree ->
+  resolve:resolver ->
+  string ->
+  Intention.t
+(** Flyweight decode of the [off]/[len] slice: one validation pass (same
+    checks and {!Corrupt} messages as {!decode}), binding every external
+    reference and elided payload — against [peer], the snapshot tree the
+    intention executed under, with [resolve] as fallback — but building
+    no heap nodes.  The result carries [view = Some v] and a placeholder
+    [root]; meld walks the view directly and
+    {!View.materialize_root} recovers the eager tree on demand. *)
+
 (** Fragmentation of intention byte streams into log blocks. *)
 module Blocks : sig
   val overhead : int

@@ -25,6 +25,7 @@ type t = {
   root : Node.tree;
   node_count : int;
   byte_size : int;
+  view : View.t option;
 }
 
 (* The draft owner must outrank every real log position and still leave
@@ -66,6 +67,7 @@ let assign ~pos ?(byte_size = 0) (d : draft) =
     root;
     node_count = !count;
     byte_size;
+    view = None;
   }
 
 let node_count t = t.node_count

@@ -1,0 +1,572 @@
+(* Flyweight intention view: the wire encoding read in place.
+
+   [parse] makes one linear pass over an intention's encoding and keeps,
+   per node, only small arrays of immediate ints (key, packed meta word,
+   child descriptors, byte offset) plus the bound external references —
+   no heap [Node] is built.  Meld walks the view through the accessors
+   below and calls [materialize] only for the nodes it actually grafts
+   into its output; everything else never allocates a node.
+
+   External references (ref children and elided payloads) are bound
+   during the parse against the snapshot tree the intention names — an
+   O(log n) key descent per reference, falling back to the caller's
+   resolver with exactly the eager decoder's integrity checks and error
+   messages.  Because every reference is bound up front, [materialize]
+   is total: it can run at any later stage, on any domain, and never
+   consults a resolver or fails.
+
+   Lifetime: a view pins [bytes] (an immutable OCaml string, possibly a
+   shared batch slab) for as long as it lives.  Decode-side buffers are
+   therefore never pooled — pools are for encode-side scratch only.
+
+   Thread safety: one walker at a time.  [cur] is a scratch cursor for
+   the cold re-reads and the [nodes] memo is unsynchronized; views are
+   handed between pipeline stages through queues (which order the
+   accesses), never walked concurrently. *)
+
+open Hyder_tree
+module Wire = Hyder_util.Wire
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+type resolver = snapshot:int -> key:Key.t -> vn:Vn.t -> Node.tree
+
+(* Child descriptor codes in [hot]: [>= 0] inside node index, [-1] empty,
+   [<= -2] bound external reference in slot [-c - 2]. *)
+let kid_empty = -1
+let[@inline] kid_is_inside c = c >= 0
+let[@inline] kid_is_empty c = c = -1
+let[@inline] kid_slot c = -c - 2
+
+(* Physically-unique sentinel marking an unmaterialized payload slot; the
+   block identity is what matters, the contents are never read. *)
+let unbound : Payload.t = Payload.Value (String.make 1 '\255')
+
+type t = {
+  pos : int;
+  snapshot : int;
+  server : int;
+  txn_seq : int;
+  isolation : int;  (** wire code 0..2; [Codec] converts *)
+  node_count : int;
+  byte_size : int;
+  bytes : string;  (** backing buffer, read in place (never pooled) *)
+  hot : int array;  (** stride 4 per node: key, meta, kid_l, kid_r *)
+  offs : int array;  (** absolute offset of each node's flags byte *)
+  refs : Node.tree array;  (** bound external references, by slot *)
+  pays : Payload.t array;  (** payload memo; [unbound] until forced *)
+  mutable nodes : Node.tree array;
+      (** materialization memo; empty until first use *)
+  mutable cur : int;  (** scratch cursor for cold re-reads (single walker) *)
+}
+
+let pos v = v.pos
+let snapshot v = v.snapshot
+let server v = v.server
+let txn_seq v = v.txn_seq
+let isolation_code v = v.isolation
+let node_count v = v.node_count
+let byte_size v = v.byte_size
+let root_index v = v.node_count - 1
+let[@inline] key v idx = Array.unsafe_get v.hot (idx * 4)
+let[@inline] meta v idx = Array.unsafe_get v.hot ((idx * 4) + 1)
+let[@inline] kid_l v idx = Array.unsafe_get v.hot ((idx * 4) + 2)
+let[@inline] kid_r v idx = Array.unsafe_get v.hot ((idx * 4) + 3)
+let[@inline] ref_of v c = Array.unsafe_get v.refs (-c - 2)
+let[@inline] vn v idx = Vn.logged ~pos:v.pos ~idx
+
+(* ---- cold re-reads off the wire bytes -------------------------------- *)
+(* The parse below validates the whole encoding, so these re-readers can
+   use unchecked accesses: they only revisit byte ranges the parse read. *)
+
+let[@inline] u8 v =
+  let b = Char.code (String.unsafe_get v.bytes v.cur) in
+  v.cur <- v.cur + 1;
+  b
+
+let rvarint v =
+  let x = ref 0 and shift = ref 0 and continue = ref true in
+  while !continue do
+    let b = u8 v in
+    x := !x lor ((b land 0x7F) lsl !shift);
+    shift := !shift + 7;
+    if b land 0x80 = 0 then continue := false
+  done;
+  !x
+
+let[@inline] rzint v =
+  let u = rvarint v in
+  u lsr 1 lxor - (u land 1)
+
+let[@inline] flags v idx = Char.code (String.unsafe_get v.bytes v.offs.(idx))
+
+(* Position [cur] at the node's source-version section (after the flags
+   byte and any inline payload); returns the wire flags. *)
+let seek_sources v idx =
+  let f = flags v idx in
+  v.cur <- v.offs.(idx) + 1;
+  if f land (32 lor 64) = 0 then begin
+    let len = rvarint v in
+    v.cur <- v.cur + len
+  end;
+  f
+
+let skip_vn v =
+  let eph = u8 v = 1 in
+  (if eph then ignore (rvarint v) else ignore (rzint v));
+  ignore (rvarint v)
+
+(* Mirrors [Node.ssv_equals] over the packed wire words: presence and
+   value class come from the meta word, the version words are re-read in
+   place.  No allocation — this runs once per meld visit. *)
+let ssv_equals v idx (x : Vn.t) =
+  let m = meta v idx in
+  match x with
+  | Vn.Logged { pos; idx = i } ->
+      m land (Node.Meta.ssv_present lor Node.Meta.ssv_ephemeral)
+      = Node.Meta.ssv_present
+      &&
+      (let _ = seek_sources v idx in
+       let _tag = u8 v in
+       rzint v = pos && rvarint v = i)
+  | Vn.Ephemeral { thread; seq } ->
+      m land (Node.Meta.ssv_present lor Node.Meta.ssv_ephemeral)
+      = Node.Meta.ssv_present lor Node.Meta.ssv_ephemeral
+      &&
+      (let _ = seek_sources v idx in
+       let _tag = u8 v in
+       rvarint v = thread && rvarint v = seq)
+
+let seek_scv v idx =
+  let f = seek_sources v idx in
+  if f land 8 <> 0 then skip_vn v
+
+let scv_equals v idx (x : Vn.t) =
+  let m = meta v idx in
+  match x with
+  | Vn.Logged { pos; idx = i } ->
+      m land (Node.Meta.scv_present lor Node.Meta.scv_ephemeral)
+      = Node.Meta.scv_present
+      &&
+      (seek_scv v idx;
+       let _tag = u8 v in
+       rzint v = pos && rvarint v = i)
+  | Vn.Ephemeral { thread; seq } ->
+      m land (Node.Meta.scv_present lor Node.Meta.scv_ephemeral)
+      = Node.Meta.scv_present lor Node.Meta.scv_ephemeral
+      &&
+      (seek_scv v idx;
+       let _tag = u8 v in
+       rvarint v = thread && rvarint v = seq)
+
+(* Packed source-version words, exactly as the eager decoder stores them
+   ([0, 0] when absent).  One tuple of immediates — callers are
+   node-construction paths that allocate anyway. *)
+let sources v idx =
+  let f = seek_sources v idx in
+  let ssv_a, ssv_b =
+    if f land 8 <> 0 then begin
+      let eph = u8 v = 1 in
+      let a = if eph then rvarint v else rzint v in
+      (a, rvarint v)
+    end
+    else (0, 0)
+  in
+  let scv_a, scv_b =
+    if f land 16 <> 0 then begin
+      let eph = u8 v = 1 in
+      let a = if eph then rvarint v else rzint v in
+      (a, rvarint v)
+    end
+    else (0, 0)
+  in
+  (ssv_a, ssv_b, scv_a, scv_b)
+
+let payload v idx =
+  let p = v.pays.(idx) in
+  if p != unbound then p
+  else begin
+    let f = flags v idx in
+    let p =
+      if f land 32 <> 0 then Payload.Tombstone
+      else begin
+        (* elided slots (flag bit 64) were bound during the parse, so only
+           an inline wire payload can still be unbound here *)
+        v.cur <- v.offs.(idx) + 1;
+        let len = rvarint v in
+        Payload.Value (String.sub v.bytes v.cur len)
+      end
+    in
+    v.pays.(idx) <- p;
+    p
+  end
+
+(* Content version as the eager decoder computes it: an altered node's cv
+   is its own vn; an unaltered node's comes from its scv (whose presence
+   the parse enforced). *)
+let cv v idx =
+  let m = meta v idx in
+  if m land Node.Meta.altered <> 0 then Vn.logged ~pos:v.pos ~idx
+  else begin
+    seek_scv v idx;
+    let eph = u8 v = 1 in
+    let a = if eph then rvarint v else rzint v in
+    let b = rvarint v in
+    if eph then Vn.ephemeral ~thread:a ~seq:b else Vn.logged ~pos:a ~idx:b
+  end
+
+(* Option view of the ssv — cold paths only (corrupt-intention reports). *)
+let ssv v idx =
+  let m = meta v idx in
+  if m land Node.Meta.ssv_present = 0 then None
+  else begin
+    let _ = seek_sources v idx in
+    let eph = u8 v = 1 in
+    let a = if eph then rvarint v else rzint v in
+    let b = rvarint v in
+    Some
+      (if eph then Vn.ephemeral ~thread:a ~seq:b else Vn.logged ~pos:a ~idx:b)
+  end
+
+(* ---- materialization -------------------------------------------------- *)
+
+let rec materialize v idx =
+  if Array.length v.nodes = 0 then
+    v.nodes <- Array.make (max 1 v.node_count) Node.empty;
+  let n = v.nodes.(idx) in
+  if n != Node.empty then n
+  else begin
+    let h = idx * 4 in
+    let key = v.hot.(h) and meta = v.hot.(h + 1) in
+    let left = mat_kid v v.hot.(h + 2) in
+    let right = mat_kid v v.hot.(h + 3) in
+    let payload = payload v idx in
+    let ssv_a, ssv_b, scv_a, scv_b = sources v idx in
+    let vn = Vn.logged ~pos:v.pos ~idx in
+    let cv =
+      if meta land Node.Meta.altered <> 0 then vn
+      else if meta land Node.Meta.scv_ephemeral <> 0 then
+        Vn.ephemeral ~thread:scv_a ~seq:scv_b
+      else Vn.logged ~pos:scv_a ~idx:scv_b
+    in
+    let n =
+      Node.pack ~key ~payload ~left ~right ~vn ~cv ~meta ~ssv_a ~ssv_b ~scv_a
+        ~scv_b
+    in
+    v.nodes.(idx) <- n;
+    n
+  end
+
+and mat_kid v c =
+  if c >= 0 then materialize v c
+  else if c = kid_empty then Node.empty
+  else v.refs.(-c - 2)
+
+let materialize_root v =
+  if v.node_count = 0 then Node.empty else materialize v (v.node_count - 1)
+
+(* ---- parse + bind ----------------------------------------------------- *)
+
+(* BST descent to the unique same-key node of the snapshot tree — the
+   same physical object the eager decoder's state-first resolver returns. *)
+let rec find_peer (p : Node.tree) k =
+  if p == Node.empty then p
+  else
+    let c = Key.compare k p.key in
+    if c = 0 then p
+    else if c < 0 then find_peer p.left k
+    else find_peer p.right k
+
+let[@inline] vn_matches (x : Vn.t) ~eph ~a ~b =
+  match x with
+  | Vn.Logged { pos; idx } -> (not eph) && pos = a && idx = b
+  | Vn.Ephemeral { thread; seq } -> eph && thread = a && seq = b
+
+(* One pass: validate the whole encoding (the eager decoder's checks, in
+   the eager decoder's order, with its error messages), record per-node
+   offsets and packed meta words, and bind every external reference and
+   elided payload — first by key descent of [peer] (the snapshot tree
+   this intention executed against, [Node.empty] when unavailable), then
+   through [resolve] for anything the snapshot cannot answer.
+
+   The byte layer below is local on purpose: the same reads through
+   [Wire.Reader] cost a non-inlined cross-module call per byte plus a
+   boxed [Int64] fold per varint, which together were the bulk of the
+   old ds bracket.  Semantics are identical — same bounds checks, same
+   [Truncated] condition before every byte, and the varint reader
+   matches [Int64.to_int (Wire.Reader.varint64 r)] exactly, including
+   the modulo-2^63 wrap (the shift-63 byte can only contribute bit 63,
+   which [Int64.to_int] drops, so its contribution is skipped rather
+   than shifted — an [lsl] by 63 is unspecified on 63-bit ints). *)
+let parse ~pos ?(off = 0) ?len ~peer ~(resolve : resolver) s =
+  let len = match len with Some l -> l | None -> String.length s - off in
+  let limit = off + len in
+  if off < 0 || limit > String.length s then
+    invalid_arg "Wire.Reader.of_string: range out of bounds";
+  let p = ref off in
+  try
+    let u8 () =
+      if !p >= limit then raise Wire.Truncated;
+      let b = Char.code (String.unsafe_get s !p) in
+      incr p;
+      b
+    in
+    let skip n =
+      if n < 0 || !p + n > limit then raise Wire.Truncated;
+      p := !p + n
+    in
+    let r_uint_rest b0 =
+      let x = ref (b0 land 0x7F) and shift = ref 7 and continue = ref true in
+      while !continue do
+        if !shift > 63 then raise Wire.Truncated;
+        let b = u8 () in
+        if !shift < 63 then x := !x lor ((b land 0x7F) lsl !shift);
+        shift := !shift + 7;
+        if b land 0x80 = 0 then continue := false
+      done;
+      !x
+    in
+    (* Single-byte fast path: most wire integers (child indexes, version
+       counters, payload lengths) fit in seven bits. *)
+    let r_uint () =
+      let b = u8 () in
+      if b < 0x80 then b else r_uint_rest b
+    in
+    (* Zigzag decode over that 63-bit wrap.  Writer-produced encodings
+       never set bit 63 (the zigzag of a 63-bit int fits in 63 bits), so
+       this agrees with the eager decoder's Int64 path on every buffer
+       the encoder can emit. *)
+    let r_zint () =
+      let u = r_uint () in
+      u lsr 1 lxor - (u land 1)
+    in
+    let snapshot = r_zint () in
+    let server = r_uint () in
+    let txn_seq = r_uint () in
+    let isolation = u8 () in
+    if isolation > 2 then corrupt "bad isolation %d" isolation;
+    let node_count = r_uint () in
+    if node_count < 0 || node_count > len then
+      corrupt "implausible node count %d" node_count;
+    let hot = Array.make (node_count * 4) 0 in
+    let offs = Array.make (max 1 node_count) 0 in
+    let pays = Array.make (max 1 node_count) unbound in
+    (* The structural pass only numbers the ref slots; the binding pass
+       below fills them.  Deferring the array lets it be allocated at its
+       exact final size. *)
+    let nrefs = ref 0 in
+    let push_ref () =
+      incr nrefs;
+      !nrefs - 1
+    in
+    (* VN parts land in these scratch cells instead of a returned tuple:
+       two VNs per node would otherwise dominate the parse's footprint. *)
+    let vp_eph = ref false and vp_a = ref 0 and vp_b = ref 0 in
+    let r_vn_parts () =
+      (match u8 () with
+      | 0 ->
+          vp_eph := false;
+          vp_a := r_zint ()
+      | 1 ->
+          vp_eph := true;
+          vp_a := r_uint ()
+      | tag -> corrupt "bad VN tag %d" tag);
+      vp_b := r_uint ()
+    in
+    (* Structural pass only: binding of ref children and elided payloads
+       is deferred to the top-down pass below, which finds each node's
+       snapshot peer inside its parent's peer subtree instead of paying a
+       root descent per reference — the descents were the bulk of the
+       parse cost on path-copy intentions. *)
+    let r_child self =
+      match u8 () with
+      | 0 -> kid_empty
+      | 1 ->
+          let i = r_uint () in
+          if i < 0 || i >= self then corrupt "child index %d out of order" i;
+          i
+      | 2 ->
+          r_vn_parts ();
+          ignore (r_zint ());
+          (* slot number only; the binding pass fills it *)
+          -push_ref () - 2
+      | tag -> corrupt "bad child tag %d" tag
+    in
+    let ob = Node.Meta.owner_bits pos in
+    let obh = ob lor Node.Meta.has_writes in
+    let kid_hw c =
+      if c >= 0 then hot.((c * 4) + 1) land Node.Meta.hw_mask = obh
+      else
+        (* empty kids never carry this intention's writes, and neither do
+           refs: a ref resolves to a node owned by an earlier log
+           position, so its owner bits can never equal [ob] (the eager
+           decoder computes the same test against the resolved node and
+           always gets false) — which is why the placeholder slots above
+           are sound here *)
+        false
+    in
+    for idx = 0 to node_count - 1 do
+      let key = r_zint () in
+      offs.(idx) <- !p;
+      let flags = u8 () in
+      if flags land (32 lor 64) = 0 then skip (r_uint ());
+      let has_ssv = flags land 8 <> 0 in
+      if has_ssv then r_vn_parts ();
+      let ssv_eph = !vp_eph in
+      let has_scv = flags land 16 <> 0 in
+      let scv_eph =
+        has_scv
+        &&
+        (r_vn_parts ();
+         !vp_eph)
+      in
+      if flags land 64 <> 0 && flags land 32 = 0 && not has_ssv then
+        corrupt "elided payload on a node without a source";
+      let kl = r_child idx in
+      let kr = r_child idx in
+      if flags land 1 = 0 && not has_scv then
+        corrupt "unaltered node %d lacks a content version" key;
+      let m =
+        ob lor (flags land 0x7)
+        lor (if has_ssv then
+               if ssv_eph then Node.Meta.ssv_present lor Node.Meta.ssv_ephemeral
+               else Node.Meta.ssv_present
+             else 0)
+        lor (if has_scv then
+               if scv_eph then Node.Meta.scv_present lor Node.Meta.scv_ephemeral
+               else Node.Meta.scv_present
+             else 0)
+        (* bottom-up [Node.pack] has-writes rule: children precede parents
+           in post-order, so their meta words are already final *)
+        lor
+        if flags land 1 <> 0 || (not has_ssv) || kid_hw kl || kid_hw kr then
+          Node.Meta.has_writes
+        else 0
+      in
+      let h = idx * 4 in
+      hot.(h) <- key;
+      hot.(h + 1) <- m;
+      hot.(h + 2) <- kl;
+      hot.(h + 3) <- kr
+    done;
+    if !p <> limit then corrupt "trailing bytes";
+    let refs = Array.make !nrefs Node.empty in
+    (* ---- binding pass: top-down from the root ------------------------ *)
+    (* Re-walk the (now validated) records from the root downward,
+       threading each node's snapshot-peer subtree: a node's peer is
+       searched inside its parent's peer's matching child — depth 0 in
+       the aligned common case — so binding costs O(1) tree touches per
+       node.  Checks, fallback resolver calls and error messages are the
+       eager decoder's; a candidate miss (rotation near an altered node,
+       or a dishonestly-shaped buffer) simply falls through to [resolve],
+       which is all the eager decoder ever uses.  Visited nodes are
+       marked by flipping [offs] negative, so sharing in a hand-crafted
+       buffer cannot blow up the walk; nodes unreachable from the root
+       (never emitted by the executor) are swept afterwards against the
+       snapshot root, and the marks are restored before returning. *)
+    let bind_elided idx key m ~eph ~a ~b =
+      if m != Node.empty && vn_matches m.Node.vn ~eph ~a ~b then
+        pays.(idx) <- m.Node.payload
+      else begin
+        let source_vn =
+          if eph then Vn.ephemeral ~thread:a ~seq:b
+          else Vn.logged ~pos:a ~idx:b
+        in
+        let m = resolve ~snapshot ~key ~vn:source_vn in
+        if m == Node.empty then
+          corrupt "elided payload: key %d missing from snapshot" key
+        else if not (Vn.equal m.Node.vn source_vn) then
+          corrupt "elided payload: source of key %d is version %s" key
+            (Vn.to_string m.Node.vn);
+        pays.(idx) <- m.Node.payload
+      end
+    in
+    let bind_ref slot key sub ~eph ~a ~b =
+      let n0 = find_peer sub key in
+      let n =
+        if n0 != Node.empty && vn_matches n0.Node.vn ~eph ~a ~b then n0
+        else begin
+          let x =
+            if eph then Vn.ephemeral ~thread:a ~seq:b
+            else Vn.logged ~pos:a ~idx:b
+          in
+          let resolved = resolve ~snapshot ~key ~vn:x in
+          if resolved == Node.empty then
+            corrupt "unresolvable reference to key %d" key
+          else if not (Vn.equal resolved.Node.vn x) then
+            corrupt "reference to key %d resolved to wrong version" key;
+          resolved
+        end
+      in
+      refs.(slot) <- n
+    in
+    (* [bind_child]/[kid_sub] are part of the recursive group (not inner
+       lets) so their closures are built once per parse, not per node. *)
+    let rec bind_down idx sub =
+      let off0 = offs.(idx) in
+      if off0 >= 0 then begin
+        offs.(idx) <- -off0 - 1;
+        let h = idx * 4 in
+        let key = hot.(h) in
+        let m = find_peer sub key in
+        let flags = Char.code (String.unsafe_get s off0) in
+        p := off0 + 1;
+        if flags land (32 lor 64) = 0 then skip (r_uint ());
+        if flags land 8 <> 0 then begin
+          r_vn_parts ();
+          if flags land 64 <> 0 && flags land 32 = 0 then
+            bind_elided idx key m ~eph:!vp_eph ~a:!vp_a ~b:!vp_b
+        end;
+        if flags land 16 <> 0 then r_vn_parts ();
+        let kl = hot.(h + 2) and kr = hot.(h + 3) in
+        bind_child kl key m sub;
+        bind_child kr key m sub;
+        if kl >= 0 then bind_down kl (kid_sub kl key m sub);
+        if kr >= 0 then bind_down kr (kid_sub kr key m sub)
+      end
+    and bind_child c key m sub =
+      match u8 () with
+      | 0 -> ()
+      | 1 -> ignore (r_uint ())
+      | _ ->
+          r_vn_parts ();
+          let eph = !vp_eph and a = !vp_a and b = !vp_b in
+          let key_r = r_zint () in
+          let sub_r =
+            if m == Node.empty then sub
+            else if Key.compare key_r key < 0 then m.Node.left
+            else m.Node.right
+          in
+          bind_ref (-c - 2) key_r sub_r ~eph ~a ~b
+    and kid_sub c key m sub =
+      if m == Node.empty then sub
+      else if Key.compare (Array.unsafe_get hot (c * 4)) key < 0 then
+        m.Node.left
+      else m.Node.right
+    in
+    if node_count > 0 then bind_down (node_count - 1) peer;
+    for idx = node_count - 1 downto 0 do
+      if offs.(idx) >= 0 then bind_down idx peer
+    done;
+    for idx = 0 to node_count - 1 do
+      offs.(idx) <- -offs.(idx) - 1
+    done;
+    {
+      pos;
+      snapshot;
+      server;
+      txn_seq;
+      isolation;
+      node_count;
+      byte_size = len;
+      bytes = s;
+      hot;
+      offs;
+      refs;
+      pays;
+      nodes = [||];
+      cur = 0;
+    }
+  with Wire.Truncated -> corrupt "truncated intention"

@@ -1,17 +1,37 @@
 open Hyder_tree
+module View = Hyder_codec.View
 
 (* Weak arrays: the cache is an address book, not an owner.  Nodes stay
    resolvable exactly as long as something real (a retained state, a newer
-   intention) keeps them alive; aborted intentions' nodes vanish with them. *)
+   intention) keeps them alive; aborted intentions' nodes vanish with them.
+
+   Lazily-decoded intentions have no node array to register — their nodes
+   may never exist.  Those go in a small STRONG view table instead: a view
+   materializes a referenced node on demand (memoized, so repeated hits
+   share objects).  Strong, because a view pins its wire buffer and the
+   flyweight arrays — cheap per entry, but worth a much smaller bound than
+   the weak table; references only ever reach back a bounded window of
+   recent intentions. *)
 type t = {
   capacity : int;
   table : (int, Node.tree Weak.t) Hashtbl.t;
   fifo : int Queue.t;
+  vcapacity : int;
+  vtable : (int, View.t) Hashtbl.t;
+  vfifo : int Queue.t;
 }
 
-let create ?(capacity = 16384) () =
-  if capacity <= 0 then invalid_arg "Intention_cache.create";
-  { capacity; table = Hashtbl.create (2 * capacity); fifo = Queue.create () }
+let create ?(capacity = 16384) ?(view_capacity = 1024) () =
+  if capacity <= 0 || view_capacity <= 0 then
+    invalid_arg "Intention_cache.create";
+  {
+    capacity;
+    table = Hashtbl.create (2 * capacity);
+    fifo = Queue.create ();
+    vcapacity = view_capacity;
+    vtable = Hashtbl.create (2 * view_capacity);
+    vfifo = Queue.create ();
+  }
 
 let add t ~pos nodes =
   if not (Hashtbl.mem t.table pos) then begin
@@ -24,9 +44,24 @@ let add t ~pos nodes =
     done
   end
 
-let find t ~pos ~idx =
-  match Hashtbl.find_opt t.table pos with
-  | Some w when idx >= 0 && idx < Weak.length w -> Weak.get w idx
-  | Some _ | None -> None
+let add_view t v =
+  let pos = View.pos v in
+  if not (Hashtbl.mem t.vtable pos) then begin
+    Hashtbl.replace t.vtable pos v;
+    Queue.push pos t.vfifo;
+    while Queue.length t.vfifo > t.vcapacity do
+      Hashtbl.remove t.vtable (Queue.pop t.vfifo)
+    done
+  end
 
-let cached t = Hashtbl.length t.table
+let find t ~pos ~idx =
+  match Hashtbl.find_opt t.vtable pos with
+  | Some v when idx >= 0 && idx < View.node_count v ->
+      Some (View.materialize v idx)
+  | Some _ -> None
+  | None -> (
+      match Hashtbl.find_opt t.table pos with
+      | Some w when idx >= 0 && idx < Weak.length w -> Weak.get w idx
+      | Some _ | None -> None)
+
+let cached t = Hashtbl.length t.table + Hashtbl.length t.vtable

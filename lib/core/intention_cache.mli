@@ -12,10 +12,20 @@ open Hyder_tree
 
 type t
 
-val create : ?capacity:int -> unit -> t
+val create : ?capacity:int -> ?view_capacity:int -> unit -> t
 (** [capacity] bounds the number of cached intentions (FIFO eviction);
-    default 16384, covering realistic conflict zones. *)
+    default 16384, covering realistic conflict zones.  [view_capacity]
+    (default 1024) separately bounds lazily-decoded views, which are held
+    strongly — a view pins its wire buffer — so their window is smaller;
+    references only reach back a bounded number of recent intentions. *)
 
 val add : t -> pos:int -> Node.tree array -> unit
+
+val add_view : t -> Hyder_codec.View.t -> unit
+(** Register a lazily-decoded intention.  A later reference to one of its
+    nodes materializes that node on demand (memoized in the view, so all
+    resolutions of the same node share one object).  Driver-side only:
+    materialization mutates the view's memo. *)
+
 val find : t -> pos:int -> idx:int -> Node.tree option
 val cached : t -> int

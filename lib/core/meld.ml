@@ -1,5 +1,6 @@
 open Hyder_tree
 open Node
+module View = Hyder_codec.View
 
 type mode = Final | Transaction of { out_owner : int }
 
@@ -55,6 +56,10 @@ type env = {
   out_bits : int;
   intention_snapshot : int;
   state_snapshot : int;
+  (* Materialization hook: called with the minor words a lazy-view
+     materialization allocated, so the pipeline can attribute that GC
+     churn to its own bracket instead of the stage it happens inside. *)
+  mz : (float -> unit) option;
 }
 
 (* Owner bits are [(owner + 1) lsl owner_shift] with owner >= -1, so any
@@ -399,9 +404,274 @@ let rec go env i l =
         end
   end
 
+(* ---- the same walk over a flyweight view ------------------------------ *)
+(* [go_view] mirrors [go] branch for branch when the intention side is a
+   [Codec.View] instead of a decoded tree: same visits, same ephemeral
+   draws, same conflict checks, same output — but a heap node is built
+   (via the view's memo) only when a branch of [go] would have returned
+   or copied an intention node.  Aborted walks and state-resolved
+   subtrees build nothing.
+
+   Unreachable branches of [go], given that every view node is owned by
+   the view's position (a member): [i == l] and the not-inside early
+   return.  Child descriptors play those roles instead, in [go_kid]. *)
+
+let matz env v idx =
+  match env.mz with
+  | None -> View.materialize v idx
+  | Some f ->
+      let t0 = Gc.minor_words () in
+      let n = View.materialize v idx in
+      f (Gc.minor_words () -. t0);
+      n
+
+(* Intact (non-split, non-melded) child of a view node as a tree. *)
+let kid_tree env v c =
+  if View.kid_is_inside c then matz env v c
+  else if View.kid_is_empty c then empty
+  else View.ref_of v c
+
+(* Ephemeral copy of view node [j] with new children ([eph_of_intention]
+   over the packed wire words). *)
+let eph_of_intention_v env v j ~restructured ~left ~right =
+  let vn = fresh env in
+  let mi = View.meta v j in
+  let key = View.key v j in
+  let payload = View.payload v j in
+  let cv = View.cv v j in
+  let ssv_a, ssv_b, scv_a, scv_b = View.sources v j in
+  if
+    mi land Meta.ssv_present <> 0 && (restructured || env.state_is_intention)
+  then
+    Node.pack ~key ~payload ~left ~right ~vn ~cv
+      ~meta:(mi lor Meta.ssv_ephemeral)
+      ~ssv_a:(Node.vn_a vn) ~ssv_b:(Node.vn_b vn) ~scv_a ~scv_b
+  else
+    Node.pack ~key ~payload ~left ~right ~vn ~cv ~meta:mi ~ssv_a ~ssv_b ~scv_a
+      ~scv_b
+
+(* [merged_node] with the intention side read from the view. *)
+let merged_node_v env v j (nl : node) ~left ~right =
+  let vn = fresh env in
+  let mi = View.meta v j in
+  let key = View.key v j in
+  if not env.transaction_mode then begin
+    if mi land Meta.altered <> 0 then
+      Node.pack ~key ~payload:(View.payload v j) ~left ~right ~vn
+        ~cv:(View.cv v j) ~meta:0 ~ssv_a:0 ~ssv_b:0 ~scv_a:0 ~scv_b:0
+    else
+      Node.pack ~key ~payload:nl.payload ~left ~right ~vn ~cv:nl.cv ~meta:0
+        ~ssv_a:0 ~ssv_b:0 ~scv_a:0 ~scv_b:0
+  end
+  else begin
+    let nl_mine = env.state_is_intention && inside_meta env nl.meta in
+    let meta_from_state =
+      if not env.state_is_intention then true
+      else begin
+        let ni_dep = mi land Meta.dependent_mask <> 0 in
+        let nl_dep = nl_mine && nl.meta land Meta.dependent_mask <> 0 in
+        if ni_dep && nl_dep then env.state_snapshot <= env.intention_snapshot
+        else if nl_dep then true
+        else if ni_dep then false
+        else nl_mine
+      end
+    in
+    let dep =
+      mi land Meta.dependent_mask
+      lor if nl_mine then nl.meta land Meta.dependent_mask else 0
+    in
+    let ni_w = mi land Meta.altered <> 0 in
+    let nl_w = nl_mine && nl.meta land Meta.altered <> 0 in
+    let payload =
+      if ni_w then View.payload v j
+      else if nl_w || meta_from_state then nl.payload
+      else View.payload v j
+    in
+    let cv =
+      if ni_w then View.cv v j
+      else if nl_w || meta_from_state then nl.cv
+      else View.cv v j
+    in
+    if meta_from_state then
+      if nl_mine then begin
+        let m = env.out_bits lor dep lor (nl.meta land Meta.source_mask) in
+        if env.state_is_intention && nl.meta land Meta.ssv_present <> 0 then
+          Node.pack ~key ~payload ~left ~right ~vn ~cv
+            ~meta:(m lor Meta.ssv_ephemeral)
+            ~ssv_a:(Node.vn_a vn) ~ssv_b:(Node.vn_b vn) ~scv_a:nl.scv_a
+            ~scv_b:nl.scv_b
+        else
+          Node.pack ~key ~payload ~left ~right ~vn ~cv ~meta:m ~ssv_a:nl.ssv_a
+            ~ssv_b:nl.ssv_b ~scv_a:nl.scv_a ~scv_b:nl.scv_b
+      end
+      else if env.state_is_intention then
+        Node.pack ~key ~payload ~left ~right ~vn ~cv
+          ~meta:
+            (env.out_bits lor dep lor Meta.ssv_present lor Meta.ssv_ephemeral
+           lor Node.scv_class nl.cv)
+          ~ssv_a:(Node.vn_a vn) ~ssv_b:(Node.vn_b vn) ~scv_a:(Node.vn_a nl.cv)
+          ~scv_b:(Node.vn_b nl.cv)
+      else
+        Node.pack ~key ~payload ~left ~right ~vn ~cv
+          ~meta:
+            (env.out_bits lor dep lor Node.ssv_class nl.vn
+           lor Node.scv_class nl.cv)
+          ~ssv_a:(Node.vn_a nl.vn) ~ssv_b:(Node.vn_b nl.vn)
+          ~scv_a:(Node.vn_a nl.cv) ~scv_b:(Node.vn_b nl.cv)
+    else begin
+      let m = env.out_bits lor dep lor (mi land Meta.source_mask) in
+      let ssv_a, ssv_b, scv_a, scv_b = View.sources v j in
+      if env.state_is_intention && mi land Meta.ssv_present <> 0 then
+        Node.pack ~key ~payload ~left ~right ~vn ~cv
+          ~meta:(m lor Meta.ssv_ephemeral)
+          ~ssv_a:(Node.vn_a vn) ~ssv_b:(Node.vn_b vn) ~scv_a ~scv_b
+      else
+        Node.pack ~key ~payload ~left ~right ~vn ~cv ~meta:m ~ssv_a ~ssv_b
+          ~scv_a ~scv_b
+    end
+  end
+
+(* [check_node] with the intention side read from the view. *)
+let check_node_v env v j (nl : node) =
+  let mi = View.meta v j in
+  let key = View.key v j in
+  if mi land Meta.ssv_present = 0 then begin
+    if mi land Meta.altered <> 0 then raise (Abort (Write_conflict key))
+    else
+      raise
+        (Corrupt_intention
+           (Printf.sprintf "non-insert node %d without ssv" key))
+  end
+  else begin
+    let nl_mine = env.state_is_intention && inside_meta env nl.meta in
+    if mi land (Meta.altered lor Meta.dep_content) <> 0 then begin
+      let do_check =
+        if not env.state_is_intention then true
+        else nl_mine && nl.meta land Meta.altered <> 0
+      in
+      if do_check then begin
+        if mi land Meta.scv_present = 0 then
+          raise
+            (Corrupt_intention
+               (Printf.sprintf "node %d has ssv but no scv" key));
+        if not (View.scv_equals v j nl.cv) then
+          raise
+            (Abort
+               (if mi land Meta.altered <> 0 then Write_conflict key
+                else Read_conflict key))
+      end
+    end;
+    if mi land Meta.dep_structure <> 0 then begin
+      if not env.state_is_intention then raise (Abort (Phantom_conflict key))
+      else if nl_mine && nl.meta land Meta.has_writes <> 0 then
+        raise (Abort (Phantom_conflict key))
+      else if env.intention_snapshot < env.state_snapshot then
+        raise (Abort (Phantom_conflict key))
+    end
+  end
+
+(* Walk child descriptor [c] against state subtree [l].  The bool is the
+   eager walk's [result == ni.child] test — physical adoption of the
+   intention child — computed without materializing anything. *)
+let rec go_kid env v c l =
+  if View.kid_is_inside c then go_v env v c l
+  else if View.kid_is_empty c then (l, l == empty)
+  else (l, l == View.ref_of v c)
+
+(* [go] with the intention side at view node [j] (always a member's). *)
+and go_v env v j l =
+  if l == empty then (matz env v j, true)
+  else begin
+    visit env;
+    if View.ssv_equals v j l.vn then begin
+      env.counters.Counters.grafts <- env.counters.Counters.grafts + 1;
+      if View.meta v j land Meta.has_writes <> 0 then (matz env v j, true)
+      else if env.transaction_mode then (matz env v j, true)
+      else (l, false)
+    end
+    else begin
+      let nl = l in
+      let c = Key.compare (View.key v j) nl.key in
+      if c = 0 then begin
+        check_node_v env v j nl;
+        let left, gl = go_kid env v (View.kid_l v j) nl.left in
+        let right, gr = go_kid env v (View.kid_r v j) nl.right in
+        let mi = View.meta v j in
+        if
+          mi land Meta.dependent_mask = 0
+          && left == nl.left && right == nl.right
+        then (l, false)
+        else if (not env.transaction_mode) && mi land Meta.altered <> 0 && gl
+                && gr
+        then (matz env v j, true)
+        else if
+          (not env.transaction_mode)
+          && mi land Meta.altered = 0
+          && left == nl.left && right == nl.right
+        then (l, false)
+        else (merged_node_v env v j nl ~left ~right, false)
+      end
+      else if Key.priority_greater (View.key v j) nl.key then begin
+        let mi = View.meta v j in
+        if mi land Meta.ssv_present <> 0 && not env.state_is_intention then
+          raise
+            (Corrupt_intention
+               (Printf.sprintf
+                  "node %d outranks state root %d but has a source \
+                   (ssv=%s owner=%d altered=%b vn=%s mode=%s)"
+                  (View.key v j) nl.key
+                  (match View.ssv v j with
+                  | Some x -> Vn.to_string x
+                  | None -> "-")
+                  (View.pos v)
+                  (mi land Meta.altered <> 0)
+                  (Vn.to_string (View.vn v j))
+                  (if env.transaction_mode then "txn" else "final")));
+        let ll, lr = split_state env l (View.key v j) in
+        let left, gl = go_kid env v (View.kid_l v j) ll in
+        let right, gr = go_kid env v (View.kid_r v j) lr in
+        if gl && gr then (matz env v j, true)
+        else
+          (eph_of_intention_v env v j ~restructured:false ~left ~right, false)
+      end
+      else begin
+        let il, ir = split_intention_v env v j nl.key in
+        let left = go env il nl.left in
+        let right = go env ir nl.right in
+        if left == nl.left && right == nl.right then (l, false)
+        else (eph_of_state env ~restructured:false nl ~left ~right, false)
+      end
+    end
+  end
+
+(* [split_intention] over a view subtree: the split-path copies come from
+   the view; an external reference on the path falls back to the eager
+   split (its nodes are real). *)
+and split_intention_kid env v c key =
+  if View.kid_is_inside c then split_intention_v env v c key
+  else if View.kid_is_empty c then (empty, empty)
+  else split_intention env (View.ref_of v c) key
+
+and split_intention_v env v j key =
+  visit env;
+  if Key.compare (View.key v j) key < 0 then begin
+    let a, b = split_intention_kid env v (View.kid_r v j) key in
+    let left = kid_tree env v (View.kid_l v j) in
+    (eph_of_intention_v env v j ~restructured:true ~left ~right:a, b)
+  end
+  else begin
+    let a, b = split_intention_kid env v (View.kid_l v j) key in
+    let right = kid_tree env v (View.kid_r v j) in
+    (a, eph_of_intention_v env v j ~restructured:true ~left:b ~right)
+  end
+
+let go_view env v state =
+  if View.node_count v = 0 then go env empty state
+  else fst (go_v env v (View.root_index v) state)
+
 let meld ~mode ?(state_is_intention = false) ?(intention_snapshot = 0)
-    ?(state_snapshot = -1) ~members ~alloc ~(counters : Counters.stage)
-    ~intention ~state () =
+    ?(state_snapshot = -1) ?intention_view ?mz ~members ~alloc
+    ~(counters : Counters.stage) ~intention ~state () =
   let transaction_mode, out_owner =
     match mode with
     | Final -> (false, Node.state_owner)
@@ -429,9 +699,14 @@ let meld ~mode ?(state_is_intention = false) ?(intention_snapshot = 0)
       out_bits = Meta.owner_bits out_owner;
       intention_snapshot;
       state_snapshot;
+      mz;
     }
   in
-  match go env intention state with
+  match
+    match intention_view with
+    | Some v -> go_view env v state
+    | None -> go env intention state
+  with
   | merged -> Merged merged
   | exception Abort reason ->
       counters.aborts <- counters.aborts + 1;

@@ -1,6 +1,7 @@
 open Hyder_tree
 module Intention = Hyder_codec.Intention
 module Codec = Hyder_codec.Codec
+module View = Hyder_codec.View
 module Summary = Hyder_util.Stats.Summary
 module Clock = Hyder_util.Clock
 module Trace = Hyder_obs.Trace
@@ -71,6 +72,17 @@ type instruments = {
   m_gm_gc_promoted : Metrics.Fcounter.t;
   m_fm_gc_minor : Metrics.Fcounter.t;
   m_fm_gc_promoted : Metrics.Fcounter.t;
+  (* Minor words spent materializing flyweight view nodes into heap
+     nodes.  Lazy decoding moves node allocation out of the ds bracket
+     and into whichever stage first needs the node; without this split,
+     the move would be misbooked as pm/gm/fm allocation growth.  It is
+     not a bracket of its own: meld reports materialization deltas
+     through its [?mz] hook, which adds here and subtracts from the
+     enclosing stage's minor counter, keeping each stage honest and the
+     total unchanged.  Driver-written only (workers never walk views on
+     the wire path, and worker-side gm forcing goes unsampled like every
+     other fan-out stage). *)
+  m_mz_gc_minor : Metrics.Fcounter.t;
 }
 
 (* GC sampling around a stage, inert when metrics are off: one branch,
@@ -212,6 +224,9 @@ type offload_stats = {
 
 type t = {
   config : config;
+  lazy_decode : bool;
+      (** decode wire bytes into flyweight views (materialized only as
+          meld needs the nodes) instead of eager heap trees *)
   runtime : Runtime.t;
   trace : Trace.t;
   flight : Flight.t;
@@ -298,14 +313,73 @@ let cached_resolver t : Codec.resolver =
             | Some _ | None -> fallback ~snapshot ~key ~vn)
         | Vn.Ephemeral _ -> fallback ~snapshot ~key ~vn)
 
+(* Materialization ("mz") accounting helpers.  [mz_note] books an
+   explicit delta; [mz_hook] builds the meld-side hook that also
+   subtracts the delta from the enclosing stage bracket (which sampled
+   those words too).  Both are driver-side single-writer — never hand
+   the hook to a worker domain. *)
+let mz_note t d =
+  match t.inst with
+  | None -> ()
+  | Some i -> Metrics.Fcounter.add i.m_mz_gc_minor d
+
+let mz_hook t ~stage =
+  match t.inst with
+  | None -> None
+  | Some i ->
+      let enclosing =
+        match stage with
+        | `Pm -> i.m_pm_gc_minor
+        | `Gm -> i.m_gm_gc_minor
+        | `Fm -> i.m_fm_gc_minor
+      in
+      Some
+        (fun d ->
+          Metrics.Fcounter.add i.m_mz_gc_minor d;
+          Metrics.Fcounter.add enclosing (-.d))
+
+(* Force a still-lazy group to a real tree (the pending state side of the
+   next combine needs one).  [note] observes the materialization words —
+   [mz_note t] on the driver, [ignore] on the gm worker (fan-out stages
+   are unsampled). *)
+let force_tree ~note (g : Group_meld.group) =
+  match g.Group_meld.view with
+  | None -> g
+  | Some v ->
+      let mw0 = Gc.minor_words () in
+      let root = View.materialize_root v in
+      note (Gc.minor_words () -. mw0);
+      { g with Group_meld.root; view = None }
+
 let decode t ~pos bytes =
   let ds = t.counters.deserialize in
   let t0 = Clock.now () in
   let gc0 = gc_begin t.inst in
   ds.intentions <- ds.intentions + 1;
   let resolve = cached_resolver t in
-  let i, nodes = Codec.decode_indexed ~pos ~resolve bytes in
-  Intention_cache.add t.cache ~pos nodes;
+  let i =
+    if t.lazy_decode then begin
+      (* Zero-copy path: index the wire record in place.  The snapshot
+         state is the binding peer — the same source [cached_resolver]
+         consults first, so references and elided payloads bind to the
+         same physical objects either way. *)
+      let peer =
+        match State_store.by_pos t.states (Codec.peek_snapshot bytes) with
+        | Some tree -> tree
+        | None -> Node.empty
+      in
+      let i = Codec.decode_lazy ~pos ~peer ~resolve bytes in
+      (match i.Intention.view with
+      | Some v -> Intention_cache.add_view t.cache v
+      | None -> ());
+      i
+    end
+    else begin
+      let i, nodes = Codec.decode_indexed ~pos ~resolve bytes in
+      Intention_cache.add t.cache ~pos nodes;
+      i
+    end
+  in
   ds.nodes_visited <- ds.nodes_visited + i.Intention.node_count;
   Summary.add t.counters.intention_bytes (float_of_int i.Intention.byte_size);
   gc_end t.inst ~stage:`Ds gc0;
@@ -336,11 +410,38 @@ let decode_slice t ~scratch ~seq ~pos ~off ~len src =
   let gc0 = gc_begin t.inst in
   ds.intentions <- ds.intentions + 1;
   let resolve = cached_resolver t in
-  let i = Codec.decode_pooled ~scratch ~pos ~off ~len ~resolve src in
-  Intention_cache.add t.cache ~pos (Codec.Scratch.export scratch);
+  let i =
+    if t.lazy_decode then
+      let peer =
+        match State_store.by_pos t.states (Codec.peek_snapshot ~off src) with
+        | Some tree -> tree
+        | None -> Node.empty
+      in
+      Codec.decode_lazy ~pos ~off ~len ~peer ~resolve src
+    else begin
+      let i = Codec.decode_pooled ~scratch ~pos ~off ~len ~resolve src in
+      Intention_cache.add t.cache ~pos (Codec.Scratch.export scratch);
+      i
+    end
+  in
   ds.nodes_visited <- ds.nodes_visited + i.Intention.node_count;
   Summary.add t.counters.intention_bytes (float_of_int i.Intention.byte_size);
   gc_end t.inst ~stage:`Ds gc0;
+  (* A pipelined-driver decode feeds stage queues consumed on worker
+     domains, and a view must only ever have one walker: materialize
+     immediately (booked as mz, not ds) and strip the view before the
+     intention crosses a queue.  The view still enters the cache so later
+     references resolve to the materialized (memo-shared) objects. *)
+  let i =
+    match i.Intention.view with
+    | None -> i
+    | Some v ->
+        let mw0 = Gc.minor_words () in
+        let root = View.materialize_root v in
+        mz_note t (Gc.minor_words () -. mw0);
+        Intention_cache.add_view t.cache v;
+        { i with Intention.root; view = None }
+  in
   let t1 = Clock.now () in
   ds.seconds <- ds.seconds +. (t1 -. t0);
   if Trace.enabled t.trace then
@@ -376,13 +477,14 @@ let final_meld t (group : Group_meld.group) =
       Meld.Merged lcs_tree
     end
     else begin
+      let mz = mz_hook t ~stage:`Fm in
       let t0 = Clock.now () in
       let gc0 = gc_begin t.inst in
       fm.intentions <- fm.intentions + alive;
       let r =
         Meld.meld ~mode:Meld.Final ~members:group.member_positions
-          ~alloc:t.fm_alloc ~counters:fm ~intention:group.root ~state:lcs_tree
-          ()
+          ?intention_view:group.view ?mz ~alloc:t.fm_alloc ~counters:fm
+          ~intention:group.root ~state:lcs_tree ()
       in
       gc_end t.inst ~stage:`Fm gc0;
       let t1 = Clock.now () in
@@ -521,10 +623,13 @@ let gm_step t ~track ~seq (unit_group : Group_meld.group) =
       | Some g ->
           let gm = t.counters.group_meld in
           let nodes_before = gm.nodes_visited in
+          (* [track = 0] ⟺ inline on the driver: only there may the
+             materialization hook touch the (single-writer) mz counter. *)
+          let mz = if track = 0 then mz_hook t ~stage:`Gm else None in
           let t0 = Clock.now () in
           let gc0 = gc_begin t.inst in
           let merged =
-            Group_meld.combine ~alloc:t.gm_alloc ~counters:gm g unit_group
+            Group_meld.combine ?mz ~alloc:t.gm_alloc ~counters:gm g unit_group
           in
           gc_end t.inst ~stage:`Gm gc0;
           let t1 = Clock.now () in
@@ -546,7 +651,10 @@ let gm_step t ~track ~seq (unit_group : Group_meld.group) =
       Some merged
     end
     else begin
-      t.pending <- Some merged;
+      (* The pending group becomes the state side of the next combine,
+         which needs a real tree: force a still-lazy singleton now. *)
+      let note = if track = 0 then mz_note t else ignore in
+      t.pending <- Some (force_tree ~note merged);
       None
     end
   end
@@ -584,10 +692,11 @@ let submit t (intention : Intention.t) =
         let shard =
           t.counters.premeld_shards.(Premeld.thread_for pc ~seq - 1)
         in
+        let mz = mz_hook t ~stage:`Pm in
         let t0 = Clock.now () in
         let gc0 = gc_begin t.inst in
         let outcome =
-          Premeld.run ~trace:t.trace pc ~allocs:t.pm_allocs
+          Premeld.run ~trace:t.trace ?mz pc ~allocs:t.pm_allocs
             ~shards:t.counters.premeld_shards ~states:t.states ~seq intention
         in
         gc_end t.inst ~stage:`Pm gc0;
@@ -1341,6 +1450,7 @@ let make_instruments metrics =
         m_gm_gc_promoted = Metrics.fcounter m "pipeline_gm_gc_promoted_words";
         m_fm_gc_minor = Metrics.fcounter m "pipeline_fm_gc_minor_words";
         m_fm_gc_promoted = Metrics.fcounter m "pipeline_fm_gc_promoted_words";
+        m_mz_gc_minor = Metrics.fcounter m "pipeline_mz_gc_minor_words";
       })
     metrics
 
@@ -1379,12 +1489,13 @@ let attach_pstate t runtime =
   | Runtime.Sequential | Runtime.Parallel _ -> ()
 
 let create ?(config = plain) ?(runtime = Runtime.sequential)
-    ?(trace = Trace.disabled) ?(flight = Flight.disabled) ?metrics ~genesis ()
-    =
+    ?(lazy_decode = true) ?(trace = Trace.disabled) ?(flight = Flight.disabled)
+    ?metrics ~genesis () =
   let pm_threads = validate_shape ~who:"create" ~config ~runtime ~trace in
   let t =
     {
       config;
+      lazy_decode;
       runtime = Runtime.create ?metrics runtime;
       trace;
       flight;
@@ -1424,8 +1535,8 @@ let checkpoint t =
          ~counters:t.counters)
 
 let restore ?(config = plain) ?(runtime = Runtime.sequential)
-    ?(trace = Trace.disabled) ?(flight = Flight.disabled) ?metrics
-    (ckpt : Checkpoint.t) =
+    ?(lazy_decode = true) ?(trace = Trace.disabled) ?(flight = Flight.disabled)
+    ?metrics (ckpt : Checkpoint.t) =
   let pm_threads = validate_shape ~who:"restore" ~config ~runtime ~trace in
   if Array.length ckpt.Checkpoint.alloc_issued <> pm_threads + 2 then
     invalid_arg
@@ -1446,6 +1557,7 @@ let restore ?(config = plain) ?(runtime = Runtime.sequential)
   let t =
     {
       config;
+      lazy_decode;
       runtime = Runtime.create ?metrics runtime;
       trace;
       flight;

@@ -49,13 +49,23 @@ type t
 val create :
   ?config:config ->
   ?runtime:Runtime.backend ->
+  ?lazy_decode:bool ->
   ?trace:Hyder_obs.Trace.t ->
   ?flight:Hyder_obs.Flight.t ->
   ?metrics:Hyder_obs.Metrics.t ->
   genesis:Tree.t ->
   unit ->
   t
-(** [runtime] defaults to {!Runtime.sequential}.  A [Parallel] runtime
+(** [lazy_decode] (default [true]) makes the ds stage index wire records
+    in place as flyweight {!Hyder_codec.View} values instead of eagerly
+    building heap trees; meld walks the view and materializes only the
+    nodes it grafts, and the allocation it does spend is booked under the
+    [pipeline_mz_gc_minor_words] instrument rather than the ds bracket.
+    Decisions, trees, ephemeral ids and integer counters are bit-identical
+    either way (the eager path remains as the reference, and the
+    cross-backend suites compare the two).
+
+    [runtime] defaults to {!Runtime.sequential}.  A [Parallel] runtime
     spawns its domain pool here, a [Pipelined] runtime its stage-pool
     worker domains; call {!shutdown} when done with the pipeline to join
     them.
@@ -183,6 +193,7 @@ val checkpoint : t -> Checkpoint.t option
 val restore :
   ?config:config ->
   ?runtime:Runtime.backend ->
+  ?lazy_decode:bool ->
   ?trace:Hyder_obs.Trace.t ->
   ?flight:Hyder_obs.Flight.t ->
   ?metrics:Hyder_obs.Metrics.t ->

@@ -20,8 +20,8 @@ type outcome =
 (* Pure trial-meld core: everything it touches is either owned by the
    caller's premeld thread (alloc, counters shard) or immutable (the input
    state tree, the intention), so it can run on any domain. *)
-let trial ?(trace = Trace.disabled) config ~snap_seq ~lookup ~alloc ~counters
-    ~seq (intention : Intention.t) =
+let trial ?(trace = Trace.disabled) ?mz config ~snap_seq ~lookup ~alloc
+    ~counters ~seq (intention : Intention.t) =
   let m = input_seq config ~seq in
   if m <= snap_seq then Unchanged intention
   else begin
@@ -43,10 +43,12 @@ let trial ?(trace = Trace.disabled) config ~snap_seq ~lookup ~alloc ~counters
       match
         Meld.meld
           ~mode:(Meld.Transaction { out_owner = intention.pos })
-          ~members:[ intention.pos ] ~alloc ~counters ~intention:intention.root
-          ~state ()
+          ?intention_view:intention.view ?mz ~members:[ intention.pos ] ~alloc
+          ~counters ~intention:intention.root ~state ()
       with
-      | Meld.Merged root -> Premelded ({ intention with root }, m)
+      (* A premelded intention is a real tree from here on — drop the
+         view so no one walks stale wire bytes. *)
+      | Meld.Merged root -> Premelded ({ intention with root; view = None }, m)
       | Meld.Conflict reason -> Dead reason
     in
     if traced then
@@ -60,10 +62,11 @@ let trial ?(trace = Trace.disabled) config ~snap_seq ~lookup ~alloc ~counters
 
 (* Scheduling shell for the inline (sequential) path: resolve the snapshot
    sequence number and the designated input state against the live store. *)
-let run ?trace config ~allocs ~shards ~states ~seq (intention : Intention.t) =
+let run ?trace ?mz config ~allocs ~shards ~states ~seq (intention : Intention.t)
+    =
   let snap_seq = State_store.seq_of_pos states intention.snapshot in
   let thread = thread_for config ~seq in
-  trial ?trace config ~snap_seq
+  trial ?trace ?mz config ~snap_seq
     ~lookup:(fun m -> Some (State_store.require states ~stage:"premeld" m))
     ~alloc:allocs.(thread - 1)
     ~counters:shards.(thread - 1) ~seq intention

@@ -39,6 +39,7 @@ type outcome =
 
 val trial :
   ?trace:Hyder_obs.Trace.t ->
+  ?mz:(float -> unit) ->
   config ->
   snap_seq:int ->
   lookup:(int -> Hyder_tree.Tree.t option) ->
@@ -58,10 +59,16 @@ val trial :
     trial meld into ring [thread_for ~seq] — the thread that owns
     [counters], preserving the recorder's single-writer invariant.
     Tracing is observational: it never changes the outcome, the
-    ephemeral-id stream or the integer counter fields. *)
+    ephemeral-id stream or the integer counter fields.
+
+    [mz] is forwarded to {!Meld.meld}: it observes the minor words spent
+    materializing flyweight view nodes when the intention carries a lazy
+    view.  Only pass it from a caller whose accumulator is single-writer
+    (the inline sequential path). *)
 
 val run :
   ?trace:Hyder_obs.Trace.t ->
+  ?mz:(float -> unit) ->
   config ->
   allocs:Hyder_tree.Vn.Alloc.t array ->
   shards:Counters.stage array ->

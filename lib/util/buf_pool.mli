@@ -20,8 +20,10 @@ val acquire : t -> int -> Bytes.t
 val release : t -> Bytes.t -> unit
 (** Return a buffer to the pool.  Only power-of-two sizes from
     {!acquire} are retained (bounded per bucket); anything else is left
-    to the GC.  Releasing a buffer twice, or using it after release, is
-    a caller bug. *)
+    to the GC.  Using a buffer after release is a caller bug.  Releasing
+    the same buffer twice while its first release is still parked, or
+    releasing more pool-eligible buffers than were acquired, raises
+    [Invalid_argument] — cheap canaries for lifetime bugs. *)
 
 val hits : t -> int
 (** Acquires served from the freelist. *)
@@ -31,3 +33,8 @@ val misses : t -> int
 
 val pooled : t -> int
 (** Buffers currently parked in the freelist. *)
+
+val in_flight : t -> int
+(** Pool-eligible buffers acquired and not yet released.  A fully
+    drained pipeline must bring this back to zero; a positive residue is
+    a leak, a negative one an extra release. *)

@@ -57,7 +57,20 @@ module Writer = struct
 
   let varint t v =
     if v < 0 then invalid_arg "Wire.Writer.varint: negative";
-    varint64 t (Int64.of_int v)
+    (* Unboxed: a non-negative int zero-extends to 64 bits, so this
+       writes exactly varint64's bytes without boxing an Int64 per
+       7-bit group. *)
+    let v = ref v in
+    let continue = ref true in
+    while !continue do
+      let low = !v land 0x7F in
+      v := !v lsr 7;
+      if !v = 0 then begin
+        u8 t low;
+        continue := false
+      end
+      else u8 t (low lor 0x80)
+    done
 
   let raw t b ~pos ~len =
     ensure t len;
@@ -67,6 +80,14 @@ module Writer = struct
   let bytes t s =
     varint t (String.length s);
     raw t (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)
+
+  let substring t s ~pos ~len =
+    if pos < 0 || len < 0 || pos + len > String.length s then
+      invalid_arg "Wire.Writer.substring: range out of bounds";
+    varint t len;
+    ensure t len;
+    Bytes.blit_string s pos t.buf t.len len;
+    t.len <- t.len + len
 
   let contents t = Bytes.sub_string t.buf 0 t.len
 

@@ -33,6 +33,11 @@ module Writer : sig
   val bytes : t -> string -> unit
   (** Length-prefixed byte string. *)
 
+  val substring : t -> string -> pos:int -> len:int -> unit
+  (** Length-prefixed slice of [s], blitted straight from the source —
+      equivalent to [bytes t (String.sub s pos len)] without the
+      intermediate allocation. *)
+
   val raw : t -> Bytes.t -> pos:int -> len:int -> unit
   val contents : t -> string
   val blit_into : t -> Bytes.t -> dst_pos:int -> unit

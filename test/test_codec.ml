@@ -162,6 +162,38 @@ let test_encoder_matches_encode () =
   check "backing buffer returned to the pool" true
     (Hyder_util.Buf_pool.pooled pool > 0)
 
+let test_encoder_steady_state_allocation () =
+  (* Regression guard for the encode hot-path copy bug: once the backing
+     buffer has grown to steady state, each encode must allocate only the
+     returned string — no intermediate buffer copy, no regrowth.  The
+     budget is the result string's own words plus slack for Gc counter
+     noise; the copy bug doubled the real figure. *)
+  let snapshot = Helpers.genesis ~gap:10 500 in
+  let pool = Hyder_util.Buf_pool.create () in
+  let enc = Codec.Encoder.create ~pool () in
+  let draft =
+    make_draft ~snapshot ~snapshot_pos:(-1) (fun e ->
+        for i = 0 to 24 do
+          Executor.write e (i * 20) ("v" ^ string_of_int i)
+        done)
+  in
+  let bytes = Codec.Encoder.encode enc draft in
+  let reps = 200 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to reps do
+    ignore (Sys.opaque_identity (Codec.Encoder.encode enc draft))
+  done;
+  let per = (Gc.minor_words () -. w0) /. float_of_int reps in
+  let result_words = float_of_int ((String.length bytes + 8) / 8 + 1) in
+  Codec.Encoder.free enc;
+  check
+    (Printf.sprintf
+       "steady-state encode allocates only the result string (%.1f words \
+        for a %.0f-word string)"
+       per result_words)
+    true
+    (per < (result_words *. 1.25) +. 16.)
+
 let test_blocks_roundtrip_single () =
   let payload = "some intention bytes" in
   let blocks = Codec.Blocks.split ~block_size:8192 ~server:1 ~txn_seq:5 payload in
@@ -286,6 +318,8 @@ let () =
             test_decode_pooled_matches_decode;
           Alcotest.test_case "Encoder = encode" `Quick
             test_encoder_matches_encode;
+          Alcotest.test_case "Encoder steady state allocates nothing extra"
+            `Quick test_encoder_steady_state_allocation;
         ] );
       ( "blocks",
         [

@@ -427,6 +427,34 @@ let test_buf_pool_size_classes () =
   let fresh = Buf_pool.acquire p 100 in
   check "odd-sized release left to the GC" true (Bytes.length fresh = 128)
 
+let test_buf_pool_lifetime_canaries () =
+  (* The accounting that caught the cluster encoder leak: in_flight
+     balances acquires against pool-eligible releases, and the release
+     canaries turn the two classic lifetime bugs — double release and
+     releasing a buffer the pool never issued — into immediate
+     Invalid_argument instead of silent aliasing. *)
+  let p = Buf_pool.create () in
+  let b1 = Buf_pool.acquire p 64 in
+  let b2 = Buf_pool.acquire p 64 in
+  check_int "two in flight" 2 (Buf_pool.in_flight p);
+  Buf_pool.release p b1;
+  check_int "one released" 1 (Buf_pool.in_flight p);
+  (* a caller-made odd-sized buffer is not pool-eligible: ignored by
+     both the freelist and the balance *)
+  Buf_pool.release p (Bytes.create 100);
+  check_int "foreign release not counted" 1 (Buf_pool.in_flight p);
+  (match Buf_pool.release p b1 with
+  | () -> Alcotest.fail "double release accepted"
+  | exception Invalid_argument _ -> ());
+  check_int "double release left the balance alone" 1 (Buf_pool.in_flight p);
+  Buf_pool.release p b2;
+  check_int "drained run balances to zero" 0 (Buf_pool.in_flight p);
+  (* releasing a pool-eligible buffer that was never acquired would make
+     the balance negative — a leak in the other direction *)
+  match Buf_pool.release p (Bytes.create 128) with
+  | () -> Alcotest.fail "over-release accepted"
+  | exception Invalid_argument _ -> ()
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest [ prop_wire_varint_roundtrip ]
 
@@ -490,6 +518,8 @@ let () =
         [
           Alcotest.test_case "reuse" `Quick test_buf_pool_reuse;
           Alcotest.test_case "size classes" `Quick test_buf_pool_size_classes;
+          Alcotest.test_case "lifetime canaries" `Quick
+            test_buf_pool_lifetime_canaries;
         ] );
       ("properties", qcheck_cases);
     ]
