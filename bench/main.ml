@@ -95,6 +95,16 @@ let json_path : string option ref = ref None
    (labels "seq"/"par:4"/"pipe:4") multiplexed into this JSON-lines file
    for [hyder-cli analyze]. *)
 let flight_path : string option ref = ref None
+
+(* --adaptive: run the macro/overlap pipe rows with the adaptive handoff
+   controller on (the baseline shape stays non-adaptive so tracked
+   numbers compare like with like; results are bit-identical anyway). *)
+let adaptive = ref false
+
+let pipe4 () =
+  Runtime.Pipelined
+    { domains = 4; batch = Runtime.default_batch; adaptive = !adaptive }
+
 let current_figure = ref ""
 let report_runs : Json.t list ref = ref [] (* newest first *)
 let report_seen : (string * string, unit) Hashtbl.t = Hashtbl.create 64
@@ -1122,6 +1132,13 @@ let pipeline_overlap () =
                       ("worker_gm_s", Json.Float o.Pipeline.worker_gm_seconds);
                       ("max_queue_depth", Json.Int o.Pipeline.max_queue_depth);
                       ("queue_capacity", Json.Int o.Pipeline.queue_capacity);
+                      ("handoff_batches", Json.Int o.Pipeline.handoff_batches);
+                      ("handoff_items", Json.Int o.Pipeline.handoff_items);
+                      ( "doorbell_wakeups",
+                        Json.Int o.Pipeline.doorbell_wakeups );
+                      ("driver_steals", Json.Int o.Pipeline.driver_steals);
+                      ("adaptive_batch", Json.Int o.Pipeline.adaptive_batch);
+                      ("adaptive_window", Json.Int o.Pipeline.adaptive_window);
                     ] );
             ("same_as_seq", Json.Bool same);
           ]
@@ -1130,7 +1147,7 @@ let pipeline_overlap () =
   in
   report "seq" base;
   report "par:4" (run (Runtime.parallel ~domains:4));
-  report "pipe:4" (run (Runtime.pipelined ~domains:4));
+  report "pipe:4" (run (pipe4 ()));
   Table.print t;
   Printf.printf
     "(driver us/int = (ds+pm+gm+fm seconds the driver itself executed) / \
@@ -1202,12 +1219,18 @@ let macro () =
     let c0 = Counters.copy (Pipeline.counters p) in
     let m0 = Metrics.snapshot metrics in
     let off0 = Pipeline.offload p in
+    (* Driver-domain allocation bracket: Gc.minor_words is per-domain in
+       OCaml 5, so this measures exactly the driver's share — worker-side
+       stage allocation never shows up here.  The handoff-allocation gate
+       in check_bench_smoke.py lives on this number. *)
+    let mw0 = Gc.minor_words () in
     let t0 = Clock.now () in
     let decisions =
       List.concat_map (fun b -> Pipeline.submit_wire_batch p b) meas_batches
       @ Pipeline.flush p
     in
     let wall = Clock.elapsed t0 in
+    let driver_minor_w = Gc.minor_words () -. mw0 in
     let c1 = Pipeline.counters p in
     let gc = Metrics.diff ~base:m0 (Metrics.snapshot metrics) in
     let off1 = Pipeline.offload p in
@@ -1215,7 +1238,7 @@ let macro () =
     Flight.export_percentiles flight;
     Pipeline.shutdown p;
     (warm_decisions @ decisions, List.length decisions, final, wall,
-     (c0, c1), gc, (off0, off1))
+     (c0, c1), gc, (off0, off1), driver_minor_w)
   in
   let base = run "seq" Runtime.sequential in
   let t =
@@ -1230,8 +1253,9 @@ let macro () =
           "ds minor w/txn"; "mz minor w/txn"; "fm minor w/txn"; "same as seq" ]
   in
   let report ?(lazy_decode = true) name
-      (decisions, melded, final, wall, (c0, c1), gc, (off0, off1)) =
-    let bdecisions, _, bfinal, _, _, _, _ = base in
+      (decisions, melded, final, wall, (c0, c1), gc, (off0, off1),
+       driver_minor_w) =
+    let bdecisions, _, bfinal, _, _, _, _, _ = base in
     let same =
       List.length decisions = List.length bdecisions
       && List.for_all2
@@ -1283,6 +1307,7 @@ let macro () =
             ("figure", Json.String "macro");
             ("runtime", Json.String name);
             ("lazy_decode", Json.Bool lazy_decode);
+            ("cores", Json.Int (Domain.recommended_domain_count ()));
             ("intentions_total", Json.Int count);
             ("intentions_measured", Json.Int melded);
             ("wall_s", Json.Float wall);
@@ -1290,6 +1315,39 @@ let macro () =
             ("fm_ns_per_txn", Json.Float fm_ns);
             ("driver_critical_path_us", Json.Float driver_us);
             ("driver_share_of_wall", Json.Float (driver_s /. wall));
+            ( "driver_minor_w_per_txn",
+              Json.Float (driver_minor_w /. meldedf) );
+            ( "handoff",
+              match (off0, off1) with
+              | Some a, Some b ->
+                  (* Publication/doorbell/steal counters are cumulative;
+                     the measured window is the diff.  The adaptive
+                     batch/window are last-observation settings, so the
+                     end-of-run value is the one reported. *)
+                  Json.Obj
+                    [
+                      ( "batches",
+                        Json.Int
+                          (b.Pipeline.handoff_batches
+                          - a.Pipeline.handoff_batches) );
+                      ( "items",
+                        Json.Int
+                          (b.Pipeline.handoff_items
+                          - a.Pipeline.handoff_items) );
+                      ( "doorbell_wakeups",
+                        Json.Int
+                          (b.Pipeline.doorbell_wakeups
+                          - a.Pipeline.doorbell_wakeups) );
+                      ( "driver_steals",
+                        Json.Int
+                          (b.Pipeline.driver_steals
+                          - a.Pipeline.driver_steals) );
+                      ("adaptive_batch", Json.Int b.Pipeline.adaptive_batch);
+                      ("adaptive_window", Json.Int b.Pipeline.adaptive_window);
+                      ( "adaptive_adjustments",
+                        Json.Int b.Pipeline.adaptive_adjustments );
+                    ]
+              | _ -> Json.Null );
             ( "stage_us",
               Json.Obj
                 [ ("ds", us ds); ("pm", us pm); ("gm", us gm); ("fm", us fm) ]
@@ -1324,7 +1382,7 @@ let macro () =
   report ~lazy_decode:false "seq-eager"
     (run ~lazy_decode:false "seq-eager" Runtime.sequential);
   report "par:4" (run "par:4" (Runtime.parallel ~domains:4));
-  report "pipe:4" (run "pipe:4" (Runtime.pipelined ~domains:4));
+  report "pipe:4" (run "pipe:4" (pipe4 ()));
   (match (flight_sink, !flight_path) with
   | Some oc, Some path ->
       close_out oc;
@@ -1454,6 +1512,7 @@ let () =
           | Error msg ->
               Printf.eprintf "bad --runtime %S: %s\n" spec msg;
               exit 2)
+      | "--adaptive" -> adaptive := true
       | a when String.length a > 7 && String.sub a 0 7 = "--json=" ->
           json_path := Some (String.sub a 7 (String.length a - 7))
       | a when String.length a > 9 && String.sub a 0 9 = "--flight=" ->

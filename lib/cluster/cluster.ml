@@ -94,6 +94,7 @@ type result = {
   gc_promoted_words_per_txn : float;
   gc_major_words_per_txn : float;
   abort_reasons : (string * int) list;
+  handoff : Pipeline.offload_stats option;
 }
 
 (* Per-intention bookkeeping shared between the real pipeline and the
@@ -854,6 +855,7 @@ let run cfg =
              match Int.compare nb na with
              | 0 -> String.compare ka kb
              | c -> c);
+    handoff = Pipeline.offload pipeline;
   }
 
 let pp_result fmt r =
@@ -870,11 +872,25 @@ let pp_result fmt r =
     r.ephemerals_per_txn r.intention_bytes r.blocks_per_intention
     r.appends_per_sec ds pm gm fm r.gc_minor_words_per_txn
     r.gc_promoted_words_per_txn r.gc_major_words_per_txn;
-  match r.abort_reasons with
+  (match r.abort_reasons with
   | [] -> ()
   | reasons ->
       Format.fprintf fmt "; abort reasons:";
-      List.iter (fun (k, n) -> Format.fprintf fmt " %s=%d" k n) reasons
+      List.iter (fun (k, n) -> Format.fprintf fmt " %s=%d" k n) reasons);
+  match r.handoff with
+  | None -> ()
+  | Some h ->
+      Format.fprintf fmt
+        "; handoff %d batches/%d items (%.1f per publication), %d doorbell \
+         wakeups, %d steals, batch=%d window=%d (%d adjustments)"
+        h.Pipeline.handoff_batches h.Pipeline.handoff_items
+        (if h.Pipeline.handoff_batches = 0 then 0.0
+         else
+           float_of_int h.Pipeline.handoff_items
+           /. float_of_int h.Pipeline.handoff_batches)
+        h.Pipeline.doorbell_wakeups h.Pipeline.driver_steals
+        h.Pipeline.adaptive_batch h.Pipeline.adaptive_window
+        h.Pipeline.adaptive_adjustments
 
 let result_to_json r =
   let ds, pm, gm, fm = r.stage_us in
@@ -912,4 +928,23 @@ let result_to_json r =
             ("promoted", Json.Float r.gc_promoted_words_per_txn);
             ("major", Json.Float r.gc_major_words_per_txn);
           ] );
+      ( "handoff",
+        match r.handoff with
+        | None -> Json.Null
+        | Some h ->
+            Json.Obj
+              [
+                ("batches", Json.Int h.Pipeline.handoff_batches);
+                ("items", Json.Int h.Pipeline.handoff_items);
+                ("doorbell_wakeups", Json.Int h.Pipeline.doorbell_wakeups);
+                ("driver_steals", Json.Int h.Pipeline.driver_steals);
+                ("ds_offloaded", Json.Int h.Pipeline.ds_offloaded);
+                ("ds_inline", Json.Int h.Pipeline.ds_inline);
+                ("max_queue_depth", Json.Int h.Pipeline.max_queue_depth);
+                ("queue_capacity", Json.Int h.Pipeline.queue_capacity);
+                ("adaptive_batch", Json.Int h.Pipeline.adaptive_batch);
+                ("adaptive_window", Json.Int h.Pipeline.adaptive_window);
+                ( "adaptive_adjustments",
+                  Json.Int h.Pipeline.adaptive_adjustments );
+              ] );
     ]

@@ -104,6 +104,11 @@ type result = {
       (** in-window aborts at their origin server, keyed by conflict kind
           ([write_conflict] / [read_conflict] / [phantom_conflict]),
           most frequent first *)
+  handoff : Hyder_core.Pipeline.offload_stats option;
+      (** stage-handoff accounting ([None] unless the runtime backend is
+          [Pipelined]): ring publications vs items carried, doorbell
+          wakeups actually paid, driver steals, and the adaptive
+          controller's final batch/window *)
 }
 
 val run : config -> result

@@ -83,6 +83,13 @@ type instruments = {
      the wire path, and worker-side gm forcing goes unsampled like every
      other fan-out stage). *)
   m_mz_gc_minor : Metrics.Fcounter.t;
+  (* Batched-handoff instruments (pipelined backend, driver-written):
+     every job-ring publication and every result drain observes its size,
+     so the histogram shows how well the doorbell cost amortizes. *)
+  m_spsc_batch : Metrics.Histogram.t;
+  m_doorbells : Metrics.Counter.t;
+  m_steals : Metrics.Counter.t;
+  m_adaptive_window : Metrics.Gauge.t;
 }
 
 (* GC sampling around a stage, inert when metrics are off: one branch,
@@ -137,48 +144,80 @@ type witem =
   | Wi of Intention.t
   | Ww of { pos : int; src : string; off : int; len : int; psnap : int }
 
-type pjob =
-  | Jnone
-  | Jds of { idx : int; seq : int; pos : int; src : string; off : int; len : int }
-  | Jpm of {
-      idx : int;
-      thread : int;
-      seq : int;
-      snap_seq : int;
-      intention : Intention.t;
-    }
-  | Jgm of { idx : int; seq : int; group : Group_meld.group }
+(* Stage handoff rides on pooled mutable carriers instead of per-item
+   job/result variants.  A carrier cycles
 
-type presult =
-  | Rnone
-  | Rds of {
-      idx : int;
-      intention : Intention.t option;
-          (** [None]: the cache-free worker decode hit a reference only
-              the driver's intention cache can resolve (a merged-away
-              node); the driver redoes the decode inline. *)
-      nodes : Node.tree array;
-          (** the decoded node table, for the driver to index into its
-              intention cache ([[||]] on failure) *)
-      seconds : float;
-      t0 : float;
-          (** worker-side stage start ([CLOCK_MONOTONIC] is system-wide,
-              so the driver stamps flight edges from it directly) *)
-    }
-  | Rpm of {
-      idx : int;
-      outcome : Premeld.outcome;
-      seconds : float;
-      t0 : float;
-    }
-  | Rgm of {
-      idx : int;
-      completed : Group_meld.group option;
-      seconds : float;
-      t0 : float;  (** wall bracket of the gm step; [0.0] when the
-                       flight recorder is off (no worker clock reads) *)
-      t1 : float;
-    }
+     driver free list -> job ring -> worker (result fields written in
+     place) -> result ring -> driver free list
+
+   so a steady-state handoff round allocates nothing and — unlike the
+   old [Rds]/[Rpm]/[Rgm] records, freshly allocated on a worker minor
+   heap and promoted the moment the driver read them — never churns
+   promoted words.  Each worker pair owns [qcap] carriers; the driver's
+   outstanding-[<= qcap] budget doubles as the free-list availability
+   proof.  The driver clears payload references when it recycles a
+   carrier, so the pool pins nothing between rounds.
+
+   Stage timestamps travel as integer nanoseconds: a float field in a
+   mixed record is boxed, and re-boxing three floats per item on the
+   worker would reintroduce exactly the promoted-word churn the pool
+   exists to kill. *)
+type ckind = Cnone | Cds | Cpm | Cgm
+
+type carrier = {
+  mutable kind : ckind;
+  mutable c_idx : int;  (** window member index *)
+  mutable c_seq : int;
+  (* ds job input: the wire slice *)
+  mutable c_pos : int;
+  mutable c_src : string;
+  mutable c_off : int;
+  mutable c_len : int;
+  (* pm job input ([c_intention] doubles as the ds result output) *)
+  mutable c_thread : int;
+  mutable c_snap_seq : int;
+  mutable c_intention : Intention.t option;
+      (** ds out — [None]: the cache-free worker decode hit a reference
+          only the driver's intention cache can resolve (a merged-away
+          node); the driver redoes the decode inline *)
+  (* gm job input / result output *)
+  mutable c_group : Group_meld.group option;
+  mutable c_completed : Group_meld.group option;
+  (* result outputs *)
+  mutable c_nodes : Node.tree array;
+      (** ds out: the decoded node table, for the driver to index into
+          its intention cache ([[||]] on failure) *)
+  mutable c_outcome : Premeld.outcome option;
+  mutable c_seconds_ns : int;
+  mutable c_t0_ns : int;
+      (** worker-side stage start ([CLOCK_MONOTONIC] is system-wide, so
+          the driver stamps flight edges from it directly) *)
+  mutable c_t1_ns : int;
+}
+
+let fresh_carrier () =
+  {
+    kind = Cnone;
+    c_idx = -1;
+    c_seq = -1;
+    c_pos = 0;
+    c_src = "";
+    c_off = 0;
+    c_len = 0;
+    c_thread = 0;
+    c_snap_seq = 0;
+    c_intention = None;
+    c_group = None;
+    c_completed = None;
+    c_nodes = [||];
+    c_outcome = None;
+    c_seconds_ns = 0;
+    c_t0_ns = 0;
+    c_t1_ns = 0;
+  }
+
+let ns_of_s s = int_of_float (s *. 1e9)
+let s_of_ns n = float_of_int n *. 1e-9
 
 let null_resolver : Codec.resolver =
  fun ~snapshot:_ ~key:_ ~vn:_ ->
@@ -197,19 +236,31 @@ type wctx = {
 }
 
 type pctx = {
-  ppool : (pjob, presult) Runtime.Stage_pool.t;
+  ppool : (carrier, carrier) Runtime.Stage_pool.t;
   pdomains : int;
   qcap : int;
   outstanding : int array;
-      (** jobs submitted minus results drained, per worker; kept [<= qcap]
-          so a worker's result push can never fail *)
+      (** jobs staged-or-submitted minus results drained, per worker;
+          kept [<= qcap] so a flush and a worker's result push can never
+          fail *)
   wctx : wctx;
+  adapt : Runtime.Adaptive.t;
+  free : carrier array array;  (** per-worker carrier free stacks *)
+  free_top : int array;
+  stage_buf : carrier array array;
+      (** jobs staged per worker, published as one batch on flush *)
+  stage_n : int array;
+  drain_buf : carrier array;  (** scratch for batched result drains *)
   mutable ds_offloaded : int;
   mutable ds_inline_n : int;
   mutable worker_ds_seconds : float;
   mutable worker_pm_seconds : float;
   mutable worker_gm_seconds : float;
   mutable max_depth : int;
+  mutable handoff_batches : int;  (** job-ring publications (flushes) *)
+  mutable handoff_items : int;  (** jobs published through those *)
+  mutable driver_steals : int;
+  mutable doorbells_seen : int;  (** scrape cursor for the wakeup counter *)
 }
 
 type offload_stats = {
@@ -220,6 +271,13 @@ type offload_stats = {
   worker_gm_seconds : float;
   max_queue_depth : int;
   queue_capacity : int;
+  handoff_batches : int;
+  handoff_items : int;
+  doorbell_wakeups : int;
+  driver_steals : int;
+  adaptive_batch : int;  (** flush threshold at last observation *)
+  adaptive_window : int;  (** in-flight window at last observation *)
+  adaptive_adjustments : int;
 }
 
 type t = {
@@ -269,6 +327,13 @@ let offload t =
         worker_gm_seconds = p.worker_gm_seconds;
         max_queue_depth = p.max_depth;
         queue_capacity = p.qcap;
+        handoff_batches = p.handoff_batches;
+        handoff_items = p.handoff_items;
+        doorbell_wakeups = Runtime.Stage_pool.doorbell_wakeups p.ppool;
+        driver_steals = p.driver_steals;
+        adaptive_batch = Runtime.Adaptive.batch p.adapt;
+        adaptive_window = Runtime.Adaptive.window p.adapt;
+        adaptive_adjustments = Runtime.Adaptive.adjustments p.adapt;
       })
     t.pstate
 
@@ -874,10 +939,10 @@ let run_window t (pc : Premeld.config) (window : Intention.t array) =
    allocators and counter shards, the gm allocator and group state), or
    frozen per window by the driver before any job is pushed (snapshot,
    resolvers). *)
-let pexec t (w : wctx) ~worker job =
-  match job with
-  | Jnone -> Rnone
-  | Jds { idx; seq; pos; src; off; len } -> (
+let pexec t (w : wctx) ~worker (c : carrier) =
+  (match c.kind with
+  | Cnone -> ()
+  | Cds -> (
       let traced = Trace.enabled t.trace in
       let t0 = Clock.now () in
       (* Workers decode against the frozen snapshot alone.  A reference
@@ -886,64 +951,67 @@ let pexec t (w : wctx) ~worker job =
          the driver redo the decode inline, where the cache prefix is
          complete by log-order consumption. *)
       match
-        Codec.decode_pooled ~scratch:w.scratches.(worker) ~pos ~off ~len
-          ~resolve:w.wresolvers.(worker) src
+        Codec.decode_pooled ~scratch:w.scratches.(worker) ~pos:c.c_pos
+          ~off:c.c_off ~len:c.c_len ~resolve:w.wresolvers.(worker) c.c_src
       with
       | exception Codec.Corrupt _ ->
-          Rds { idx; intention = None; nodes = [||]; seconds = 0.0; t0 }
+          c.c_intention <- None;
+          c.c_nodes <- [||];
+          c.c_seconds_ns <- 0;
+          c.c_t0_ns <- ns_of_s t0
       | i ->
           let t1 = Clock.now () in
           if traced then
             Trace.record t.trace
               ~track:(Trace.shards t.trace + 1 + worker)
-              ~stage:Trace.Deserialize ~seq ~t0 ~t1
+              ~stage:Trace.Deserialize ~seq:c.c_seq ~t0 ~t1
               ~nodes:i.Intention.node_count ~detail:i.Intention.byte_size;
-          Rds
-            {
-              idx;
-              intention = Some i;
-              nodes = Codec.Scratch.export w.scratches.(worker);
-              seconds = t1 -. t0;
-              t0;
-            })
-  | Jpm { idx; thread; seq; snap_seq; intention } ->
+          c.c_intention <- Some i;
+          c.c_nodes <- Codec.Scratch.export w.scratches.(worker);
+          c.c_seconds_ns <- ns_of_s (t1 -. t0);
+          c.c_t0_ns <- ns_of_s t0)
+  | Cpm ->
       let pc =
         match t.config.premeld with Some pc -> pc | None -> assert false
       in
-      let shard = t.counters.premeld_shards.(thread - 1) in
+      let intention =
+        match c.c_intention with Some i -> i | None -> assert false
+      in
+      let shard = t.counters.premeld_shards.(c.c_thread - 1) in
       let t0 = Clock.now () in
       let outcome =
-        Premeld.trial ~trace:t.trace pc ~snap_seq
+        Premeld.trial ~trace:t.trace pc ~snap_seq:c.c_snap_seq
           ~lookup:(fun m ->
             Some (State_store.Snapshot.require w.wsnap ~stage:"premeld" m))
-          ~alloc:t.pm_allocs.(thread - 1)
-          ~counters:shard ~seq intention
+          ~alloc:t.pm_allocs.(c.c_thread - 1)
+          ~counters:shard ~seq:c.c_seq intention
       in
       let dt = Clock.elapsed t0 in
       shard.Counters.seconds <- shard.Counters.seconds +. dt;
-      Rpm { idx; outcome; seconds = dt; t0 }
-  | Jgm { idx; seq; group } ->
+      c.c_outcome <- Some outcome;
+      c.c_seconds_ns <- ns_of_s dt;
+      c.c_t0_ns <- ns_of_s t0
+  | Cgm ->
       (* Report the gm-counter delta, not a wrapper measurement, so the
          offloaded seconds subtract exactly from the stage total.  The gm
          counter is only ever touched by this worker while a window is in
-         flight (every Jgm runs here), so the read is race-free.  Flight
+         flight (every Cgm runs here), so the read is race-free.  Flight
          wall brackets are extra clock reads gated on the recorder (the
          recorder itself is driver-only; only timestamps cross back). *)
+      let group = match c.c_group with Some g -> g | None -> assert false in
       let flighted = Flight.enabled t.flight in
       let ft0 = if flighted then Clock.now () else 0.0 in
       let s0 = t.counters.group_meld.Counters.seconds in
       let completed =
-        gm_step t ~track:(Trace.shards t.trace + 1 + worker) ~seq group
+        gm_step t ~track:(Trace.shards t.trace + 1 + worker) ~seq:c.c_seq group
       in
       let ft1 = if flighted then Clock.now () else 0.0 in
-      Rgm
-        {
-          idx;
-          completed;
-          seconds = t.counters.group_meld.Counters.seconds -. s0;
-          t0 = ft0;
-          t1 = ft1;
-        }
+      c.c_completed <- completed;
+      c.c_seconds_ns <-
+        ns_of_s (t.counters.group_meld.Counters.seconds -. s0);
+      c.c_t0_ns <- ns_of_s ft0;
+      c.c_t1_ns <- ns_of_s ft1);
+  c
 
 (* Run one window of work items through the staged pipeline:
 
@@ -1039,22 +1107,86 @@ let run_pipelined_window t (px : pctx) (window : witem array) =
   let rgm = ref 0 in
   let decisions = ref [] in
   let progress = ref false in
-  let push ~worker job =
-    if not (Runtime.Stage_pool.try_submit pool ~worker job) then
-      failwith "Pipeline: stage pool job queue unexpectedly full";
+  (* Premeld jobs in flight per paper thread: stealing a thread's
+     head-of-line trial is only safe while this is zero (the allocator
+     stream must stay in seq order). *)
+  let pm_inflight = Array.make (max 1 (Array.length pm_pending)) 0 in
+  let inst = t.inst in
+  let observe_batch n =
+    match inst with
+    | None -> ()
+    | Some i -> Metrics.Histogram.observe i.m_spsc_batch (float_of_int n)
+  in
+  (* Pooled-carrier handoff: [take] pops worker [w]'s free stack (the
+     outstanding budget proves it is never empty when a release gate
+     passes), [put] stages the filled carrier for the next flush, and
+     [flush] publishes every staged job with one ring publication and at
+     most one doorbell.  Nothing in this path allocates. *)
+  let take w =
+    let top = px.free_top.(w) - 1 in
+    px.free_top.(w) <- top;
+    px.free.(w).(top)
+  in
+  let recycle w (c : carrier) =
+    c.kind <- Cnone;
+    c.c_src <- "";
+    c.c_intention <- None;
+    c.c_group <- None;
+    c.c_completed <- None;
+    c.c_nodes <- [||];
+    c.c_outcome <- None;
+    px.free.(w).(px.free_top.(w)) <- c;
+    px.free_top.(w) <- px.free_top.(w) + 1
+  in
+  let flush w =
+    let n = px.stage_n.(w) in
+    if n > 0 then begin
+      let accepted =
+        Runtime.Stage_pool.submit_batch pool ~worker:w px.stage_buf.(w) ~len:n
+      in
+      if accepted <> n then
+        failwith "Pipeline: stage pool job queue unexpectedly full";
+      px.stage_n.(w) <- 0;
+      px.handoff_batches <- px.handoff_batches + 1;
+      px.handoff_items <- px.handoff_items + n;
+      observe_batch n
+    end
+  in
+  let flush_all () =
+    for w = 0 to domains - 1 do
+      flush w
+    done
+  in
+  let put ~worker c =
+    px.stage_buf.(worker).(px.stage_n.(worker)) <- c;
+    px.stage_n.(worker) <- px.stage_n.(worker) + 1;
     px.outstanding.(worker) <- px.outstanding.(worker) + 1;
     if px.outstanding.(worker) > px.max_depth then
       px.max_depth <- px.outstanding.(worker);
-    progress := true
+    progress := true;
+    if px.stage_n.(worker) >= Runtime.Adaptive.batch px.adapt then flush worker
   in
+  (* In-flight window per worker: the adaptive controller can shrink it
+     below [qcap] to bias toward latency; release gates check it, the
+     budget proofs only need [limit () <= qcap] (guaranteed by the
+     controller's clamp). *)
+  let limit () = Runtime.Adaptive.window px.adapt in
   let release_ds () =
     for w = 0 to domains - 1 do
       let rec go () =
         match ds_jobs.(w) with
-        | i :: rest when px.outstanding.(w) < qcap ->
+        | i :: rest when px.outstanding.(w) < limit () ->
             (match window.(i) with
             | Ww { pos; src; off; len; _ } ->
-                push ~worker:w (Jds { idx = i; seq = s0 + i; pos; src; off; len });
+                let c = take w in
+                c.kind <- Cds;
+                c.c_idx <- i;
+                c.c_seq <- s0 + i;
+                c.c_pos <- pos;
+                c.c_src <- src;
+                c.c_off <- off;
+                c.c_len <- len;
+                put ~worker:w c;
                 px.ds_offloaded <- px.ds_offloaded + 1
             | Wi _ -> assert false);
             ds_jobs.(w) <- rest;
@@ -1069,18 +1201,18 @@ let run_pipelined_window t (px : pctx) (window : witem array) =
       let w = k mod domains in
       let rec go () =
         match pm_pending.(k) with
-        | i :: rest when px.outstanding.(w) < qcap -> (
+        | i :: rest when px.outstanding.(w) < limit () -> (
             match intentions.(i) with
-            | Some intent ->
-                push ~worker:w
-                  (Jpm
-                     {
-                       idx = i;
-                       thread = k + 1;
-                       seq = s0 + i;
-                       snap_seq = snap_seqs.(i);
-                       intention = intent;
-                     });
+            | Some _ ->
+                let c = take w in
+                c.kind <- Cpm;
+                c.c_idx <- i;
+                c.c_seq <- s0 + i;
+                c.c_thread <- k + 1;
+                c.c_snap_seq <- snap_seqs.(i);
+                c.c_intention <- intentions.(i);
+                put ~worker:w c;
+                pm_inflight.(k) <- pm_inflight.(k) + 1;
                 pm_pending.(k) <- rest;
                 go ()
             | None -> ())
@@ -1091,7 +1223,7 @@ let run_pipelined_window t (px : pctx) (window : witem array) =
   in
   let release_gm () =
     let rec go () =
-      if !gm_next < b && px.outstanding.(gm_worker) < qcap then begin
+      if !gm_next < b && px.outstanding.(gm_worker) < limit () then begin
         let i = !gm_next in
         let unit_group =
           match t.config.premeld with
@@ -1106,8 +1238,13 @@ let run_pipelined_window t (px : pctx) (window : witem array) =
               | None -> None)
         in
         match unit_group with
-        | Some g ->
-            push ~worker:gm_worker (Jgm { idx = i; seq = s0 + i; group = g });
+        | Some _ ->
+            let c = take gm_worker in
+            c.kind <- Cgm;
+            c.c_idx <- i;
+            c.c_seq <- s0 + i;
+            c.c_group <- unit_group;
+            put ~worker:gm_worker c;
             incr gm_next;
             go ()
         | None -> ()
@@ -1145,56 +1282,145 @@ let run_pipelined_window t (px : pctx) (window : witem array) =
     | Wi i -> i.Intention.pos
     | Ww { pos; _ } -> pos
   in
-  let handle = function
-    | Rnone -> ()
-    | Rds { idx; intention = Some i; nodes; seconds; t0 } ->
-        intentions.(idx) <- Some i;
-        (* Index the worker-decoded nodes so later decodes (driver
-           inline, held releases, the next window's failures) resolve
-           references to them even after melding replaces them in the
-           state.  Log-order consumption guarantees the cache holds a
-           complete prefix whenever the driver decodes inline. *)
-        Intention_cache.add t.cache ~pos:i.Intention.pos nodes;
-        let ds = t.counters.deserialize in
-        ds.intentions <- ds.intentions + 1;
-        ds.nodes_visited <- ds.nodes_visited + i.Intention.node_count;
-        ds.seconds <- ds.seconds +. seconds;
-        Summary.add t.counters.intention_bytes
-          (float_of_int i.Intention.byte_size);
-        px.worker_ds_seconds <- px.worker_ds_seconds +. seconds;
+  let handle (c : carrier) =
+    match c.kind with
+    | Cnone -> ()
+    | Cds -> (
+        match c.c_intention with
+        | Some i ->
+            (* Index the worker-decoded nodes so later decodes (driver
+               inline, held releases, the next window's failures) resolve
+               references to them even after melding replaces them in the
+               state.  Log-order consumption guarantees the cache holds a
+               complete prefix whenever the driver decodes inline. *)
+            intentions.(c.c_idx) <- c.c_intention;
+            Intention_cache.add t.cache ~pos:i.Intention.pos c.c_nodes;
+            let seconds = s_of_ns c.c_seconds_ns in
+            let ds = t.counters.deserialize in
+            ds.intentions <- ds.intentions + 1;
+            ds.nodes_visited <- ds.nodes_visited + i.Intention.node_count;
+            ds.seconds <- ds.seconds +. seconds;
+            Summary.add t.counters.intention_bytes
+              (float_of_int i.Intention.byte_size);
+            px.worker_ds_seconds <- px.worker_ds_seconds +. seconds;
+            if flighted then begin
+              let t0 = s_of_ns c.c_t0_ns in
+              Flight.note_identity t.flight ~pos:i.Intention.pos
+                ~server:i.Intention.server ~txn_seq:i.Intention.txn_seq;
+              Flight.edge t.flight ~pos:i.Intention.pos ~stage:Flight.Ds ~t0
+                ~t1:(t0 +. seconds)
+            end
+        | None -> (
+            (* The worker's cache-free decode could not resolve a
+               reference; every reference of an offloadable item predates
+               the window, so the driver's cache already covers it — redo
+               inline now. *)
+            match window.(c.c_idx) with
+            | Ww { pos; src; off; len; _ } ->
+                intentions.(c.c_idx) <-
+                  Some
+                    (decode_slice t ~scratch:px.wctx.dscratch
+                       ~seq:(s0 + c.c_idx) ~pos ~off ~len src);
+                px.ds_offloaded <- px.ds_offloaded - 1;
+                px.ds_inline_n <- px.ds_inline_n + 1
+            | Wi _ -> assert false))
+    | Cpm ->
+        outcomes.(c.c_idx) <- c.c_outcome;
+        pm_inflight.(c.c_thread - 1) <- pm_inflight.(c.c_thread - 1) - 1;
+        let seconds = s_of_ns c.c_seconds_ns in
+        px.worker_pm_seconds <- px.worker_pm_seconds +. seconds;
         if flighted then begin
-          Flight.note_identity t.flight ~pos:i.Intention.pos
-            ~server:i.Intention.server ~txn_seq:i.Intention.txn_seq;
-          Flight.edge t.flight ~pos:i.Intention.pos ~stage:Flight.Ds ~t0
+          let t0 = s_of_ns c.c_t0_ns in
+          Flight.edge t.flight ~pos:(pos_of c.c_idx) ~stage:Flight.Pm ~t0
             ~t1:(t0 +. seconds)
         end
-    | Rds { idx; intention = None; _ } -> (
-        (* The worker's cache-free decode could not resolve a reference;
-           every reference of an offloadable item predates the window,
-           so the driver's cache already covers it — redo inline now. *)
-        match window.(idx) with
-        | Ww { pos; src; off; len; _ } ->
-            intentions.(idx) <-
-              Some
-                (decode_slice t ~scratch:px.wctx.dscratch ~seq:(s0 + idx)
-                   ~pos ~off ~len src);
-            px.ds_offloaded <- px.ds_offloaded - 1;
-            px.ds_inline_n <- px.ds_inline_n + 1
-        | Wi _ -> assert false)
-    | Rpm { idx; outcome; seconds; t0 } ->
-        outcomes.(idx) <- Some outcome;
-        px.worker_pm_seconds <- px.worker_pm_seconds +. seconds;
-        if flighted then
-          Flight.edge t.flight ~pos:(pos_of idx) ~stage:Flight.Pm ~t0
-            ~t1:(t0 +. seconds)
-    | Rgm { idx; completed; seconds; t0; t1 } -> (
+    | Cgm -> (
         incr rgm;
-        px.worker_gm_seconds <- px.worker_gm_seconds +. seconds;
+        px.worker_gm_seconds <- px.worker_gm_seconds +. s_of_ns c.c_seconds_ns;
         if flighted then
-          Flight.edge t.flight ~pos:(pos_of idx) ~stage:Flight.Gm ~t0 ~t1;
-        match completed with
+          Flight.edge t.flight ~pos:(pos_of c.c_idx) ~stage:Flight.Gm
+            ~t0:(s_of_ns c.c_t0_ns) ~t1:(s_of_ns c.c_t1_ns);
+        match c.c_completed with
         | Some g -> decisions := List.rev_append (final_meld t g) !decisions
         | None -> ())
+  in
+  (* Driver work-stealing: called when a scheduling round neither drained
+     a result nor released a job but work is still in flight — instead of
+     parking, inline the oldest queued ds or pm item.  Steals only come
+     off driver-owned backlog lists (never the rings), ds steals reuse
+     the inline decode path (already bit-identical by the held-item
+     argument), and a pm steal requires its paper thread quiescent, so
+     stage assignment stays a pure function of log position and every
+     allocator stream keeps its seq order. *)
+  let steal () =
+    let bw = ref (-1) and bi = ref max_int in
+    for w = 0 to domains - 1 do
+      match ds_jobs.(w) with
+      | i :: _ when i < !bi ->
+          bi := i;
+          bw := w
+      | _ -> ()
+    done;
+    if !bw >= 0 then begin
+      (match window.(!bi) with
+      | Ww { pos; src; off; len; _ } ->
+          intentions.(!bi) <-
+            Some
+              (decode_slice t ~scratch:px.wctx.dscratch ~seq:(s0 + !bi) ~pos
+                 ~off ~len src)
+      | Wi _ -> assert false);
+      ds_jobs.(!bw) <- List.tl ds_jobs.(!bw);
+      px.ds_inline_n <- px.ds_inline_n + 1;
+      px.driver_steals <- px.driver_steals + 1;
+      (match inst with None -> () | Some m -> Metrics.Counter.incr m.m_steals);
+      progress := true;
+      true
+    end
+    else begin
+      let bk = ref (-1) in
+      bi := max_int;
+      for k = 0 to Array.length pm_pending - 1 do
+        match pm_pending.(k) with
+        | i :: _
+          when i < !bi && pm_inflight.(k) = 0 && Option.is_some intentions.(i)
+          ->
+            bi := i;
+            bk := k
+        | _ -> ()
+      done;
+      if !bk < 0 then false
+      else begin
+        let k = !bk and i = !bi in
+        let pc =
+          match t.config.premeld with Some pc -> pc | None -> assert false
+        in
+        let intent =
+          match intentions.(i) with Some x -> x | None -> assert false
+        in
+        let shard = t.counters.premeld_shards.(k) in
+        let t0 = Clock.now () in
+        let outcome =
+          Premeld.trial ~trace:t.trace pc ~snap_seq:snap_seqs.(i)
+            ~lookup:(fun m ->
+              Some
+                (State_store.Snapshot.require px.wctx.wsnap ~stage:"premeld" m))
+            ~alloc:t.pm_allocs.(k) ~counters:shard ~seq:(s0 + i) intent
+        in
+        let dt = Clock.elapsed t0 in
+        shard.Counters.seconds <- shard.Counters.seconds +. dt;
+        outcomes.(i) <- Some outcome;
+        pm_pending.(k) <- List.tl pm_pending.(k);
+        px.driver_steals <- px.driver_steals + 1;
+        (match inst with
+        | None -> ()
+        | Some m -> Metrics.Counter.incr m.m_steals);
+        if flighted then
+          Flight.edge t.flight ~pos:(pos_of i) ~stage:Flight.Pm ~t0
+            ~t1:(t0 +. dt);
+        progress := true;
+        true
+      end
+    end
   in
   while !rgm < b do
     (* Sample the doorbell before draining so a result pushed after the
@@ -1202,24 +1428,43 @@ let run_pipelined_window t (px : pctx) (window : witem array) =
     let seen = Runtime.Stage_pool.events pool in
     progress := false;
     for w = 0 to domains - 1 do
-      let rec drain () =
-        match Runtime.Stage_pool.try_result pool ~worker:w with
-        | Some r ->
-            px.outstanding.(w) <- px.outstanding.(w) - 1;
-            handle r;
-            progress := true;
-            drain ()
-        | None -> ()
+      let n =
+        Runtime.Stage_pool.result_batch pool ~worker:w px.drain_buf ~max:qcap
       in
-      drain ()
+      if n > 0 then begin
+        observe_batch n;
+        for i = 0 to n - 1 do
+          let c = px.drain_buf.(i) in
+          px.outstanding.(w) <- px.outstanding.(w) - 1;
+          handle c;
+          recycle w c
+        done;
+        progress := true
+      end
     done;
     release_held ();
     release_pm ();
     release_gm ();
     release_ds ();
+    (* Partial batches must reach the rings before this round can decide
+       to park — staged-but-unpublished work never wakes a worker. *)
+    flush_all ();
+    (let depth = ref 0 in
+     for w = 0 to domains - 1 do
+       let d = Runtime.Stage_pool.job_depth pool ~worker:w in
+       if d > !depth then depth := d
+     done;
+     Runtime.Adaptive.observe px.adapt ~depth:!depth);
+    (match inst with
+    | None -> ()
+    | Some i ->
+        Metrics.Gauge.set i.m_adaptive_window
+          (float_of_int (Runtime.Adaptive.window px.adapt)));
     if (not !progress) && !rgm < b then begin
       let in_flight = Array.fold_left ( + ) 0 px.outstanding in
-      if in_flight > 0 then Runtime.Stage_pool.wait pool ~seen
+      if in_flight > 0 then begin
+        if not (steal ()) then Runtime.Stage_pool.wait pool ~seen
+      end
       else
         (* Nothing in flight and nothing releasable: the stream is
            invalid (a member names a snapshot state the log never
@@ -1243,6 +1488,14 @@ let run_pipelined_window t (px : pctx) (window : witem array) =
               "Pipeline: pipelined window stalled with no work in flight"
     end
   done;
+  (* One counter scrape per window keeps the doorbell metric hot-path
+     free: the wakeup totals live in plain producer-written fields. *)
+  (match inst with
+  | None -> ()
+  | Some i ->
+      let db = Runtime.Stage_pool.doorbell_wakeups pool in
+      Metrics.Counter.incr ~by:(db - px.doorbells_seen) i.m_doorbells;
+      px.doorbells_seen <- db);
   List.rev !decisions
 
 (* Cut a stream of work items into safe windows and run each through the
@@ -1422,7 +1675,7 @@ let validate_shape ~who ~config ~runtime ~trace =
       (Printf.sprintf "Pipeline.%s: trace has fewer shards than premeld threads"
          who);
   (match runtime with
-  | Runtime.Pipelined { domains } ->
+  | Runtime.Pipelined { domains; _ } ->
       if Trace.enabled trace && Trace.workers trace < domains then
         invalid_arg
           (Printf.sprintf
@@ -1451,12 +1704,16 @@ let make_instruments metrics =
         m_fm_gc_minor = Metrics.fcounter m "pipeline_fm_gc_minor_words";
         m_fm_gc_promoted = Metrics.fcounter m "pipeline_fm_gc_promoted_words";
         m_mz_gc_minor = Metrics.fcounter m "pipeline_mz_gc_minor_words";
+        m_spsc_batch = Metrics.histogram m "spsc_batch_size";
+        m_doorbells = Metrics.counter m "spsc_doorbell_wakeups_total";
+        m_steals = Metrics.counter m "driver_steals_total";
+        m_adaptive_window = Metrics.gauge m "adaptive_window_size";
       })
     metrics
 
 let attach_pstate t runtime =
   match runtime with
-  | Runtime.Pipelined { domains } ->
+  | Runtime.Pipelined { domains; batch; adaptive } ->
       let wctx =
         {
           wsnap = State_store.snapshot t.states;
@@ -1465,26 +1722,45 @@ let attach_pstate t runtime =
           dscratch = Codec.Scratch.create ();
         }
       in
+      let dummy = fresh_carrier () in
       let pool =
-        Runtime.Stage_pool.create ~queue:32 ~domains ~dummy_job:Jnone
-          ~dummy_result:Rnone
-          ~exec:(fun ~worker j -> pexec t wctx ~worker j)
+        Runtime.Stage_pool.create ~queue:32 ~domains ~dummy_job:dummy
+          ~dummy_result:dummy
+          ~exec:(fun ~worker c -> pexec t wctx ~worker c)
           ()
       in
+      let qcap = Runtime.Stage_pool.queue_capacity pool in
       t.pstate <-
         Some
           {
             ppool = pool;
             pdomains = domains;
-            qcap = Runtime.Stage_pool.queue_capacity pool;
+            qcap;
             outstanding = Array.make domains 0;
             wctx;
+            adapt =
+              Runtime.Adaptive.create ~enabled:adaptive ~batch ~capacity:qcap
+                ();
+            (* qcap carriers per worker pair: since staged + in-flight
+               never exceeds qcap, a release gate passing implies a free
+               carrier. *)
+            free =
+              Array.init domains (fun _ ->
+                  Array.init qcap (fun _ -> fresh_carrier ()));
+            free_top = Array.make domains qcap;
+            stage_buf = Array.init domains (fun _ -> Array.make qcap dummy);
+            stage_n = Array.make domains 0;
+            drain_buf = Array.make qcap dummy;
             ds_offloaded = 0;
             ds_inline_n = 0;
             worker_ds_seconds = 0.0;
             worker_pm_seconds = 0.0;
             worker_gm_seconds = 0.0;
             max_depth = 0;
+            handoff_batches = 0;
+            handoff_items = 0;
+            driver_steals = 0;
+            doorbells_seen = 0;
           }
   | Runtime.Sequential | Runtime.Parallel _ -> ()
 

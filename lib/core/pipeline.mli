@@ -155,6 +155,18 @@ type offload_stats = {
       (** peak jobs-in-flight to any single worker (never exceeds
           [queue_capacity] by construction) *)
   queue_capacity : int;
+  handoff_batches : int;
+      (** job-ring publications — each one tail publication and at most
+          one doorbell, however many jobs it carried *)
+  handoff_items : int;  (** jobs published through those batches *)
+  doorbell_wakeups : int;
+      (** condvar round-trips the handoff actually paid for (worker and
+          driver parks that were woken) *)
+  driver_steals : int;
+      (** backlogged ds/pm items the driver inlined instead of parking *)
+  adaptive_batch : int;  (** flush threshold at last observation *)
+  adaptive_window : int;  (** per-worker in-flight window at last observation *)
+  adaptive_adjustments : int;  (** batch resizes the controller applied *)
 }
 
 val offload : t -> offload_stats option

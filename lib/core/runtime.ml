@@ -5,8 +5,12 @@ module Metrics = Hyder_obs.Metrics
 type backend =
   | Sequential
   | Parallel of { domains : int }
-  | Pipelined of { domains : int }
+  | Pipelined of { domains : int; batch : int; adaptive : bool }
 
+(* Default handoff batch for [pipe:<n>]: big enough to amortize the
+   doorbell on bursty input, small enough that a latency-bound trickle
+   is not delayed (the driver flushes partial batches every round). *)
+let default_batch = 8
 let sequential = Sequential
 
 let parallel ~domains =
@@ -15,7 +19,7 @@ let parallel ~domains =
 
 let pipelined ~domains =
   if domains < 1 then invalid_arg "Runtime.pipelined: domains";
-  Pipelined { domains }
+  Pipelined { domains; batch = default_batch; adaptive = false }
 
 let parse s =
   match String.split_on_char ':' (String.trim s) with
@@ -26,20 +30,48 @@ let parse s =
       | Some d when d >= 1 -> Ok (Parallel { domains = d })
       | Some _ | None ->
           Error (Printf.sprintf "bad domain count %S in runtime spec" n))
-  | [ "pipe" ] | [ "pipelined" ] -> Ok (Pipelined { domains = 2 })
-  | [ ("pipe" | "pipelined"); n ] -> (
-      match int_of_string_opt n with
-      | Some d when d >= 1 -> Ok (Pipelined { domains = d })
-      | Some _ | None ->
-          Error (Printf.sprintf "bad domain count %S in runtime spec" n))
+  | ("pipe" | "pipelined") :: rest -> (
+      (* pipe[:<domains>[:<batch>]][:adaptive] *)
+      let domains = ref 2
+      and batch = ref default_batch
+      and adaptive = ref false
+      and ints_seen = ref 0
+      and err = ref None in
+      List.iter
+        (fun tok ->
+          match (int_of_string_opt tok, tok) with
+          | Some d, _ when d >= 1 && !ints_seen = 0 ->
+              domains := d;
+              incr ints_seen
+          | Some b, _ when b >= 1 && !ints_seen = 1 ->
+              batch := b;
+              incr ints_seen
+          | None, ("adaptive" | "a") -> adaptive := true
+          | _ ->
+              if !err = None then
+                err :=
+                  Some
+                    (Printf.sprintf "bad token %S in pipelined runtime spec" tok))
+        rest;
+      match !err with
+      | Some e -> Error e
+      | None ->
+          Ok
+            (Pipelined
+               { domains = !domains; batch = !batch; adaptive = !adaptive }))
   | _ ->
       Error
-        (Printf.sprintf "unknown runtime %S (want seq | par:<n> | pipe:<n>)" s)
+        (Printf.sprintf
+           "unknown runtime %S (want seq | par:<n> | pipe:<n>[:<batch>][:adaptive])"
+           s)
 
 let to_string = function
   | Sequential -> "seq"
   | Parallel { domains } -> Printf.sprintf "par:%d" domains
-  | Pipelined { domains } -> Printf.sprintf "pipe:%d" domains
+  | Pipelined { domains; batch; adaptive } ->
+      Printf.sprintf "pipe:%d%s%s" domains
+        (if batch <> default_batch then Printf.sprintf ":%d" batch else "")
+        (if adaptive then ":adaptive" else "")
 
 (* ------------------------------------------------------------------ *)
 (* Stage pool: the pipelined backend's worker fabric                    *)
@@ -60,6 +92,8 @@ module Stage_pool = struct
        other, so no wakeup is lost. *)
     events : int Atomic.t;
     parked : bool Atomic.t;
+    mutable driver_wakeups : int;
+        (** times the parked driver was actually woken; driver-written *)
     lock : Mutex.t;
     cond : Condition.t;
     mutable handles : unit Domain.t array;
@@ -83,15 +117,37 @@ module Stage_pool = struct
     Array.iter Spsc_queue.wake t.jobs;
     ring_doorbell t
 
-  let worker_loop t ~exec w =
+  (* Workers run batched: one blocking pop wakes the worker, then it
+     opportunistically drains whatever else is already queued (a single
+     head publication), executes the whole run, and pushes every result
+     with a single tail publication and one doorbell.  The driver's
+     outstanding-[qcap] budget guarantees the result push always fits
+     (results in the ring + results in hand never exceed jobs in
+     flight), so a short push here is a driver bug, not backpressure. *)
+  let worker_loop t ~exec ~dummy_job ~dummy_result w =
     let jq = t.jobs.(w) and rq = t.results.(w) in
+    let cap = Spsc_queue.capacity jq in
+    let jbuf = Array.make cap dummy_job in
+    let rbuf = Array.make cap dummy_result in
     let rec go () =
       match Spsc_queue.pop jq ~cancel:(fun () -> Atomic.get t.stop) with
       | None -> ()
       | Some j -> (
-          match exec ~worker:w j with
-          | r ->
-              if Spsc_queue.try_push rq r then begin
+          match
+            rbuf.(0) <- exec ~worker:w j;
+            let n = ref 1 in
+            let more = Spsc_queue.pop_batch jq jbuf ~max:(cap - 1) in
+            for i = 0 to more - 1 do
+              rbuf.(!n) <- exec ~worker:w jbuf.(i);
+              jbuf.(i) <- dummy_job;
+              incr n
+            done;
+            !n
+          with
+          | n ->
+              let pushed = Spsc_queue.push_batch rq rbuf ~len:n in
+              Array.fill rbuf 0 n dummy_result;
+              if pushed = n then begin
                 ring_doorbell t;
                 go ()
               end
@@ -120,6 +176,7 @@ module Stage_pool = struct
         failure = Atomic.make None;
         events = Atomic.make 0;
         parked = Atomic.make false;
+        driver_wakeups = 0;
         lock = Mutex.create ();
         cond = Condition.create ();
         handles = [||];
@@ -127,7 +184,9 @@ module Stage_pool = struct
       }
     in
     t.handles <-
-      Array.init domains (fun w -> Domain.spawn (fun () -> worker_loop t ~exec w));
+      Array.init domains (fun w ->
+          Domain.spawn (fun () ->
+              worker_loop t ~exec ~dummy_job ~dummy_result w));
     t
 
   let domains t = t.domains
@@ -150,6 +209,24 @@ module Stage_pool = struct
     check t;
     Spsc_queue.try_pop t.results.(worker)
 
+  let submit_batch t ~worker buf ~len =
+    check t;
+    Spsc_queue.push_batch t.jobs.(worker) buf ~len
+
+  let result_batch t ~worker buf ~max =
+    check t;
+    Spsc_queue.pop_batch t.results.(worker) buf ~max
+
+  let job_depth t ~worker = Spsc_queue.length t.jobs.(worker)
+
+  (* Worker-side parks woken by a job push, plus driver parks woken by a
+     result doorbell — the total count of condvar round-trips the
+     handoff actually paid for.  Batching exists to shrink this. *)
+  let doorbell_wakeups t =
+    Array.fold_left
+      (fun acc q -> acc + Spsc_queue.wakeups q)
+      t.driver_wakeups t.jobs
+
   let events t = Atomic.get t.events
 
   let wait t ~seen =
@@ -157,12 +234,15 @@ module Stage_pool = struct
     if Atomic.get t.events = seen then begin
       Mutex.lock t.lock;
       Atomic.set t.parked true;
+      let slept = ref false in
       while
         Atomic.get t.events = seen
         && (match Atomic.get t.failure with None -> true | Some _ -> false)
       do
+        slept := true;
         Condition.wait t.cond t.lock
       done;
+      if !slept then t.driver_wakeups <- t.driver_wakeups + 1;
       Atomic.set t.parked false;
       Mutex.unlock t.lock;
       check t
@@ -177,6 +257,89 @@ module Stage_pool = struct
       t.handles <- [||];
       match Atomic.get t.failure with None -> () | Some e -> raise e
     end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive handoff controller                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Drives the driver's flush threshold (batch size) and in-flight window
+   from observed queue depths.  Strictly a wall-clock scheduling knob:
+   it decides *when* work is handed to a worker, never *which* worker
+   runs it or in what order results are applied, so every backend stays
+   bit-identical with the controller on or off.
+
+   The rule is a slow-attack/fast-ish-decay AIMD-flavored doubler with
+   hysteresis: [growth] consecutive backed-up observations (deepest
+   queue at least half full) double the batch — sustained backlog means
+   throughput mode, amortize the doorbells; [growth] consecutive dry
+   observations halve it — the pipe is latency-bound, hand work over
+   eagerly.  The in-flight window tracks [4 * batch], clamped to
+   [batch, capacity]: small batches also shrink how much work the
+   driver banks ahead of the workers, which keeps end-to-end latency
+   proportional to the batch decision. *)
+module Adaptive = struct
+  type t = {
+    enabled : bool;
+    capacity : int;
+    growth : int;
+    mutable batch : int;
+    mutable window : int;
+    mutable hot : int;  (** consecutive backed-up observations *)
+    mutable cold : int;  (** consecutive dry observations *)
+    mutable adjustments : int;  (** batch-size changes applied *)
+  }
+
+  let clamp_window ~capacity ~batch =
+    max batch (min capacity (4 * batch))
+
+  let create ?(growth = 3) ~enabled ~batch ~capacity () =
+    if capacity < 1 then invalid_arg "Runtime.Adaptive.create: capacity";
+    let batch = max 1 (min batch capacity) in
+    {
+      enabled;
+      capacity;
+      growth;
+      batch;
+      window = (if enabled then clamp_window ~capacity ~batch else capacity);
+      hot = 0;
+      cold = 0;
+      adjustments = 0;
+    }
+
+  let batch t = t.batch
+  let window t = t.window
+  let adjustments t = t.adjustments
+
+  let set_batch t b =
+    if b <> t.batch then begin
+      t.batch <- b;
+      t.window <- clamp_window ~capacity:t.capacity ~batch:b;
+      t.adjustments <- t.adjustments + 1
+    end
+
+  let observe t ~depth =
+    if t.enabled then
+      if 2 * depth >= t.capacity then begin
+        t.cold <- 0;
+        t.hot <- t.hot + 1;
+        if t.hot >= t.growth then begin
+          t.hot <- 0;
+          set_batch t (min t.capacity (2 * t.batch))
+        end
+      end
+      else if depth = 0 then begin
+        t.hot <- 0;
+        t.cold <- t.cold + 1;
+        if t.cold >= t.growth then begin
+          t.cold <- 0;
+          set_batch t (max 1 (t.batch / 2))
+        end
+      end
+      else begin
+        t.hot <- 0;
+        t.cold <- 0
+      end
 end
 
 (* Scheduling metrics, resolved once at create time so the per-batch cost
@@ -196,7 +359,8 @@ let create ?metrics backend =
         Metrics.Gauge.set g
           (match backend with
           | Sequential -> 0.0
-          | Parallel { domains } | Pipelined { domains } -> float_of_int domains);
+          | Parallel { domains } | Pipelined { domains; _ } ->
+              float_of_int domains);
         {
           batches = Metrics.counter m "runtime_task_batches";
           tasks = Metrics.counter m "runtime_tasks";
@@ -208,7 +372,7 @@ let create ?metrics backend =
   | Parallel { domains } as b ->
       if domains < 1 then invalid_arg "Runtime.create: domains";
       { backend = b; pool = Some (Domain_pool.create ~domains); inst }
-  | Pipelined { domains } as b ->
+  | Pipelined { domains; _ } as b ->
       if domains < 1 then invalid_arg "Runtime.create: domains";
       (* The pipelined backend owns its worker fabric (a [Stage_pool]
          inside the pipeline, typed by the pipeline's job variants); the

@@ -22,6 +22,8 @@ type 'a t = {
   head : int Atomic.t;  (** next slot to pop; written by the consumer *)
   tail : int Atomic.t;  (** next slot to push; written by the producer *)
   sleepers : int Atomic.t;  (** consumers parked (0 or 1) *)
+  mutable wakeups : int;
+      (** doorbell broadcasts that found a sleeper; producer-written *)
   lock : Mutex.t;
   nonempty : Condition.t;
 }
@@ -39,6 +41,7 @@ let create ?(capacity = 64) ~dummy () =
     head = Atomic.make 0;
     tail = Atomic.make 0;
     sleepers = Atomic.make 0;
+    wakeups = 0;
     lock = Mutex.create ();
     nonempty = Condition.create ();
   }
@@ -56,10 +59,13 @@ let length t =
 
 let signal t =
   if Atomic.get t.sleepers > 0 then begin
+    t.wakeups <- t.wakeups + 1;
     Mutex.lock t.lock;
     Condition.broadcast t.nonempty;
     Mutex.unlock t.lock
   end
+
+let wakeups t = t.wakeups
 
 let try_push t x =
   let tail = Atomic.get t.tail in
@@ -71,6 +77,27 @@ let try_push t x =
     true
   end
 
+(* Batched transfer: one index publication and at most one doorbell ring
+   per batch, however many elements move.  The slot writes/reads inside a
+   batch need no per-element ordering — they are all covered by the single
+   SC [tail] (resp. [head]) store that publishes them, exactly as in the
+   single-element case. *)
+
+let push_batch t buf ~len =
+  if len < 0 || len > Array.length buf then
+    invalid_arg "Spsc_queue.push_batch";
+  let tail = Atomic.get t.tail in
+  let free = t.mask + 1 - (tail - Atomic.get t.head) in
+  let n = min len free in
+  if n > 0 then begin
+    for i = 0 to n - 1 do
+      t.slots.((tail + i) land t.mask) <- buf.(i)
+    done;
+    Atomic.set t.tail (tail + n);
+    signal t
+  end;
+  n
+
 let try_pop t =
   let head = Atomic.get t.head in
   if Atomic.get t.tail - head <= 0 then None
@@ -81,6 +108,21 @@ let try_pop t =
     Atomic.set t.head (head + 1);
     Some x
   end
+
+let pop_batch t buf ~max:m =
+  if m < 0 || m > Array.length buf then invalid_arg "Spsc_queue.pop_batch";
+  let head = Atomic.get t.head in
+  let avail = Atomic.get t.tail - head in
+  let n = min m avail in
+  if n > 0 then begin
+    for i = 0 to n - 1 do
+      let j = (head + i) land t.mask in
+      buf.(i) <- t.slots.(j);
+      t.slots.(j) <- t.dummy
+    done;
+    Atomic.set t.head (head + n)
+  end;
+  n
 
 let wake t =
   Mutex.lock t.lock;

@@ -36,6 +36,23 @@ val try_push : 'a t -> 'a -> bool
 val try_pop : 'a t -> 'a option
 (** Consumer only.  [None] iff the queue is empty. *)
 
+val push_batch : 'a t -> 'a array -> len:int -> int
+(** Producer only.  Push [buf.(0 .. len-1)] — as many as currently fit —
+    with a {e single} [tail] publication and at most one doorbell ring,
+    and return the number accepted (0 iff the queue is full or [len] is
+    0).  The buffer is caller-owned and never retained, so steady-state
+    batched handoff allocates nothing. *)
+
+val pop_batch : 'a t -> 'a array -> max:int -> int
+(** Consumer only.  Pop up to [max] elements into [buf.(0 ..)] with a
+    single [head] publication, resetting the vacated slots to [dummy],
+    and return the number popped (0 iff the queue is empty).  FIFO order
+    is preserved with respect to both single and batched pushes. *)
+
+val wakeups : 'a t -> int
+(** Doorbell broadcasts that found a parked consumer, cumulative.  Exact
+    for the producer; other domains may see a slightly stale value. *)
+
 val pop : 'a t -> cancel:(unit -> bool) -> 'a option
 (** Consumer only.  Block until an element arrives ([Some]) or
     [cancel ()] is observed true while the queue is empty ([None]).

@@ -25,6 +25,19 @@ tight (the fm loop's minor allocation is deterministic, measured with
 the exact Gc.minor_words counter); the fm-ns/txn comparison is loose,
 because wall time on a shared CI box is not.
 
+The pipe-beats-seq gate is core-count-aware: on a machine with >= 2
+cores the pipelined backend's melds/s must strictly exceed the
+sequential backend's (that is the whole point of batched handoff); on
+a 1-core box real overlap is physically impossible, so the gate falls
+back to the wall-clock-free criterion — the pipelined driver's
+critical-path stage seconds per intention must be strictly below
+sequential's.  The handoff columns are gated for presence and sanity
+either way: publications carry >= 1 item on average, doorbell wakeups
+do not exceed items, and the driver-domain allocation bracket
+(driver_minor_w_per_txn minus the driver-booked stage minors) stays
+under a generous per-txn budget — batched handoff itself must not
+allocate.
+
 With --flight, sanity-checks a flight-analysis report (the JSON written
 by `hyder-cli analyze --json`) instead: for every backend, records were
 captured, no wait/service entry went negative, the per-record stage sums
@@ -74,6 +87,13 @@ DS_MINOR_BUDGET = 500.0
 DS_ALLOC_RATIO_MIN = 4.0
 DS_STAGE_SPEEDUP_MIN = 1.2
 LAZY_WALL_PARITY_MIN = 0.9
+# Handoff-allocation budget, in driver minor words per measured txn not
+# already booked by a stage instrument (fm/ds/pm/gm/mz).  The carrier
+# pool plus batched rings make the steady-state handoff itself
+# allocation-free; the residual covers list/closure churn in
+# submit_wire_batch's windowing, which predates this gate.  Generous on
+# purpose — the signal is "handoff stopped being ~free", not noise.
+HANDOFF_RESIDUAL_BUDGET = 400.0
 
 
 def fail(msg: str) -> None:
@@ -129,6 +149,65 @@ def check_macro(run_path: str, baseline_path: str | None) -> None:
                      f"lazy-decode budget of {DS_MINOR_BUDGET:.0f}")
 
     msgs = []
+
+    # ---- pipe-beats-seq (core-count-aware) + handoff sanity ----
+    seq = rows["seq"]
+    pipe = next((r for n, r in sorted(rows.items())
+                 if n.startswith("pipe")), None)
+    if pipe is None:
+        fail("no pipe:<n> macro row")
+    cores = pipe.get("cores", 1)
+    if cores >= 2:
+        if not pipe["melds_per_s"] > seq["melds_per_s"]:
+            fail(f"pipe melds/s {pipe['melds_per_s']:.0f} does not beat "
+                 f"seq {seq['melds_per_s']:.0f} on a {cores}-core machine")
+        msgs.append(f"pipe beats seq "
+                    f"{pipe['melds_per_s'] / seq['melds_per_s']:.2f}x "
+                    f"melds/s ({cores} cores)")
+    else:
+        # 1 core: overlap cannot show in wall clock; gate the
+        # wall-clock-free criterion instead (stage seconds the driver
+        # itself executed).
+        pipe_us = pipe["driver_critical_path_us"]
+        seq_us = seq["driver_critical_path_us"]
+        if not pipe_us < seq_us:
+            fail(f"1-core fallback: pipe driver critical path "
+                 f"{pipe_us:.2f} us/txn is not below seq {seq_us:.2f}")
+        msgs.append(f"1-core box: pipe driver critical path "
+                    f"{seq_us:.2f} -> {pipe_us:.2f} us/txn "
+                    f"(melds/s {pipe['melds_per_s']:.0f} vs "
+                    f"{seq['melds_per_s']:.0f}, not gated)")
+
+    h = pipe.get("handoff")
+    if not h:
+        fail("pipelined macro row carries no handoff stats")
+    if h["batches"] <= 0 or h["items"] < h["batches"]:
+        fail(f"handoff accounting off: {h['batches']} publications "
+             f"carrying {h['items']} items")
+    # Worker parks woken <= job publications; driver parks woken <=
+    # result publications (<= items).  Anything beyond that means the
+    # doorbell counter double-books.
+    if h["doorbell_wakeups"] > h["items"] + h["batches"]:
+        fail(f"doorbell wakeups {h['doorbell_wakeups']} exceed "
+             f"publications+items {h['batches']}+{h['items']}")
+    if "driver_minor_w_per_txn" not in pipe:
+        fail("pipelined macro row carries no driver_minor_w_per_txn")
+    gcw = pipe["gc_words_per_txn"]
+    booked = sum(gcw.get(k, 0.0) for k in
+                 ("ds_minor", "pm_minor", "gm_minor", "fm_minor", "mz_minor"))
+    residual = pipe["driver_minor_w_per_txn"] - booked
+    if residual > HANDOFF_RESIDUAL_BUDGET:
+        fail(f"driver handoff allocation {residual:.0f} minor words/txn "
+             f"over budget ({HANDOFF_RESIDUAL_BUDGET:.0f}): "
+             f"driver {pipe['driver_minor_w_per_txn']:.0f} w/txn, "
+             f"stage-booked {booked:.0f}")
+    msgs.append(f"handoff {h['items'] / h['batches']:.1f} items/publication, "
+                f"{h['doorbell_wakeups']} doorbells, "
+                f"{h['driver_steals']} steals, "
+                f"residual driver alloc {residual:.0f} w/txn, "
+                f"adaptive batch={h['adaptive_batch']} "
+                f"window={h['adaptive_window']}")
+
     eager = rows.get("seq-eager")
     if eager is not None:
         seq = rows["seq"]
@@ -275,14 +354,23 @@ def main() -> None:
     if not 0 < off["max_queue_depth"] <= off["queue_capacity"]:
         fail(f"queue depth {off['max_queue_depth']} outside "
              f"(0, {off['queue_capacity']}]")
+    if "handoff_batches" in off:
+        if off["handoff_batches"] <= 0:
+            fail("no batched job publications recorded")
+        if off["handoff_items"] < off["handoff_batches"]:
+            fail(f"handoff accounting off: {off['handoff_batches']} "
+                 f"publications carrying {off['handoff_items']} items")
 
+    batching = (f", {off['handoff_items'] / off['handoff_batches']:.1f} "
+                f"items/publication, {off['doorbell_wakeups']} doorbells"
+                if off.get("handoff_batches") else "")
     print(
         f"bench-smoke gate: OK: driver critical path "
         f"{seq_us:.2f} -> {pipe_us:.2f} us/intention "
         f"({100 * (1 - pipe_us / seq_us):.0f}% off the driver), "
         f"{off['ds_offloaded']}/{n} decodes on workers, "
-        f"peak queue depth {off['max_queue_depth']}/{off['queue_capacity']}, "
-        f"all backends bit-identical to sequential"
+        f"peak queue depth {off['max_queue_depth']}/{off['queue_capacity']}"
+        f"{batching}, all backends bit-identical to sequential"
     )
 
 

@@ -327,6 +327,125 @@ let test_pipelined_burst () =
         = List.length intentions);
       check "worker ds time measured" true (o.Pipeline.worker_ds_seconds > 0.0)
 
+(* The batched-handoff sweep: every handoff batch size and the adaptive
+   controller are pure wall-clock knobs, so a bursty wire replay must be
+   bit-identical to the sequential baseline at batch 1 (the pre-batching
+   behaviour), the default, and a batch far above the queue capacity,
+   with the controller on or off.  Slab sizes mix one giant burst with a
+   trickle so both the flush-on-threshold and flush-partial paths run. *)
+let test_batched_handoff_sweep () =
+  let config =
+    {
+      Pipeline.premeld = Some { Premeld.threads = 5; distance = 10 };
+      group_size = 2;
+    }
+  in
+  let genesis, intentions, wires = make_stream ~config ~txns:300 ~seed:99 in
+  let wd, wfinal, wcounts, _ =
+    replay_wire ~config ~runtime:Runtime.sequential ~slab:max_int genesis wires
+  in
+  check_int "sweep baseline decided everything" (List.length intentions)
+    (List.length wd);
+  List.iter
+    (fun (batch, adaptive, slab) ->
+      let runtime = Runtime.Pipelined { domains = 2; batch; adaptive } in
+      let name =
+        Printf.sprintf "%s slab %d" (Runtime.to_string runtime)
+          (min slab 999_999)
+      in
+      let d, final, counts, off =
+        replay_wire ~config ~runtime ~slab genesis wires
+      in
+      compare_to_baseline ~name ~bd:wd ~bfinal:wfinal ~bcounts:wcounts
+        (d, final, counts);
+      match off with
+      | None -> Alcotest.fail (name ^ ": no offload stats")
+      | Some o ->
+          check (name ^ ": publications recorded") true
+            (o.Pipeline.handoff_batches > 0);
+          check (name ^ ": items cover publications") true
+            (o.Pipeline.handoff_items >= o.Pipeline.handoff_batches);
+          check (name ^ ": adaptive batch within bounds") true
+            (o.Pipeline.adaptive_batch >= 1
+            && o.Pipeline.adaptive_batch <= o.Pipeline.queue_capacity);
+          check (name ^ ": window covers the batch") true
+            (o.Pipeline.adaptive_window >= o.Pipeline.adaptive_batch);
+          if not adaptive then
+            check (name ^ ": controller off means no adjustments") true
+              (o.Pipeline.adaptive_adjustments = 0))
+    [
+      (1, false, max_int);
+      (4, false, 17);
+      (32, false, max_int);
+      (1, true, 17);
+      (4, true, max_int);
+      (32, true, 1);
+    ]
+
+(* Satellite of the batched-handoff work: one steady-state round of the
+   stage-pool fabric — batched submit, worker exec, batched drain — must
+   allocate nothing on the driver domain.  Jobs and results are
+   immediates here, so every word the bracket sees would come from the
+   handoff machinery itself (ring slots are preallocated, publications
+   are index stores, the doorbell is an atomic bump).  Gc.minor_words
+   is per-domain in OCaml 5: worker-side allocation cannot leak into
+   the bracket. *)
+let test_stage_pool_handoff_allocates_nothing () =
+  let domains = 2 in
+  let pool =
+    Runtime.Stage_pool.create ~queue:8 ~domains ~dummy_job:(-1)
+      ~dummy_result:(-1)
+      ~exec:(fun ~worker:_ j -> j + 1)
+      ()
+  in
+  Fun.protect ~finally:(fun () -> Runtime.Stage_pool.shutdown pool)
+  @@ fun () ->
+  let cap = Runtime.Stage_pool.queue_capacity pool in
+  let buf = Array.init cap (fun i -> i) in
+  let out = Array.make cap (-1) in
+  let total = domains * cap in
+  let got = ref 0 in
+  let short = ref false in
+  (* One round: fill every worker's (empty) job ring in a single batched
+     publication each, then spin-drain every result.  All buffers and
+     refs are preallocated — the loop body itself must not cons. *)
+  let round () =
+    for w = 0 to domains - 1 do
+      if
+        Runtime.Stage_pool.submit_batch pool ~worker:w buf ~len:cap <> cap
+      then short := true
+    done;
+    got := 0;
+    while !got < total do
+      for w = 0 to domains - 1 do
+        got := !got + Runtime.Stage_pool.result_batch pool ~worker:w out ~max:cap
+      done;
+      if !got < total then Domain.cpu_relax ()
+    done
+  in
+  (* Warm the rings, the workers and the condvar paths out of the
+     measurement. *)
+  for _ = 1 to 50 do
+    round ()
+  done;
+  let rounds = 200 in
+  let mw0 = Gc.minor_words () in
+  for _ = 1 to rounds do
+    round ()
+  done;
+  let delta = Gc.minor_words () -. mw0 in
+  check "rings never refused a full-capacity batch" false !short;
+  check "last round drained" true (!got = total);
+  (* Budget covers only the Gc.minor_words probe's own float boxing; a
+     single word allocated per handoff round would cost 200+. *)
+  check
+    (Printf.sprintf
+       "steady-state handoff allocated ~nothing on the driver (%.0f words \
+        over %d rounds)"
+       delta rounds)
+    true
+    (delta < 64.0)
+
 (* Tracing must stay observational under the pipelined backend too:
    decisions, trees and counters bit-identical with the recorder on or
    off, with offloaded spans landing on worker rings. *)
@@ -451,10 +570,51 @@ let test_runtime_parse () =
   (match Runtime.parse "pipe:0" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "parse accepted pipe:0");
+  check "pipe:4:32 sets the batch" true
+    (Runtime.parse "pipe:4:32"
+    = Ok (Runtime.Pipelined { domains = 4; batch = 32; adaptive = false }));
+  check "pipe:2:adaptive" true
+    (Runtime.parse "pipe:2:adaptive"
+    = Ok
+        (Runtime.Pipelined
+           { domains = 2; batch = Runtime.default_batch; adaptive = true }));
+  check "pipe:2:4:adaptive" true
+    (Runtime.parse "pipe:2:4:adaptive"
+    = Ok (Runtime.Pipelined { domains = 2; batch = 4; adaptive = true }));
+  check "a is shorthand for adaptive" true
+    (Runtime.parse "pipe:3:a"
+    = Ok
+        (Runtime.Pipelined
+           { domains = 3; batch = Runtime.default_batch; adaptive = true }));
+  (match Runtime.parse "pipe:2:0" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "parse accepted batch 0");
+  (match Runtime.parse "pipe:2:4:bogus" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "parse accepted a bogus pipe token");
   check "round-trip" true
     (Runtime.to_string (Runtime.parallel ~domains:4) = "par:4"
     && Runtime.to_string (Runtime.pipelined ~domains:4) = "pipe:4"
     && Runtime.to_string Runtime.sequential = "seq");
+  check "round-trip elides defaults only" true
+    (Runtime.to_string
+       (Runtime.Pipelined { domains = 4; batch = 32; adaptive = false })
+     = "pipe:4:32"
+    && Runtime.to_string
+         (Runtime.Pipelined
+            { domains = 2; batch = Runtime.default_batch; adaptive = true })
+       = "pipe:2:adaptive"
+    && Runtime.to_string
+         (Runtime.Pipelined { domains = 2; batch = 4; adaptive = true })
+       = "pipe:2:4:adaptive");
+  check "canonical strings re-parse to themselves" true
+    (List.for_all
+       (fun s ->
+         match Runtime.parse s with
+         | Ok b -> Runtime.to_string b = s
+         | Error _ -> false)
+       [ "seq"; "par:4"; "pipe:4"; "pipe:4:32"; "pipe:2:adaptive";
+         "pipe:2:4:adaptive" ]);
   (match Runtime.parallel ~domains:0 with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "parallel ~domains:0 accepted");
@@ -479,6 +639,10 @@ let () =
         [
           Alcotest.test_case "bursty wire batch, bounded queues" `Quick
             test_pipelined_burst;
+          Alcotest.test_case "batch {1,4,32} x adaptive on/off sweep" `Quick
+            test_batched_handoff_sweep;
+          Alcotest.test_case "stage-pool handoff round allocates nothing"
+            `Quick test_stage_pool_handoff_allocates_nothing;
           Alcotest.test_case "tracing stays observational" `Quick
             test_pipelined_trace_inert;
         ] );

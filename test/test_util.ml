@@ -394,6 +394,175 @@ let test_spsc_doorbell_fill_to_capacity () =
   check "no missed doorbell (every burst drained)" false timed_out;
   check "every blocking pop returned an element" true consumer_ok
 
+(* Batched transfer semantics, single-domain: partial accepts against a
+   full ring, FIFO across mixed single/batched pushes and pops, and slot
+   scrubbing (popped slots revert to the dummy so the ring retains no
+   consumed values). *)
+let test_spsc_batch_basics () =
+  let q = Spsc.create ~capacity:8 ~dummy:(-1) () in
+  let buf = Array.init 16 (fun i -> i) in
+  check_int "batch push capped by capacity" 8 (Spsc.push_batch q buf ~len:12);
+  check_int "push on full accepts nothing" 0 (Spsc.push_batch q buf ~len:3);
+  let out = Array.make 16 (-2) in
+  check_int "batch pop returns what is there" 8 (Spsc.pop_batch q out ~max:16);
+  for i = 0 to 7 do
+    check_int "fifo across the batch" i out.(i)
+  done;
+  check_int "pop on empty returns nothing" 0 (Spsc.pop_batch q out ~max:4);
+  (* mixed: single pushes drain through batched pops and vice versa *)
+  check "single push" true (Spsc.try_push q 100);
+  check_int "batched tail behind a single push" 2
+    (Spsc.push_batch q [| 101; 102 |] ~len:2);
+  check_int "batch pop spans both push kinds" 3 (Spsc.pop_batch q out ~max:8);
+  check "order preserved" true
+    (out.(0) = 100 && out.(1) = 101 && out.(2) = 102);
+  check_int "batched push" 2 (Spsc.push_batch q [| 7; 8 |] ~len:2);
+  check "single pop sees batched elements in order" true
+    (Spsc.try_pop q = Some 7 && Spsc.try_pop q = Some 8);
+  check "zero len accepted" true (Spsc.push_batch q [||] ~len:0 = 0);
+  (match Spsc.push_batch q [| 1 |] ~len:2 with
+  | _ -> Alcotest.fail "len beyond the buffer accepted"
+  | exception Invalid_argument _ -> ());
+  match Spsc.pop_batch q out ~max:17 with
+  | _ -> Alcotest.fail "max beyond the buffer accepted"
+  | exception Invalid_argument _ -> ()
+
+(* QCheck2: an arbitrary schedule of batched/single pushes against
+   batched/single pops, with a third domain sampling [length], keeps
+   FIFO order end to end and never shows the observer a negative
+   depth.  This is the wire-level contract the pipelined driver's
+   batched handoff rides on. *)
+let prop_spsc_batch_interleaving =
+  let gen =
+    QCheck2.Gen.(
+      pair (list_size (int_range 1 40) (int_range 0 8))
+        (list_size (int_range 1 40) (int_range 0 8)))
+  in
+  QCheck2.Test.make ~name:"spsc batched interleaving keeps fifo" ~count:25 gen
+    (fun (push_sizes, pop_sizes) ->
+      let q = Spsc.create ~capacity:8 ~dummy:(-1) () in
+      let total = List.fold_left ( + ) 0 push_sizes in
+      let stop = Atomic.make false in
+      let negative = Atomic.make false in
+      let sampler =
+        Domain.spawn (fun () ->
+            while not (Atomic.get stop) do
+              if Spsc.length q < 0 then Atomic.set negative true
+            done)
+      in
+      let producer =
+        Domain.spawn (fun () ->
+            let next = ref 0 in
+            List.iter
+              (fun sz ->
+                if sz = 1 then (
+                  while not (Spsc.try_push q !next) do
+                    Domain.cpu_relax ()
+                  done;
+                  incr next)
+                else
+                  let buf = Array.init sz (fun i -> !next + i) in
+                  let sent = ref 0 in
+                  while !sent < sz do
+                    let accepted =
+                      Spsc.push_batch q
+                        (Array.sub buf !sent (sz - !sent))
+                        ~len:(sz - !sent)
+                    in
+                    if accepted = 0 then Domain.cpu_relax ()
+                    else sent := !sent + accepted
+                  done;
+                  next := !next + sz)
+              push_sizes)
+      in
+      (* consume on this domain with the generated pop schedule, cycling
+         through it until every pushed element arrived *)
+      let out = Array.make 16 (-2) in
+      let expect = ref 0 in
+      let ok = ref true in
+      let schedule = if pop_sizes = [] then [ 4 ] else pop_sizes in
+      let rec consume = function
+        | [] -> consume schedule
+        | sz :: rest when !expect < total ->
+            (if sz <= 1 then (
+               match Spsc.try_pop q with
+               | Some v ->
+                   if v <> !expect then ok := false;
+                   incr expect
+               | None -> Domain.cpu_relax ())
+             else
+               let n = Spsc.pop_batch q out ~max:sz in
+               for i = 0 to n - 1 do
+                 if out.(i) <> !expect + i then ok := false
+               done;
+               if n = 0 then Domain.cpu_relax () else expect := !expect + n);
+            consume rest
+        | _ -> ()
+      in
+      consume schedule;
+      Domain.join producer;
+      Atomic.set stop true;
+      Domain.join sampler;
+      !ok && !expect = total && Spsc.try_pop q = None
+      && not (Atomic.get negative))
+
+(* The doorbell race of [test_spsc_doorbell_fill_to_capacity], but each
+   burst is a single [push_batch] publication: the whole capacity lands
+   under one tail store and at most one doorbell.  If the batched
+   publication's sleeper check could miss a consumer that is heading to
+   park, that one doorbell is the only wakeup the consumer will ever
+   get and the handoff deadlocks (watchdog timeout). *)
+let test_spsc_batched_doorbell_fill_to_capacity () =
+  let rounds = 400 in
+  let q = Spsc.create ~capacity:4 ~dummy:(-1) () in
+  let cap = Spsc.capacity q in
+  let total = rounds * cap in
+  let cancel = Atomic.make false in
+  let consumed = Atomic.make 0 in
+  let consumer =
+    Domain.spawn (fun () ->
+        let ok = ref true in
+        for _ = 1 to total do
+          match Spsc.pop q ~cancel:(fun () -> Atomic.get cancel) with
+          | Some _ -> Atomic.incr consumed
+          | None -> ok := false
+        done;
+        !ok)
+  in
+  let producer =
+    Domain.spawn (fun () ->
+        let buf = Array.make cap 0 in
+        for round = 0 to rounds - 1 do
+          while Atomic.get consumed < round * cap && not (Atomic.get cancel) do
+            Domain.cpu_relax ()
+          done;
+          for i = 0 to cap - 1 do
+            buf.(i) <- (round * cap) + i
+          done;
+          let sent = ref 0 in
+          while !sent < cap && not (Atomic.get cancel) do
+            let accepted =
+              Spsc.push_batch q (Array.sub buf !sent (cap - !sent))
+                ~len:(cap - !sent)
+            in
+            if accepted = 0 then Domain.cpu_relax ()
+            else sent := !sent + accepted
+          done
+        done)
+  in
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  while Atomic.get consumed < total && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.002
+  done;
+  let timed_out = Atomic.get consumed < total in
+  Atomic.set cancel true;
+  Spsc.wake q;
+  Domain.join producer;
+  let consumer_ok = Domain.join consumer in
+  check "no missed doorbell (every batched burst drained)" false timed_out;
+  check "every blocking pop returned an element" true consumer_ok;
+  check "doorbells were actually exercised" true (Spsc.wakeups q > 0)
+
 (* ---- Buf_pool -------------------------------------------------------- *)
 
 module Buf_pool = Hyder_util.Buf_pool
@@ -456,7 +625,8 @@ let test_buf_pool_lifetime_canaries () =
   | exception Invalid_argument _ -> ()
 
 let qcheck_cases =
-  List.map QCheck_alcotest.to_alcotest [ prop_wire_varint_roundtrip ]
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_wire_varint_roundtrip; prop_spsc_batch_interleaving ]
 
 let () =
   Alcotest.run "util"
@@ -513,6 +683,11 @@ let () =
           Alcotest.test_case "doorbell: fill to capacity cannot be slept \
                               through" `Quick
             test_spsc_doorbell_fill_to_capacity;
+          Alcotest.test_case "batched push/pop semantics" `Quick
+            test_spsc_batch_basics;
+          Alcotest.test_case "batched doorbell: one publication per burst \
+                              cannot be slept through" `Quick
+            test_spsc_batched_doorbell_fill_to_capacity;
         ] );
       ( "buf pool",
         [
